@@ -1,0 +1,50 @@
+// Reproduces paper Fig. 7: the Table I area results drawn as grouped bars.
+// Emits both a gnuplot-ready data block and an ASCII rendering so the series
+// shape (conventional mappers towering over initial/proposed) is visible in
+// the terminal.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common.h"
+
+using fpgadbg::bench::BenchmarkRun;
+
+namespace {
+
+void ascii_bar(const char* label, std::size_t value, std::size_t scale_max) {
+  const int width = static_cast<int>(60.0 * static_cast<double>(value) /
+                                     static_cast<double>(scale_max));
+  std::printf("    %-10s %6zu |%s\n", label, value,
+              std::string(static_cast<std::size_t>(std::max(width, 1)), '#')
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 7: area results in terms of look-up tables ===\n\n");
+  const auto runs = fpgadbg::bench::run_mapping_experiment();
+
+  std::printf("# gnuplot data: bench initial simplemap abc proposed\n");
+  for (const BenchmarkRun& r : runs) {
+    std::printf("%-9s %6zu %6zu %6zu %6zu\n", r.name.c_str(),
+                r.initial.lut_area, r.simplemap.lut_area, r.abc.lut_area,
+                r.proposed.lut_area);
+  }
+
+  std::printf("\n# per-benchmark bars (measured)\n");
+  for (const BenchmarkRun& r : runs) {
+    const std::size_t scale_max =
+        std::max({r.initial.lut_area, r.simplemap.lut_area, r.abc.lut_area,
+                  r.proposed.lut_area});
+    std::printf("  %s:\n", r.name.c_str());
+    ascii_bar("initial", r.initial.lut_area, scale_max);
+    ascii_bar("SimpleMap", r.simplemap.lut_area, scale_max);
+    ascii_bar("ABC", r.abc.lut_area, scale_max);
+    ascii_bar("proposed", r.proposed.lut_area, scale_max);
+  }
+  std::printf("\nexpected shape (paper): SimpleMap/ABC bars several times the "
+              "initial bar; proposed bar at or below initial-size.\n");
+  return 0;
+}

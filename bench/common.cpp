@@ -1,0 +1,50 @@
+#include "common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "debug/signal_param.h"
+#include "genbench/genbench.h"
+#include "map/mappers.h"
+#include "support/stopwatch.h"
+
+namespace fpgadbg::bench {
+
+std::vector<BenchmarkRun> run_mapping_experiment() {
+  const bool quick = std::getenv("FPGADBG_QUICK") != nullptr;
+  std::vector<BenchmarkRun> runs;
+  auto specs = genbench::paper_benchmarks();
+  if (quick) specs.resize(3);
+
+  for (const auto& spec : specs) {
+    Stopwatch timer;
+    BenchmarkRun run;
+    run.name = spec.name;
+    run.gates = spec.num_gates;
+    run.paper = genbench::paper_row(spec.name);
+
+    const auto user = genbench::generate(spec);
+    const auto inst = debug::parameterize_signals(user, {});
+
+    run.initial = map::abc_map(user).stats;
+    run.simplemap = map::simple_map(inst.netlist).stats;
+    run.abc = map::abc_map(inst.netlist).stats;
+    run.proposed = map::tcon_map(inst.netlist).stats;
+    run.seconds = timer.elapsed_seconds();
+    std::fprintf(stderr, "  [%s done in %.1fs]\n", run.name.c_str(),
+                 run.seconds);
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+double geomean(const std::vector<BenchmarkRun>& runs,
+               double (*ratio)(const BenchmarkRun&)) {
+  if (runs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const auto& run : runs) log_sum += std::log(ratio(run));
+  return std::exp(log_sum / static_cast<double>(runs.size()));
+}
+
+}  // namespace fpgadbg::bench

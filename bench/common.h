@@ -1,0 +1,37 @@
+// Shared experiment driver for the Table I / Table II / Fig. 7 harnesses.
+//
+// Runs the paper's mapping experiment on every benchmark: generate the
+// circuit, run the signal parameterisation, then map with the two
+// conventional mappers and the proposed one, plus the uninstrumented
+// "initial" mapping.  Set FPGADBG_QUICK=1 in the environment to restrict
+// the sweep to the small circuits (useful while iterating).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "genbench/paper_table.h"
+#include "map/cover.h"
+
+namespace fpgadbg::bench {
+
+struct BenchmarkRun {
+  std::string name;
+  std::size_t gates = 0;
+  map::MapStats initial;    ///< original circuit, ABC mapper
+  map::MapStats simplemap;  ///< instrumented, SimpleMap
+  map::MapStats abc;        ///< instrumented, ABC
+  map::MapStats proposed;   ///< instrumented, TCONMap
+  genbench::PaperRow paper;
+  double seconds = 0.0;
+};
+
+/// Runs the experiment over the paper benchmarks (all 8, or the first 3 when
+/// FPGADBG_QUICK is set).
+std::vector<BenchmarkRun> run_mapping_experiment();
+
+/// Geometric mean over runs of ratio(run).
+double geomean(const std::vector<BenchmarkRun>& runs,
+               double (*ratio)(const BenchmarkRun&));
+
+}  // namespace fpgadbg::bench

@@ -1,0 +1,75 @@
+#include "arch/device.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace fpgadbg::arch {
+
+Device::Device(const ArchParams& params, std::size_t min_clbs)
+    : params_(params) {
+  FPGADBG_REQUIRE(min_clbs > 0, "device needs at least one CLB");
+  FPGADBG_REQUIRE(params.cluster_size >= 1 && params.channel_width >= 2,
+                  "invalid architecture parameters");
+
+  // Find the smallest square core that, after reserving BRAM columns, still
+  // provides min_clbs CLB tiles.
+  int core = 1;
+  for (;; ++core) {
+    int bram_cols = 0;
+    if (params.bram_column_period > 0) {
+      bram_cols = core / (params.bram_column_period + 1);
+    }
+    const std::size_t clbs =
+        static_cast<std::size_t>(core - bram_cols) * static_cast<std::size_t>(core);
+    if (clbs >= min_clbs) break;
+  }
+
+  width_ = core + 2;   // +IO ring
+  height_ = core + 2;
+  tiles_.assign(static_cast<std::size_t>(width_ * height_), TileKind::kClb);
+
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      TileKind kind;
+      if (x == 0 || y == 0 || x == width_ - 1 || y == height_ - 1) {
+        kind = TileKind::kIo;
+      } else if (params.bram_column_period > 0 &&
+                 x % (params.bram_column_period + 1) == 0) {
+        kind = TileKind::kBram;
+      } else {
+        kind = TileKind::kClb;
+      }
+      tiles_[static_cast<std::size_t>(y * width_ + x)] = kind;
+      switch (kind) {
+        case TileKind::kIo:
+          io_positions_.emplace_back(x, y);
+          break;
+        case TileKind::kClb:
+          clb_positions_.emplace_back(x, y);
+          break;
+        case TileKind::kBram:
+          bram_positions_.emplace_back(x, y);
+          break;
+      }
+    }
+  }
+  FPGADBG_ASSERT(num_clbs() >= min_clbs, "device sizing failed");
+}
+
+TileKind Device::tile(int x, int y) const {
+  FPGADBG_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_,
+                  "tile coordinates out of range");
+  return tiles_[static_cast<std::size_t>(y * width_ + x)];
+}
+
+std::string Device::describe() const {
+  std::ostringstream os;
+  os << width_ << 'x' << height_ << " grid, " << num_clbs() << " CLBs ("
+     << params_.cluster_size << "x" << params_.lut_size << "-LUT), "
+     << num_brams() << " BRAMs, W=" << params_.channel_width;
+  return os.str();
+}
+
+}  // namespace fpgadbg::arch

@@ -1,0 +1,82 @@
+// Island-style FPGA device model.
+//
+// Stands in for the paper's Xilinx Virtex-5 target (see DESIGN.md): a square
+// grid of CLBs (each N BLEs of one K-LUT + FF), ringed by IO tiles, with
+// BRAM columns that hold the trace buffers, and horizontal/vertical routing
+// channels of uniform width.  All area/wire/CLB/frame metrics of the paper's
+// evaluation are defined over this model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpgadbg::arch {
+
+enum class TileKind : std::uint8_t { kIo, kClb, kBram };
+
+struct ArchParams {
+  int lut_size = 6;        ///< K
+  int cluster_size = 8;    ///< N BLEs per CLB
+  int cluster_inputs = 0;  ///< I; 0 = auto (K/2 * (N+1), the classic rule)
+  int channel_width = 32;  ///< W routing tracks per channel
+  /// One BRAM (trace-buffer) column every `bram_column_period` CLB columns;
+  /// 0 disables BRAM columns.
+  int bram_column_period = 8;
+  int bram_kbits = 18;     ///< capacity per BRAM tile (kbit), Virtex-5-style
+
+  int effective_cluster_inputs() const {
+    return cluster_inputs > 0 ? cluster_inputs
+                              : (lut_size / 2) * (cluster_size + 1);
+  }
+};
+
+class Device {
+ public:
+  /// Builds the smallest roughly-square device with at least `min_clbs`
+  /// CLB tiles (plus the IO ring and BRAM columns dictated by params).
+  Device(const ArchParams& params, std::size_t min_clbs);
+
+  const ArchParams& params() const { return params_; }
+
+  /// Grid dimensions including the IO ring.
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  TileKind tile(int x, int y) const;
+  bool is_clb(int x, int y) const { return tile(x, y) == TileKind::kClb; }
+
+  std::size_t num_clbs() const { return clb_positions_.size(); }
+  std::size_t num_brams() const { return bram_positions_.size(); }
+  const std::vector<std::pair<int, int>>& clb_positions() const {
+    return clb_positions_;
+  }
+  const std::vector<std::pair<int, int>>& bram_positions() const {
+    return bram_positions_;
+  }
+  const std::vector<std::pair<int, int>>& io_positions() const {
+    return io_positions_;
+  }
+
+  /// Total BLE (LUT+FF) capacity.
+  std::size_t lut_capacity() const {
+    return num_clbs() * static_cast<std::size_t>(params_.cluster_size);
+  }
+  /// Total trace-buffer capacity in bits.
+  std::size_t trace_bits_capacity() const {
+    return num_brams() * static_cast<std::size_t>(params_.bram_kbits) * 1024;
+  }
+
+  std::string describe() const;
+
+ private:
+  ArchParams params_;
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<TileKind> tiles_;  // row-major
+  std::vector<std::pair<int, int>> clb_positions_;
+  std::vector<std::pair<int, int>> bram_positions_;
+  std::vector<std::pair<int, int>> io_positions_;
+};
+
+}  // namespace fpgadbg::arch

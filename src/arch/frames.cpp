@@ -1,0 +1,103 @@
+#include "arch/frames.h"
+
+#include "support/error.h"
+
+namespace fpgadbg::arch {
+
+FrameGeometry::FrameGeometry(const Device& device, const RRGraph& rr)
+    : device_(device), rr_(rr) {
+  const ArchParams& p = device.params();
+  lut_bits_per_ble_ = 1 << p.lut_size;
+
+  const int width = device.width();
+  const int height = device.height();
+
+  // Count switch bits per tile: one per edge whose sink belongs to the tile.
+  std::vector<std::size_t> switches_per_tile(
+      static_cast<std::size_t>(width * height), 0);
+  for (RREdgeId e = 0; e < rr.num_edges(); ++e) {
+    const RRNode& sink = rr.node(rr.edge(e).to);
+    ++switches_per_tile[static_cast<std::size_t>(sink.y * width + sink.x)];
+  }
+
+  // Per-tile configuration size.
+  auto tile_bits = [&](int x, int y) -> std::size_t {
+    std::size_t bits =
+        switches_per_tile[static_cast<std::size_t>(y * width + x)];
+    if (device.tile(x, y) == TileKind::kClb) {
+      bits += static_cast<std::size_t>(p.cluster_size) *
+              (static_cast<std::size_t>(lut_bits_per_ble_) + 1);
+    }
+    return bits;
+  };
+
+  // Column-major, frame-aligned layout.
+  tile_base_.assign(static_cast<std::size_t>(width * height), 0);
+  column_base_bits_.assign(static_cast<std::size_t>(width) + 1, 0);
+  std::size_t cursor = 0;
+  for (int x = 0; x < width; ++x) {
+    column_base_bits_[static_cast<std::size_t>(x)] = cursor;
+    for (int y = 0; y < height; ++y) {
+      tile_base_[static_cast<std::size_t>(y * width + x)] = cursor;
+      cursor += tile_bits(x, y);
+    }
+    // Frame-align the next column.
+    cursor = (cursor + kFrameBits - 1) / kFrameBits * kFrameBits;
+  }
+  column_base_bits_[static_cast<std::size_t>(width)] = cursor;
+  total_bits_ = cursor;
+  num_frames_ = total_bits_ / kFrameBits;
+
+  // Assign switch bits: per tile, switches take the bits after the CLB
+  // block; enumerate edges again in order, bumping a per-tile cursor.
+  std::vector<std::size_t> tile_cursor(static_cast<std::size_t>(width * height));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      std::size_t offset = tile_base_[static_cast<std::size_t>(y * width + x)];
+      if (device.tile(x, y) == TileKind::kClb) {
+        offset += static_cast<std::size_t>(p.cluster_size) *
+                  (static_cast<std::size_t>(lut_bits_per_ble_) + 1);
+      }
+      tile_cursor[static_cast<std::size_t>(y * width + x)] = offset;
+    }
+  }
+  switch_base_.resize(rr.num_edges());
+  for (RREdgeId e = 0; e < rr.num_edges(); ++e) {
+    const RRNode& sink = rr.node(rr.edge(e).to);
+    auto& cur = tile_cursor[static_cast<std::size_t>(sink.y * width + sink.x)];
+    switch_base_[e] = cur++;
+  }
+}
+
+std::size_t FrameGeometry::frames_in_column(int x) const {
+  FPGADBG_REQUIRE(x >= 0 && x < device_.width(), "column out of range");
+  return (column_base_bits_[static_cast<std::size_t>(x) + 1] -
+          column_base_bits_[static_cast<std::size_t>(x)]) /
+         kFrameBits;
+}
+
+std::size_t FrameGeometry::first_frame_of_column(int x) const {
+  FPGADBG_REQUIRE(x >= 0 && x < device_.width(), "column out of range");
+  return column_base_bits_[static_cast<std::size_t>(x)] / kFrameBits;
+}
+
+std::size_t FrameGeometry::lut_bit(int x, int y, int ble, int bit) const {
+  FPGADBG_REQUIRE(device_.tile(x, y) == TileKind::kClb, "not a CLB tile");
+  FPGADBG_REQUIRE(ble >= 0 && ble < device_.params().cluster_size &&
+                      bit >= 0 && bit < lut_bits_per_ble_,
+                  "BLE/bit out of range");
+  return tile_base_[static_cast<std::size_t>(y * device_.width() + x)] +
+         static_cast<std::size_t>(ble) *
+             (static_cast<std::size_t>(lut_bits_per_ble_) + 1) +
+         static_cast<std::size_t>(bit);
+}
+
+std::size_t FrameGeometry::ff_bit(int x, int y, int ble) const {
+  FPGADBG_REQUIRE(device_.tile(x, y) == TileKind::kClb, "not a CLB tile");
+  return tile_base_[static_cast<std::size_t>(y * device_.width() + x)] +
+         static_cast<std::size_t>(ble) *
+             (static_cast<std::size_t>(lut_bits_per_ble_) + 1) +
+         static_cast<std::size_t>(lut_bits_per_ble_);
+}
+
+}  // namespace fpgadbg::arch

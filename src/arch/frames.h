@@ -1,0 +1,55 @@
+// Configuration-frame geometry.
+//
+// SRAM FPGAs organise their configuration memory into frames — the atomic
+// unit of (partial) reconfiguration.  Like Xilinx devices, frames here are
+// column-based: all configuration bits of one tile column are packed into
+// consecutive frames of kFrameBits bits.  Per tile the model allocates
+//   CLB:  cluster_size * 2^K LUT bits (+1 FF-enable per BLE)
+//   all:  one bit per routing switch whose sink wire/pin lives in the tile
+// The PConf machinery (bitstream/) expresses a subset of these bits as
+// Boolean functions of debug parameters; the specialisation stage diffs
+// frames and reconfigures only the changed ones through the ICAP model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/rr_graph.h"
+
+namespace fpgadbg::arch {
+
+class FrameGeometry {
+ public:
+  /// Frame size, matching a Virtex-5 frame (41 words x 32 bits).
+  static constexpr std::size_t kFrameBits = 1312;
+
+  FrameGeometry(const Device& device, const RRGraph& rr);
+
+  std::size_t total_bits() const { return total_bits_; }
+  std::size_t num_frames() const { return num_frames_; }
+  std::size_t frames_in_column(int x) const;
+
+  /// Global bit index of LUT-table bit `bit` of BLE `ble` at CLB (x, y).
+  std::size_t lut_bit(int x, int y, int ble, int bit) const;
+  /// Global bit index of the FF-enable bit of BLE `ble` at CLB (x, y).
+  std::size_t ff_bit(int x, int y, int ble) const;
+  /// Global bit index controlling RR switch (edge) `e`.
+  std::size_t switch_bit(RREdgeId e) const { return switch_base_[e]; }
+
+  std::size_t frame_of_bit(std::size_t bit) const { return bit / kFrameBits; }
+
+  /// First frame index of column x (frames are column-aligned).
+  std::size_t first_frame_of_column(int x) const;
+
+ private:
+  const Device& device_;
+  const RRGraph& rr_;
+  int lut_bits_per_ble_;
+  std::vector<std::size_t> column_base_bits_;  ///< per column, frame-aligned
+  std::vector<std::size_t> tile_base_;         ///< per tile (row-major)
+  std::vector<std::size_t> switch_base_;       ///< per RR edge -> bit index
+  std::size_t total_bits_ = 0;
+  std::size_t num_frames_ = 0;
+};
+
+}  // namespace fpgadbg::arch

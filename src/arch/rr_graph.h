@@ -1,0 +1,75 @@
+// Routing-resource graph (VPR-style, simplified).
+//
+// Nodes are physical routing resources: block output pins (OPIN), block
+// input pins (IPIN), and unit-length wire segments in the horizontal (CHANX)
+// and vertical (CHANY) channels of every tile.  Edges are programmable
+// switches.  The router (pnr/route.h) negotiates congestion over this graph;
+// the bitstream generator assigns one configuration bit per switch.
+//
+// Connectivity (per tile, track t, channel width W):
+//   OPIN(x,y)       -> CHANX(x,y,t), CHANY(x,y,t)           (full Fc_out)
+//   CHANX(x,y,t)    -> CHANX(x±1,y,t)                       (wire continues)
+//   CHANY(x,y,t)    -> CHANY(x,y±1,t)
+//   CHANX(x,y,t)    -> CHANY(x,y,(t+1)%W) and back          (Wilton-lite turn)
+//   CHANX/Y(x,y,t)  -> IPIN(x,y), IPIN of the adjacent tile
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/device.h"
+
+namespace fpgadbg::arch {
+
+enum class RRKind : std::uint8_t { kOpin, kIpin, kChanX, kChanY };
+
+struct RRNode {
+  RRKind kind;
+  std::int16_t x;
+  std::int16_t y;
+  std::int16_t track;    ///< -1 for pins
+  std::int16_t capacity; ///< wires 1; pins = pin count of the block
+};
+
+using RRNodeId = std::uint32_t;
+using RREdgeId = std::uint32_t;
+
+struct RREdge {
+  RRNodeId from;
+  RRNodeId to;
+};
+
+class RRGraph {
+ public:
+  explicit RRGraph(const Device& device);
+
+  const Device& device() const { return device_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+  const RRNode& node(RRNodeId id) const { return nodes_[id]; }
+  const RREdge& edge(RREdgeId id) const { return edges_[id]; }
+
+  /// Outgoing edge ids of a node.
+  const std::vector<RREdgeId>& out_edges(RRNodeId id) const {
+    return out_edges_[id];
+  }
+
+  RRNodeId opin_at(int x, int y) const;
+  RRNodeId ipin_at(int x, int y) const;
+  RRNodeId chanx_at(int x, int y, int track) const;
+  RRNodeId chany_at(int x, int y, int track) const;
+
+ private:
+  void add_edge(RRNodeId from, RRNodeId to);
+
+  const Device& device_;
+  std::vector<RRNode> nodes_;
+  std::vector<RREdge> edges_;
+  std::vector<std::vector<RREdgeId>> out_edges_;
+  // Dense index helpers.
+  int width_, height_, tracks_;
+  RRNodeId base_opin_, base_ipin_, base_chanx_, base_chany_;
+};
+
+}  // namespace fpgadbg::arch

@@ -1,0 +1,30 @@
+#include "bitstream/config_memory.h"
+
+#include "support/error.h"
+
+namespace fpgadbg::bitstream {
+
+ConfigMemory::ConfigMemory(std::size_t total_bits) : bits_(total_bits) {
+  FPGADBG_REQUIRE(total_bits % arch::FrameGeometry::kFrameBits == 0,
+                  "configuration size must be frame-aligned");
+}
+
+std::vector<std::size_t> ConfigMemory::changed_frames(
+    const ConfigMemory& other) const {
+  FPGADBG_REQUIRE(total_bits() == other.total_bits(),
+                  "configuration size mismatch");
+  std::vector<std::size_t> frames;
+  constexpr std::size_t kFrameBits = arch::FrameGeometry::kFrameBits;
+  // XOR scan: visit only differing bits, then skip to the next frame.
+  BitVec diff = bits_;
+  diff ^= other.bits_;
+  std::size_t i = diff.find_first();
+  while (i < diff.size()) {
+    const std::size_t frame = i / kFrameBits;
+    frames.push_back(frame);
+    i = diff.find_next((frame + 1) * kFrameBits);
+  }
+  return frames;
+}
+
+}  // namespace fpgadbg::bitstream

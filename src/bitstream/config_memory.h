@@ -1,0 +1,46 @@
+// Frame-addressable configuration memory.
+//
+// The model mirrors SRAM-FPGA configuration: a flat bit array organised into
+// frames of arch::FrameGeometry::kFrameBits bits.  Frames are the atomic
+// unit of readback and (partial) reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/frames.h"
+#include "support/bitvec.h"
+
+namespace fpgadbg::bitstream {
+
+class ConfigMemory {
+ public:
+  ConfigMemory() = default;
+  explicit ConfigMemory(std::size_t total_bits);
+
+  std::size_t total_bits() const { return bits_.size(); }
+  std::size_t num_frames() const {
+    return bits_.size() / arch::FrameGeometry::kFrameBits;
+  }
+
+  bool get(std::size_t bit) const { return bits_.get(bit); }
+  void set(std::size_t bit, bool value) { bits_.set(bit, value); }
+
+  const BitVec& bits() const { return bits_; }
+  BitVec& bits() { return bits_; }
+
+  /// Frames whose contents differ from `other` (ascending).
+  std::vector<std::size_t> changed_frames(const ConfigMemory& other) const;
+
+  /// Number of differing bits.
+  std::size_t bit_distance(const ConfigMemory& other) const {
+    return bits_.hamming_distance(other.bits_);
+  }
+
+  bool operator==(const ConfigMemory& o) const = default;
+
+ private:
+  BitVec bits_;
+};
+
+}  // namespace fpgadbg::bitstream

@@ -1,0 +1,7 @@
+#include "bitstream/icap.h"
+
+// IcapModel and RuntimeOverheadModel are header-only value types; this
+// translation unit only anchors the library target.
+namespace fpgadbg::bitstream {
+static_assert(IcapModel{}.reference_frames > 0);
+}  // namespace fpgadbg::bitstream

@@ -1,0 +1,61 @@
+// HWICAP reconfiguration-time model.
+//
+// Calibrated to the constants the paper's §V-C2 argues with: a full
+// reconfiguration of a Xilinx Virtex-5 takes 176 ms, a PConf specialization
+// evaluates in at most ~50 us, so each parameterized reconfiguration is
+// roughly three orders of magnitude faster than a full one.  The model
+// charges a fixed command overhead per reconfiguration plus frame transfer
+// time at ICAP throughput.
+#pragma once
+
+#include <cstddef>
+
+namespace fpgadbg::bitstream {
+
+struct IcapModel {
+  /// Frames of the reference full-size device (Virtex-5-class).
+  std::size_t reference_frames = 23712;
+  /// Full-device reconfiguration time of the reference device (paper value).
+  double reference_full_seconds = 0.176;
+  /// Fixed per-reconfiguration command/setup overhead.
+  double setup_seconds = 5e-6;
+
+  /// Transfer time for one frame.
+  double frame_seconds() const {
+    return reference_full_seconds / static_cast<double>(reference_frames);
+  }
+
+  /// Partial reconfiguration of `frames` frames.
+  double partial_seconds(std::size_t frames) const {
+    return setup_seconds + static_cast<double>(frames) * frame_seconds();
+  }
+
+  /// Full reconfiguration of a device with `device_frames` frames.
+  double full_seconds(std::size_t device_frames) const {
+    return setup_seconds + static_cast<double>(device_frames) * frame_seconds();
+  }
+};
+
+/// The paper's run-time overhead accounting (§V-C2): emulation runs at
+/// `clock_hz` and one debugging turn needs `ticks_per_turn` cycles; a new
+/// signal-set activation costs `activation_seconds`.  The overhead is
+/// amortised once the number of debugging turns executed between activations
+/// exceeds break_even_turns().
+struct RuntimeOverheadModel {
+  double clock_hz = 400e6;
+  double ticks_per_turn = 4;
+
+  double turn_seconds() const { return ticks_per_turn / clock_hz; }
+
+  double break_even_turns(double activation_seconds) const {
+    return activation_seconds / turn_seconds();
+  }
+
+  /// Relative overhead of one activation over `turns` debugging turns.
+  double relative_overhead(double activation_seconds, double turns) const {
+    const double useful = turns * turn_seconds();
+    return activation_seconds / useful;
+  }
+};
+
+}  // namespace fpgadbg::bitstream

@@ -1,0 +1,76 @@
+#include "bitstream/io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "support/error.h"
+
+namespace fpgadbg::bitstream {
+
+namespace {
+constexpr char kMagic[8] = {'F', 'D', 'B', 'S', '0', '0', '0', '1'};
+
+void put_u64(std::ostream& out, std::uint64_t value) {
+  std::array<char, 8> bytes;
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out.write(bytes.data(), 8);
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  std::array<char, 8> bytes;
+  in.read(bytes.data(), 8);
+  if (!in) throw Error("truncated configuration file");
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes[static_cast<std::size_t>(i)]))
+             << (8 * i);
+  }
+  return value;
+}
+}  // namespace
+
+void write_config(const ConfigMemory& memory, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  put_u64(out, memory.total_bits());
+  for (std::size_t w = 0; w < memory.bits().word_count(); ++w) {
+    put_u64(out, memory.bits().word(w));
+  }
+}
+
+ConfigMemory read_config(std::istream& in) {
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw Error("not a configuration file (bad magic)");
+  }
+  const std::uint64_t bits = get_u64(in);
+  if (bits % arch::FrameGeometry::kFrameBits != 0) {
+    throw Error("configuration file is not frame-aligned");
+  }
+  ConfigMemory memory(static_cast<std::size_t>(bits));
+  for (std::size_t w = 0; w < memory.bits().word_count(); ++w) {
+    memory.bits().set_word(w, get_u64(in));
+  }
+  return memory;
+}
+
+void write_config_file(const ConfigMemory& memory, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open for writing: " + path);
+  write_config(memory, out);
+}
+
+ConfigMemory read_config_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open: " + path);
+  return read_config(in);
+}
+
+}  // namespace fpgadbg::bitstream

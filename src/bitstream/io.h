@@ -1,0 +1,21 @@
+// Binary serialization of configuration memories (.fdbs files).
+//
+// Lets a host tool store specialized bitstreams and ship them to the
+// embedded configuration controller (the paper's SCG processor), and lets
+// tests round-trip configurations byte-exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bitstream/config_memory.h"
+
+namespace fpgadbg::bitstream {
+
+void write_config(const ConfigMemory& memory, std::ostream& out);
+ConfigMemory read_config(std::istream& in);
+
+void write_config_file(const ConfigMemory& memory, const std::string& path);
+ConfigMemory read_config_file(const std::string& path);
+
+}  // namespace fpgadbg::bitstream

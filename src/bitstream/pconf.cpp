@@ -1,0 +1,126 @@
+#include "bitstream/pconf.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/stopwatch.h"
+
+namespace fpgadbg::bitstream {
+
+PConf::PConf(std::size_t total_bits, std::vector<std::string> param_names)
+    : constant_(total_bits),
+      param_names_(std::move(param_names)),
+      bdd_(static_cast<int>(param_names_.size())) {
+  for (std::size_t i = 0; i < param_names_.size(); ++i) {
+    const auto [it, inserted] =
+        param_index_.emplace(param_names_[i], static_cast<int>(i));
+    FPGADBG_REQUIRE(inserted, "duplicate parameter name: " + param_names_[i]);
+  }
+}
+
+int PConf::param_index(const std::string& name) const {
+  const auto it = param_index_.find(name);
+  FPGADBG_REQUIRE(it != param_index_.end(), "unknown parameter: " + name);
+  return it->second;
+}
+
+void PConf::set_constant(std::size_t bit, bool value) {
+  FPGADBG_REQUIRE(bit < total_bits(), "bit address out of range");
+  FPGADBG_REQUIRE(!functions_.contains(bit),
+                  "bit is already parameterized");
+  constant_.set(bit, value);
+}
+
+void PConf::set_function(std::size_t bit, logic::BddRef f) {
+  FPGADBG_REQUIRE(bit < total_bits(), "bit address out of range");
+  if (bdd_.is_const(f)) {
+    constant_.set(bit, bdd_.const_value(f));
+    functions_.erase(bit);
+    return;
+  }
+  functions_[bit] = f;
+}
+
+std::vector<std::size_t> PConf::parameterized_frames() const {
+  std::vector<bool> touched(constant_.num_frames(), false);
+  for (const auto& [bit, f] : functions_) {
+    touched[bit / arch::FrameGeometry::kFrameBits] = true;
+  }
+  std::vector<std::size_t> frames;
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    if (touched[i]) frames.push_back(i);
+  }
+  return frames;
+}
+
+BitVec PConf::values_from(
+    const std::unordered_map<std::string, bool>& assignment) const {
+  BitVec values(param_names_.size());
+  for (const auto& [name, value] : assignment) {
+    const auto it = param_index_.find(name);
+    FPGADBG_REQUIRE(it != param_index_.end(), "unknown parameter: " + name);
+    values.set(static_cast<std::size_t>(it->second), value);
+  }
+  return values;
+}
+
+PConf::Specialization PConf::specialize(
+    const std::unordered_map<std::string, bool>& assignment) const {
+  Specialization result;
+  Stopwatch timer;
+  const BitVec values = values_from(assignment);
+  result.memory = constant_;
+  for (const auto& [bit, f] : functions_) {
+    result.memory.set(bit, bdd_.evaluate(f, values));
+    ++result.bits_evaluated;
+  }
+  result.eval_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+const std::vector<std::vector<std::size_t>>& PConf::bits_by_param() const {
+  if (!index_built_) {
+    bits_by_param_.assign(param_names_.size(), {});
+    for (const auto& [bit, f] : functions_) {
+      for (int v : bdd_.support(f)) {
+        bits_by_param_[static_cast<std::size_t>(v)].push_back(bit);
+      }
+    }
+    index_built_ = true;
+  }
+  return bits_by_param_;
+}
+
+PConf::Specialization PConf::specialize_incremental(
+    const Specialization& previous,
+    const std::unordered_map<std::string, bool>& previous_assignment,
+    const std::unordered_map<std::string, bool>& assignment) const {
+  FPGADBG_REQUIRE(previous.memory.total_bits() == total_bits(),
+                  "previous specialization has the wrong geometry");
+  Specialization result;
+  Stopwatch timer;
+  const BitVec old_values = values_from(previous_assignment);
+  const BitVec new_values = values_from(assignment);
+
+  result.memory = previous.memory;
+  const auto& index = bits_by_param();
+  // Re-evaluate each affected bit once (a bit may depend on several changed
+  // parameters; evaluation is idempotent so duplicates are merely wasted
+  // work, and the per-bit dedup below avoids most of it).
+  std::vector<std::size_t> dirty;
+  for (std::size_t p = 0; p < param_names_.size(); ++p) {
+    if (old_values.get(p) != new_values.get(p)) {
+      dirty.insert(dirty.end(), index[p].begin(), index[p].end());
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  for (std::size_t bit : dirty) {
+    result.memory.set(bit, bdd_.evaluate(functions_.at(bit), new_values));
+    ++result.bits_evaluated;
+  }
+  result.eval_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace fpgadbg::bitstream

@@ -1,0 +1,52 @@
+#include "debug/flow.h"
+
+#include "support/log.h"
+#include "support/stopwatch.h"
+
+namespace fpgadbg::debug {
+
+OfflineResult run_offline(const netlist::Netlist& user,
+                          const OfflineOptions& options) {
+  OfflineResult result;
+  Stopwatch total;
+  Stopwatch stage;
+
+  result.instrumented = parameterize_signals(user, options.instrument);
+  result.instrument_seconds = stage.elapsed_seconds();
+  LOG_INFO << "offline: instrumented " << result.instrumented.num_observable()
+           << " signals over " << result.instrumented.lane_signals.size()
+           << " lanes, " << result.instrumented.netlist.params().size()
+           << " parameters";
+
+  stage.restart();
+  result.mapping = map::tcon_map(result.instrumented.netlist,
+                                 options.lut_size, options.max_param_leaves);
+  result.map_seconds = stage.elapsed_seconds();
+  LOG_INFO << "offline: mapped to " << result.mapping.stats.num_luts
+           << " LUTs + " << result.mapping.stats.num_tluts << " TLUTs + "
+           << result.mapping.stats.num_tcons << " TCONs, depth "
+           << result.mapping.stats.depth;
+
+  if (options.run_pnr) {
+    stage.restart();
+    result.compiled = std::make_unique<pnr::CompiledDesign>(
+        pnr::compile(result.mapping.netlist,
+                     result.instrumented.trace_outputs, options.compile));
+    result.pnr_seconds = stage.elapsed_seconds();
+
+    stage.restart();
+    result.pconf = std::make_unique<bitstream::PConf>(
+        bitstream::build_pconf(*result.compiled, &result.pconf_stats));
+    // Index for the incremental SCG belongs to the offline budget.
+    result.pconf->prepare_incremental();
+    result.bitstream_seconds = stage.elapsed_seconds();
+    LOG_INFO << "offline: generalized bitstream has "
+             << result.pconf->num_parameterized_bits()
+             << " parameterized bits across "
+             << result.pconf->parameterized_frames().size() << " frames";
+  }
+  result.total_seconds = total.elapsed_seconds();
+  return result;
+}
+
+}  // namespace fpgadbg::debug

@@ -1,0 +1,111 @@
+#include "debug/session.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace fpgadbg::debug {
+
+using map::CellId;
+using map::MappedNetlist;
+
+DebugSession::DebugSession(const OfflineResult& offline,
+                           bitstream::IcapModel icap, std::size_t trace_depth)
+    : offline_(offline),
+      icap_(icap),
+      sim_(offline.mapping.netlist),
+      lanes_(offline.instrumented.trace_outputs.size()),
+      trace_(lanes_, trace_depth),
+      last_sample_(lanes_) {
+  const MappedNetlist& mn = offline_.mapping.netlist;
+  lane_cells_.resize(lanes_);
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    const auto& names = mn.output_names();
+    const auto it = std::find(names.begin(), names.end(),
+                              offline_.instrumented.trace_outputs[l]);
+    FPGADBG_REQUIRE(it != names.end(), "trace output missing after mapping");
+    lane_cells_[l] =
+        mn.outputs()[static_cast<std::size_t>(it - names.begin())];
+  }
+  // Default observation: lane index 0 everywhere.
+  observe({});
+}
+
+TurnReport DebugSession::observe(const std::vector<std::string>& signals) {
+  TurnReport report;
+  const auto assignment = offline_.instrumented.select_signals(signals);
+  report.observed = offline_.instrumented.observed_under(assignment);
+
+  if (offline_.pconf) {
+    if (current_spec_) {
+      // Incremental SCG: re-evaluate only the bits whose parameters changed.
+      auto spec = offline_.pconf->specialize_incremental(
+          *current_spec_, current_assignment_, assignment);
+      report.scg_eval_seconds = spec.eval_seconds;
+      const auto frames = current_spec_->memory.changed_frames(spec.memory);
+      report.frames_reconfigured = frames.size();
+      report.bits_changed = current_spec_->memory.bit_distance(spec.memory);
+      report.reconfig_seconds = icap_.partial_seconds(frames.size());
+      current_spec_ = std::move(spec);
+    } else {
+      // First load: full evaluation + full configuration.
+      auto spec = offline_.pconf->specialize(assignment);
+      report.scg_eval_seconds = spec.eval_seconds;
+      report.frames_reconfigured = spec.memory.num_frames();
+      report.bits_changed = spec.memory.bits().count();
+      report.reconfig_seconds = icap_.full_seconds(spec.memory.num_frames());
+      current_spec_ = std::move(spec);
+    }
+    current_assignment_ = assignment;
+  }
+  report.turn_seconds = report.scg_eval_seconds + report.reconfig_seconds;
+
+  // Apply the parameters to the emulated DUT (the effect the partial
+  // reconfiguration has on real hardware).
+  const MappedNetlist& mn = offline_.mapping.netlist;
+  for (CellId p : mn.params()) {
+    const auto it = assignment.find(mn.cell(p).name);
+    sim_.set_param(p, it != assignment.end() && it->second);
+  }
+  observed_ = report.observed;
+
+  ++summary_.turns;
+  summary_.total_eval_seconds += report.scg_eval_seconds;
+  summary_.total_reconfig_seconds += report.reconfig_seconds;
+  summary_.conventional_recompile_seconds +=
+      offline_.map_seconds + offline_.pnr_seconds +
+      offline_.bitstream_seconds;
+  return report;
+}
+
+void DebugSession::reset() {
+  sim_.reset();
+  trace_.clear();
+}
+
+const BitVec& DebugSession::step(const std::vector<bool>& inputs) {
+  sim_.set_inputs(inputs);
+  sim_.eval();
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    last_sample_.set(l, sim_.value(lane_cells_[l]));
+  }
+  trace_.capture(last_sample_);
+  sim_.step();
+  ++summary_.cycles_emulated;
+  return last_sample_;
+}
+
+std::pair<std::uint64_t, bool> DebugSession::run(
+    sim::Trigger& trigger,
+    const std::function<std::vector<bool>(std::uint64_t)>& input_source,
+    std::uint64_t max_cycles) {
+  for (std::uint64_t c = 0; c < max_cycles; ++c) {
+    const BitVec& sample = step(input_source(c));
+    if (!trigger.observe(sample)) {
+      return {c + 1, true};
+    }
+  }
+  return {max_cycles, trigger.fired()};
+}
+
+}  // namespace fpgadbg::debug

@@ -1,0 +1,101 @@
+// Online specialisation stage: the interactive debugging session.
+//
+// Per debugging turn the designer picks a set of internal signals; the
+// session evaluates the PConf's Boolean functions (SCG), derives the frame
+// diff against the currently loaded configuration, charges the HWICAP
+// partial-reconfiguration model, and retargets the emulated DUT's trace
+// lanes — all WITHOUT recompiling anything.  Emulation itself runs on the
+// mapped netlist simulator with trace-buffer capture and triggers.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bitstream/icap.h"
+#include "debug/flow.h"
+#include "sim/mapped_simulator.h"
+#include "sim/trace_buffer.h"
+#include "sim/trigger.h"
+
+namespace fpgadbg::debug {
+
+struct TurnReport {
+  std::vector<std::string> observed;     ///< signal shown per lane
+  std::size_t bits_changed = 0;          ///< configuration bits rewritten
+  std::size_t frames_reconfigured = 0;   ///< DPR frame count
+  double scg_eval_seconds = 0.0;         ///< measured Boolean evaluation time
+  double reconfig_seconds = 0.0;         ///< modeled HWICAP transfer time
+  double turn_seconds = 0.0;             ///< eval + reconfig
+};
+
+struct SessionSummary {
+  std::size_t turns = 0;
+  std::size_t cycles_emulated = 0;
+  double total_eval_seconds = 0.0;
+  double total_reconfig_seconds = 0.0;
+  /// What the conventional flow would have paid instead: one full
+  /// recompilation (offline map+P&R time) per signal-set change.
+  double conventional_recompile_seconds = 0.0;
+};
+
+class DebugSession {
+ public:
+  /// `offline` must outlive the session.
+  DebugSession(const OfflineResult& offline,
+               bitstream::IcapModel icap = {},
+               std::size_t trace_depth = 1024);
+
+  std::size_t num_lanes() const { return lanes_; }
+  const sim::TraceBuffer& trace() const { return trace_; }
+  const std::vector<std::string>& observed() const { return observed_; }
+  sim::MappedSimulator& dut() { return sim_; }
+
+  /// One debugging turn: select new signals (others default to index 0).
+  TurnReport observe(const std::vector<std::string>& signals);
+
+  /// Reset the emulated DUT and clear the trace window.
+  void reset();
+
+  /// One emulation cycle: drive inputs, evaluate, capture a trace sample,
+  /// clock.  Returns the captured sample.
+  const BitVec& step(const std::vector<bool>& inputs);
+
+  /// Runs until the trigger stops capture or max_cycles elapse; inputs come
+  /// from the generator (called once per cycle).  Returns the cycle count
+  /// executed and whether the trigger fired.
+  std::pair<std::uint64_t, bool> run(
+      sim::Trigger& trigger,
+      const std::function<std::vector<bool>(std::uint64_t)>& input_source,
+      std::uint64_t max_cycles);
+
+  SessionSummary summary() const { return summary_; }
+
+  /// Emulation-state rewind: capture the DUT's sequential state, run ahead,
+  /// then restore and re-run (typically after re-parameterizing onto a
+  /// deeper signal set) — the classic "replay the failure with better
+  /// visibility" move.  The trace window is not part of the snapshot.
+  sim::MappedSimulator::Snapshot snapshot() const { return sim_.snapshot(); }
+  void restore(const sim::MappedSimulator::Snapshot& snap) {
+    sim_.restore(snap);
+  }
+
+ private:
+  const OfflineResult& offline_;
+  bitstream::IcapModel icap_;
+  sim::MappedSimulator sim_;
+  std::size_t lanes_;
+  sim::TraceBuffer trace_;
+  std::vector<map::CellId> lane_cells_;  ///< trace output cell per lane
+  std::vector<std::string> observed_;
+  /// Last specialization + its assignment: enables the incremental SCG
+  /// (only parameter-touched bits are re-evaluated on later turns).
+  std::optional<bitstream::PConf::Specialization> current_spec_;
+  std::unordered_map<std::string, bool> current_assignment_;
+  SessionSummary summary_;
+  BitVec last_sample_;
+};
+
+}  // namespace fpgadbg::debug

@@ -1,0 +1,101 @@
+#include "debug/signal_select.h"
+
+#include <algorithm>
+
+#include "support/bitvec.h"
+#include "support/error.h"
+
+namespace fpgadbg::debug {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+SignalSelection select_critical_signals(const Netlist& nl,
+                                        const SelectOptions& options) {
+  FPGADBG_REQUIRE(options.count > 0, "must select at least one signal");
+
+  // Candidates: logic nodes and (optionally) latch outputs.
+  std::vector<NodeId> candidates;
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const NodeKind k = nl.kind(id);
+    if (k == NodeKind::kLogic ||
+        (k == NodeKind::kLatchOut && options.include_latch_outputs)) {
+      candidates.push_back(id);
+    }
+  }
+  FPGADBG_REQUIRE(!candidates.empty(), "nothing to select from");
+
+  // Transitive fanin cones as bitsets over node ids, built in topological
+  // order.  Latch outputs cut the cone (their cone is sequential history,
+  // covered when the latch output itself is observed).
+  const std::size_t n = nl.num_nodes();
+  std::vector<BitVec> cone(n);
+  for (NodeId id = 0; id < n; ++id) cone[id] = BitVec(n);
+  for (NodeId id : nl.topo_order()) {
+    BitVec& c = cone[id];
+    c.set(id, true);
+    for (NodeId f : nl.fanins(id)) {
+      if (nl.kind(f) == NodeKind::kLogic) {
+        c |= cone[f];
+      } else {
+        c.set(f, true);
+      }
+    }
+    if (options.max_cone > 0 && c.count() > options.max_cone) {
+      // Cap: keep the node itself plus its direct fanins only.
+      BitVec capped(n);
+      capped.set(id, true);
+      for (NodeId f : nl.fanins(id)) capped.set(f, true);
+      c = capped;
+    }
+  }
+  for (const auto& latch : nl.latches()) {
+    cone[latch.output].set(latch.output, true);
+  }
+
+  // Universe to cover: all candidate signals.
+  BitVec universe(n);
+  for (NodeId id : candidates) universe.set(id, true);
+  const double universe_size = static_cast<double>(universe.count());
+
+  SignalSelection result;
+  BitVec covered(n);
+  const std::size_t want = std::min(options.count, candidates.size());
+  std::vector<bool> taken(n, false);
+  for (std::size_t pick = 0; pick < want; ++pick) {
+    NodeId best = netlist::kNullNode;
+    std::size_t best_gain = 0;
+    for (NodeId id : candidates) {
+      if (taken[id]) continue;
+      // gain = |cone(id) & universe \ covered|
+      BitVec gain_bits = cone[id];
+      gain_bits &= universe;
+      BitVec inv = covered;
+      inv.invert();
+      gain_bits &= inv;
+      const std::size_t gain = gain_bits.count();
+      if (gain > best_gain ||
+          (gain == best_gain && best != netlist::kNullNode && id < best)) {
+        if (gain >= best_gain) {
+          best_gain = gain;
+          best = id;
+        }
+      }
+    }
+    if (best == netlist::kNullNode || best_gain == 0) break;
+    taken[best] = true;
+    BitVec add = cone[best];
+    add &= universe;
+    covered |= add;
+    result.signals.push_back(nl.name(best));
+    result.coverage_curve.push_back(
+        static_cast<double>(covered.count()) / universe_size);
+  }
+  result.coverage = result.coverage_curve.empty()
+                        ? 0.0
+                        : result.coverage_curve.back();
+  return result;
+}
+
+}  // namespace fpgadbg::debug

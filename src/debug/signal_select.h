@@ -1,0 +1,42 @@
+// Critical signal selection (the paper's §VI future work, implemented).
+//
+// "The implementation of a critical signal selection technique is planned,
+// in order to reduce the parameters that are automatically produced by the
+// tool flow." — instead of multiplexing EVERY internal net, rank signals by
+// how much of the circuit their trace explains and instrument only the best
+// k.  The ranking follows the restorability intuition of Hung & Wilton's
+// scalable signal selection ([11] in the paper): greedily pick the signal
+// whose transitive fanin cone covers the most not-yet-covered logic —
+// observing it constrains that whole cone.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fpgadbg::debug {
+
+struct SignalSelection {
+  /// Chosen signal names, in greedy pick order (best first).
+  std::vector<std::string> signals;
+  /// Fraction of observable logic covered by the union of the chosen
+  /// signals' fanin cones, in [0, 1].
+  double coverage = 0.0;
+  /// coverage after each pick (monotone, useful for knee-finding).
+  std::vector<double> coverage_curve;
+};
+
+struct SelectOptions {
+  std::size_t count = 32;           ///< signals to select
+  bool include_latch_outputs = true;
+  /// Cone growth cap per signal (bounds memory on big designs; 0 = none).
+  std::size_t max_cone = 0;
+};
+
+/// Greedy cone-cover signal selection over the user circuit.
+SignalSelection select_critical_signals(const netlist::Netlist& nl,
+                                        const SelectOptions& options = {});
+
+}  // namespace fpgadbg::debug

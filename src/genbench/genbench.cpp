@@ -1,0 +1,284 @@
+#include "genbench/genbench.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace fpgadbg::genbench {
+
+using netlist::kNullNode;
+using netlist::Netlist;
+using netlist::NodeId;
+using logic::TruthTable;
+
+namespace {
+
+/// AND of all variables, each randomly inverted, optionally inverted output.
+TruthTable random_and(int arity, Rng& rng) {
+  TruthTable t = TruthTable::one(arity);
+  for (int v = 0; v < arity; ++v) {
+    const TruthTable x = TruthTable::var(arity, v);
+    t = t & (rng.next_bool() ? ~x : x);
+  }
+  return rng.next_bool() ? ~t : t;
+}
+
+TruthTable random_xor(int arity, Rng& rng) {
+  TruthTable t = logic::tt_xor(arity);
+  return rng.next_bool() ? ~t : t;
+}
+
+/// Two-level AND-OR (AOI-style) over a random split of the variables.
+TruthTable random_aoi(int arity, Rng& rng) {
+  const int split = 1 + static_cast<int>(rng.next_below(
+                            static_cast<std::uint64_t>(arity - 1)));
+  TruthTable g1 = TruthTable::one(arity);
+  TruthTable g2 = TruthTable::one(arity);
+  for (int v = 0; v < arity; ++v) {
+    const TruthTable x = TruthTable::var(arity, v);
+    TruthTable lit = rng.next_bool() ? ~x : x;
+    if (v < split) {
+      g1 = g1 & lit;
+    } else {
+      g2 = g2 & lit;
+    }
+  }
+  const TruthTable t = g1 | g2;
+  return rng.next_bool() ? ~t : t;
+}
+
+/// Random gate from a realistic cell library (the functions real synthesis
+/// emits: decorated ANDs/ORs, XORs, muxes, AOIs).  Full support over all
+/// `arity` variables is guaranteed so sweep() cannot shrink the circuit.
+TruthTable library_tt(int arity, Rng& rng) {
+  FPGADBG_ASSERT(arity >= 1, "library gate arity");
+  if (arity == 1) return ~TruthTable::var(1, 0);  // inverter
+  TruthTable t(arity);
+  const double dice = rng.next_double();
+  if (arity >= 3 && dice < 0.15) {
+    t = logic::tt_mux21().extended_to(arity);
+    // Only arity 3 muxes are pure; for wider nodes fall through to AOI.
+    if (arity == 3) {
+      return rng.next_bool() ? ~t : t;
+    }
+    return random_aoi(arity, rng);
+  }
+  if (dice < 0.45) return random_and(arity, rng);
+  if (dice < 0.60) return random_xor(arity, rng);
+  return random_aoi(arity, rng);
+}
+
+/// Tracks which generated nodes still lack a fanout, with O(1) amortized
+/// "take next unread of level L" and "take random unread anywhere".
+class UnreadTracker {
+ public:
+  void add(std::size_t level, NodeId id) {
+    if (levels_.size() <= level) levels_.resize(level + 1);
+    levels_[level].push_back(id);
+  }
+
+  /// Makes a finished level's nodes eligible for random (cross-level) picks.
+  /// Same-level picks are never allowed: they would deepen the level graph.
+  void commit_level(std::size_t level) {
+    if (level < levels_.size()) {
+      all_.insert(all_.end(), levels_[level].begin(), levels_[level].end());
+    }
+  }
+
+  void mark_read(NodeId id) {
+    if (read_.size() <= id) read_.resize(id + 1, false);
+    read_[id] = true;
+  }
+
+  bool is_read(NodeId id) const { return id < read_.size() && read_[id]; }
+
+  /// Next unread node of `level`, or kNullNode.
+  NodeId take_from_level(std::size_t level) {
+    if (level >= levels_.size()) return kNullNode;
+    auto& vec = levels_[level];
+    auto& cur = cursor_level_.emplace(level, 0).first->second;
+    while (cur < vec.size() && is_read(vec[cur])) ++cur;
+    if (cur >= vec.size()) return kNullNode;
+    const NodeId id = vec[cur++];
+    mark_read(id);
+    return id;
+  }
+
+  /// A random unread node, or kNullNode after a few failed draws.
+  NodeId take_random(Rng& rng) {
+    for (int attempt = 0; attempt < 8 && !all_.empty(); ++attempt) {
+      const std::size_t i = rng.next_below(all_.size());
+      const NodeId id = all_[i];
+      all_[i] = all_.back();
+      all_.pop_back();
+      if (!is_read(id)) {
+        mark_read(id);
+        return id;
+      }
+    }
+    return kNullNode;
+  }
+
+  /// All still-unread nodes, in creation order.
+  std::vector<NodeId> drain() {
+    std::vector<NodeId> out;
+    for (const auto& vec : levels_) {
+      for (NodeId id : vec) {
+        if (!is_read(id)) {
+          out.push_back(id);
+          mark_read(id);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> levels_;
+  std::unordered_map<std::size_t, std::size_t> cursor_level_;
+  std::vector<NodeId> all_;
+  std::vector<bool> read_;
+};
+
+}  // namespace
+
+Netlist generate(const CircuitSpec& spec) {
+  FPGADBG_REQUIRE(spec.num_inputs > 0, "generator needs at least one input");
+  FPGADBG_REQUIRE(spec.depth >= 1, "generator needs depth >= 1");
+  FPGADBG_REQUIRE(spec.num_gates >= static_cast<std::size_t>(spec.depth),
+                  "need at least one gate per level");
+  FPGADBG_REQUIRE(spec.max_fanin >= 2 && spec.max_fanin <= 6,
+                  "max_fanin must be in [2, 6]");
+
+  Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0x1234567);
+  Netlist nl(spec.name);
+
+  // Sources: inputs and latch outputs.
+  std::vector<NodeId> sources;
+  for (std::size_t i = 0; i < spec.num_inputs; ++i) {
+    sources.push_back(nl.add_input("pi" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < spec.num_latches; ++i) {
+    sources.push_back(nl.add_latch("lq" + std::to_string(i), kNullNode,
+                                   static_cast<int>(rng.next_below(2))));
+  }
+
+  // Distribute gates across levels: every level gets at least one node, the
+  // remainder spread with a mild bias toward earlier levels (wide cones that
+  // narrow toward the outputs, like real circuits).
+  const std::size_t levels = static_cast<std::size_t>(spec.depth);
+  std::vector<std::size_t> level_size(levels, 1);
+  std::size_t remaining = spec.num_gates - levels;
+  std::vector<double> weight(levels);
+  double total_weight = 0.0;
+  for (std::size_t l = 0; l < levels; ++l) {
+    weight[l] = 1.0 + 1.5 * (1.0 - static_cast<double>(l) / levels);
+    total_weight += weight[l];
+  }
+  for (std::size_t l = 0; l < levels && remaining > 0; ++l) {
+    std::size_t share = static_cast<std::size_t>(
+        static_cast<double>(spec.num_gates - levels) * weight[l] / total_weight);
+    share = std::min(share, remaining);
+    level_size[l] += share;
+    remaining -= share;
+  }
+  level_size[0] += remaining;  // rounding residue
+
+  UnreadTracker unread;
+  std::vector<std::vector<NodeId>> by_level(levels);
+  std::vector<NodeId> all_prior = sources;  // candidates for extra fanins
+  std::size_t gate_counter = 0;
+
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::vector<NodeId>& prev = l == 0 ? sources : by_level[l - 1];
+    for (std::size_t g = 0; g < level_size[l]; ++g) {
+      const int arity = static_cast<int>(
+          2 + rng.next_below(static_cast<std::uint64_t>(spec.max_fanin - 1)));
+      std::vector<NodeId> fanins;
+      // First fanin from the immediately previous level (enforces depth),
+      // preferring a node that has no fanout yet.
+      NodeId first = l == 0 ? kNullNode : unread.take_from_level(l - 1);
+      if (first == kNullNode) {
+        first = prev[rng.next_below(prev.size())];
+        unread.mark_read(first);
+      }
+      fanins.push_back(first);
+      // Remaining fanins from anywhere earlier, distinct.
+      int guard = 0;
+      while (static_cast<int>(fanins.size()) < arity && guard < 64) {
+        ++guard;
+        NodeId cand = kNullNode;
+        if (rng.next_bool(0.5)) cand = unread.take_random(rng);
+        if (cand == kNullNode) {
+          cand = all_prior[rng.next_below(all_prior.size())];
+          unread.mark_read(cand);
+        }
+        if (std::find(fanins.begin(), fanins.end(), cand) != fanins.end()) {
+          continue;
+        }
+        fanins.push_back(cand);
+      }
+      const int real_arity = static_cast<int>(fanins.size());
+      const NodeId id =
+          nl.add_logic("g" + std::to_string(gate_counter++), fanins,
+                       library_tt(real_arity, rng));
+      by_level[l].push_back(id);
+      unread.add(l, id);
+    }
+    all_prior.insert(all_prior.end(), by_level[l].begin(), by_level[l].end());
+    unread.commit_level(l);
+  }
+
+  // Latch inputs and primary outputs come from the deepest level so the
+  // depth target holds exactly; prefer nodes without fanout.
+  const std::vector<NodeId>& top = by_level[levels - 1];
+  for (std::size_t i = 0; i < spec.num_latches; ++i) {
+    NodeId drv = unread.take_from_level(levels - 1);
+    if (drv == kNullNode) drv = top[rng.next_below(top.size())];
+    nl.set_latch_input(i, drv);
+  }
+  for (std::size_t i = 0; i < spec.num_outputs; ++i) {
+    NodeId src = unread.take_from_level(levels - 1);
+    if (src == kNullNode) src = top[rng.next_below(top.size())];
+    nl.add_output(src, "po" + std::to_string(i));
+  }
+
+  // Any node still unread becomes an extra output, so nothing is dead.
+  std::size_t extra = 0;
+  for (NodeId id : unread.drain()) {
+    nl.add_output(id, "po_x" + std::to_string(extra++));
+  }
+
+  nl.check();
+  FPGADBG_ASSERT(nl.num_logic_nodes() == spec.num_gates,
+                 "generator missed the gate-count target");
+  FPGADBG_ASSERT(nl.depth() == spec.depth,
+                 "generator missed the depth target");
+  return nl;
+}
+
+std::vector<CircuitSpec> paper_benchmarks() {
+  // Gate counts and golden depths follow Table I ("#Gate") and Table II
+  // ("Golden") of the paper; I/O and latch profiles approximate the real
+  // ISCAS89/VTR circuits.
+  return {
+      {"stereov", 32, 24, 8, 215, 4, 6, 101},
+      {"diffeq2", 24, 24, 32, 419, 14, 6, 102},
+      {"diffeq1", 32, 32, 48, 582, 15, 6, 103},
+      {"clma", 62, 82, 33, 8381, 11, 6, 104},
+      {"or1200", 64, 64, 128, 3136, 27, 6, 105},
+      {"frisc", 20, 116, 886, 6002, 14, 6, 106},
+      {"s38417", 28, 106, 1464, 6096, 7, 6, 107},
+      {"s38584", 38, 304, 1426, 6281, 7, 6, 108},
+  };
+}
+
+CircuitSpec paper_benchmark(const std::string& name) {
+  for (const CircuitSpec& spec : paper_benchmarks()) {
+    if (spec.name == name) return spec;
+  }
+  throw Error("unknown paper benchmark: " + name);
+}
+
+}  // namespace fpgadbg::genbench

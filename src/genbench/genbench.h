@@ -1,0 +1,41 @@
+// Deterministic benchmark circuit generation.
+//
+// The paper evaluates on ISCAS89 and VTR benchmarks (stereovision, diffeq1/2,
+// clma, or1200, frisc, s38417, s38584).  The original netlists are not
+// redistributable here, so this module generates synthetic stand-ins that
+// reproduce the structural drivers the experiments depend on: gate count,
+// logic depth, latch count and I/O profile (see DESIGN.md, substitution
+// table).  Generation is fully deterministic from the per-benchmark seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fpgadbg::genbench {
+
+struct CircuitSpec {
+  std::string name;
+  std::size_t num_inputs = 8;
+  std::size_t num_outputs = 8;
+  std::size_t num_latches = 0;
+  std::size_t num_gates = 100;   ///< combinational nodes (<= max_fanin inputs)
+  int depth = 5;                 ///< target logic depth (levels)
+  int max_fanin = 6;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a netlist matching the spec.  Post-conditions (verified by
+/// tests): num_logic_nodes() == num_gates, depth() == spec.depth, every
+/// logic node has fanout or is an output, every node function has full
+/// support (so synthesis cannot shrink the circuit).
+netlist::Netlist generate(const CircuitSpec& spec);
+
+/// Specs for the eight benchmarks of the paper's Tables I/II.
+std::vector<CircuitSpec> paper_benchmarks();
+/// Lookup by benchmark name; throws on unknown name.
+CircuitSpec paper_benchmark(const std::string& name);
+
+}  // namespace fpgadbg::genbench

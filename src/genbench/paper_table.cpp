@@ -1,0 +1,30 @@
+#include "genbench/paper_table.h"
+
+#include "support/error.h"
+
+namespace fpgadbg::genbench {
+
+const std::vector<PaperRow>& paper_table() {
+  // Transcribed from Kourfali & Stroobandt, IPDPSW 2016, Tables I and II.
+  static const std::vector<PaperRow> rows = {
+      //  name       gates  init   SM     ABC    prop  tlut  tcon   dG dSM dABC dP
+      {"stereov", 215, 208, 553, 590, 190, 8, 332, 4, 5, 5, 4},
+      {"diffeq2", 419, 422, 1719, 1819, 325, 2, 712, 14, 15, 15, 14},
+      {"diffeq1", 582, 575, 2556, 2659, 491, 4, 1065, 15, 15, 15, 14},
+      {"clma", 8381, 4461, 23694, 23219, 7707, 1252, 7935, 11, 11, 11, 11},
+      {"or1200", 3136, 3084, 9769, 10958, 3004, 9, 2986, 27, 28, 28, 27},
+      {"frisc", 6002, 2747, 11517, 11412, 5881, 2333, 4910, 14, 14, 14, 14},
+      {"s38417", 6096, 3462, 20695, 21040, 6204, 1495, 5597, 7, 8, 8, 7},
+      {"s38584", 6281, 2906, 20687, 21032, 6204, 1495, 5597, 7, 8, 8, 7},
+  };
+  return rows;
+}
+
+const PaperRow& paper_row(const std::string& name) {
+  for (const PaperRow& row : paper_table()) {
+    if (row.name == name) return row;
+  }
+  throw Error("unknown paper table row: " + name);
+}
+
+}  // namespace fpgadbg::genbench

@@ -1,0 +1,30 @@
+// Published numbers from the paper's Tables I and II, used by the benchmark
+// harness to print paper-vs-measured comparisons (EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fpgadbg::genbench {
+
+struct PaperRow {
+  std::string name;
+  // Table I: area in #LUTs.
+  std::size_t gates;       ///< "#Gate"
+  std::size_t initial;     ///< original design mapped, no instrumentation
+  std::size_t simplemap;   ///< instrumented, SimpleMap
+  std::size_t abc;         ///< instrumented, ABC
+  std::size_t proposed;    ///< instrumented, proposed (LUT area)
+  std::size_t tlut;        ///< proposed: tuneable LUTs
+  std::size_t tcon;        ///< proposed: tuneable connections
+  // Table II: logic depth.
+  int depth_golden;
+  int depth_simplemap;
+  int depth_abc;
+  int depth_proposed;
+};
+
+const std::vector<PaperRow>& paper_table();
+const PaperRow& paper_row(const std::string& name);
+
+}  // namespace fpgadbg::genbench

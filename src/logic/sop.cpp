@@ -1,0 +1,96 @@
+#include "logic/sop.h"
+
+#include "support/error.h"
+
+namespace fpgadbg::logic {
+
+TruthTable cover_to_tt(const SopCover& cover) {
+  TruthTable result = TruthTable::zero(cover.num_vars);
+  for (const Cube& cube : cover.cubes) {
+    FPGADBG_REQUIRE(static_cast<int>(cube.literals.size()) == cover.num_vars,
+                    "cube arity does not match cover");
+    TruthTable term = TruthTable::one(cover.num_vars);
+    for (int v = 0; v < cover.num_vars; ++v) {
+      switch (cube.literals[v]) {
+        case '1':
+          term = term & TruthTable::var(cover.num_vars, v);
+          break;
+        case '0':
+          term = term & ~TruthTable::var(cover.num_vars, v);
+          break;
+        case '-':
+          break;
+        default:
+          throw Error("invalid cube literal in SOP cover");
+      }
+    }
+    result = result | term;
+  }
+  return result;
+}
+
+namespace {
+
+// Minato-Morreale ISOP of an incompletely specified function with on-set
+// `on` and don't-care upper bound `upper` (on <= f <= upper).  Appends cubes
+// to `out` and returns the function realized by the appended cubes.
+TruthTable isop_rec(const TruthTable& on, const TruthTable& upper,
+                    int num_vars, int top, std::vector<Cube>* out) {
+  if (on.is_const0()) return TruthTable::zero(num_vars);
+  if (upper.is_const1()) {
+    out->push_back(Cube{std::string(static_cast<std::size_t>(num_vars), '-')});
+    return TruthTable::one(num_vars);
+  }
+  // Find the topmost variable either function depends on.
+  int v = top;
+  while (v >= 0 && !on.depends_on(v) && !upper.depends_on(v)) --v;
+  FPGADBG_ASSERT(v >= 0, "ISOP recursion lost its support");
+
+  const TruthTable on0 = on.cofactor0(v);
+  const TruthTable on1 = on.cofactor1(v);
+  const TruthTable up0 = upper.cofactor0(v);
+  const TruthTable up1 = upper.cofactor1(v);
+
+  // Cubes that must contain literal !v / v respectively.
+  const std::size_t mark0 = out->size();
+  const TruthTable res0 = isop_rec(on0 & ~up1, up0, num_vars, v - 1, out);
+  for (std::size_t i = mark0; i < out->size(); ++i) {
+    (*out)[i].literals[static_cast<std::size_t>(v)] = '0';
+  }
+  const std::size_t mark1 = out->size();
+  const TruthTable res1 = isop_rec(on1 & ~up0, up1, num_vars, v - 1, out);
+  for (std::size_t i = mark1; i < out->size(); ++i) {
+    (*out)[i].literals[static_cast<std::size_t>(v)] = '1';
+  }
+
+  // Remaining on-set, independent of v.
+  const TruthTable rem = (on0 & ~res0) | (on1 & ~res1);
+  const TruthTable res2 = isop_rec(rem, up0 & up1, num_vars, v - 1, out);
+
+  const TruthTable pos_v = TruthTable::var(num_vars, v);
+  return (res0 & ~pos_v) | (res1 & pos_v) | res2;
+}
+
+}  // namespace
+
+SopCover tt_to_isop(const TruthTable& tt) {
+  SopCover cover;
+  cover.num_vars = tt.num_vars();
+  if (tt.is_const0()) return cover;
+  const TruthTable realized =
+      isop_rec(tt, tt, tt.num_vars(), tt.num_vars() - 1, &cover.cubes);
+  FPGADBG_ASSERT(realized == tt, "ISOP does not realize its function");
+  return cover;
+}
+
+std::size_t literal_count(const SopCover& cover) {
+  std::size_t total = 0;
+  for (const Cube& cube : cover.cubes) {
+    for (char c : cube.literals) {
+      if (c != '-') ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace fpgadbg::logic

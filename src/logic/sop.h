@@ -1,0 +1,40 @@
+// Sum-of-products covers and conversion to/from truth tables.
+//
+// BLIF .names bodies are SOP covers; the netlist stores truth tables, so the
+// reader expands covers and the writer re-derives an irredundant cover with
+// the Minato-Morreale ISOP algorithm.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.h"
+
+namespace fpgadbg::logic {
+
+/// One product term: per-variable literal in {'0','1','-'}.
+struct Cube {
+  std::string literals;  // literals[v] applies to variable v
+
+  bool operator==(const Cube&) const = default;
+};
+
+/// A cover of the on-set (BLIF single-output, ON-set semantics).
+struct SopCover {
+  int num_vars = 0;
+  std::vector<Cube> cubes;
+
+  bool operator==(const SopCover&) const = default;
+};
+
+/// Expand a cover into a truth table.
+TruthTable cover_to_tt(const SopCover& cover);
+
+/// Irredundant SOP via Minato-Morreale (recursive on the topmost support
+/// variable).  The result covers exactly the on-set of `tt`.
+SopCover tt_to_isop(const TruthTable& tt);
+
+/// Number of literals (non-'-' positions) across all cubes.
+std::size_t literal_count(const SopCover& cover);
+
+}  // namespace fpgadbg::logic

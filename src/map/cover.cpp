@@ -1,0 +1,313 @@
+#include "map/cover.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.h"
+#include "support/stopwatch.h"
+#include "synth/decompose.h"
+#include "synth/sweep.h"
+
+namespace fpgadbg::map {
+
+using logic::TruthTable;
+using netlist::kNullNode;
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+namespace {
+
+enum class CutKind : std::uint8_t { kLut, kTlut, kTcon };
+
+struct Choice {
+  int cut_index = -1;
+  CutKind kind = CutKind::kLut;
+  int arrival = 0;
+  double area_flow = 0.0;
+};
+
+std::vector<bool> debug_layer_mask(const Netlist& nl,
+                                   const std::string& prefix) {
+  std::vector<bool> mask(nl.num_nodes(), false);
+  if (prefix.empty()) return mask;
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    if (nl.kind(id) == NodeKind::kLogic &&
+        nl.name(id).compare(0, prefix.size(), prefix) == 0) {
+      mask[id] = true;
+    }
+  }
+  return mask;
+}
+
+class CoverEngine {
+ public:
+  CoverEngine(const Netlist& nl, const MapOptions& options)
+      : nl_(nl),
+        options_(options),
+        mask_(options.params_free
+                  ? debug_layer_mask(nl, options.debug_prefix)
+                  : std::vector<bool>()),
+        enumerator_(nl, CutConfig{options.lut_size, options.cut_limit,
+                                  options.params_free,
+                                  options.max_param_leaves,
+                                  /*max_total_vars=*/
+                                  std::min(options.lut_size +
+                                               options.max_param_leaves,
+                                           10),
+                                  mask_.empty() ? nullptr : &mask_}) {}
+
+  MappedNetlist run(MapStats* stats) {
+    topo_ = nl_.topo_order();
+    fanout_refs_.assign(nl_.num_nodes(), 0.0);
+    for (NodeId id = 0; id < nl_.num_nodes(); ++id) {
+      for (NodeId f : nl_.fanins(id)) fanout_refs_[f] += 1.0;
+    }
+    for (NodeId out : nl_.outputs()) fanout_refs_[out] += 1.0;
+    for (const auto& latch : nl_.latches()) fanout_refs_[latch.input] += 1.0;
+
+    choice_.assign(nl_.num_nodes(), Choice{});
+    select_pass(/*delay_oriented=*/true);
+    for (int pass = 0; pass < options_.area_passes; ++pass) {
+      compute_required();
+      select_pass(/*delay_oriented=*/false);
+    }
+    return extract(stats);
+  }
+
+ private:
+  CutKind classify(const Cut& cut) const {
+    if (cut.num_params() == 0) return CutKind::kLut;
+    if (tcon_feasible(cut.function, cut.num_data(), cut.num_params())) {
+      return CutKind::kTcon;
+    }
+    return CutKind::kTlut;
+  }
+
+  double cell_area(CutKind kind) const {
+    return kind == CutKind::kTcon ? options_.tcon_area_cost : 1.0;
+  }
+
+  int cell_delay(CutKind kind) const { return kind == CutKind::kTcon ? 0 : 1; }
+
+  int leaf_arrival(NodeId leaf) const {
+    return nl_.is_source(leaf) ? 0 : choice_[leaf].arrival;
+  }
+
+  double leaf_flow(NodeId leaf) const {
+    if (nl_.is_source(leaf)) return 0.0;
+    return choice_[leaf].area_flow;
+  }
+
+  void select_pass(bool delay_oriented) {
+    for (NodeId id : topo_) {
+      const auto& cuts = enumerator_.cuts(id);
+      // Constant nodes: implemented as 0-input LUTs during extraction.
+      if (nl_.fanins(id).empty()) {
+        choice_[id] = Choice{-1, CutKind::kLut, 1, 1.0};
+        continue;
+      }
+      Choice best;
+      best.arrival = std::numeric_limits<int>::max();
+      best.area_flow = std::numeric_limits<double>::max();
+      // The final entry is the trivial self-cut: never a valid
+      // implementation choice.
+      const std::size_t usable = cuts.size() - 1;
+      FPGADBG_ASSERT(usable > 0, "node without implementable cuts");
+      for (std::size_t ci = 0; ci < usable; ++ci) {
+        const Cut& cut = cuts[ci];
+        const CutKind kind = classify(cut);
+        int arrival = 0;
+        double flow = cell_area(kind);
+        for (NodeId leaf : cut.data_leaves) {
+          arrival = std::max(arrival, leaf_arrival(leaf));
+          flow += leaf_flow(leaf);
+        }
+        // Parameter leaves are configuration, not logic: no area, no delay.
+        arrival += cell_delay(kind);
+        flow /= std::max(1.0, fanout_refs_[id]);
+
+        bool better;
+        if (delay_oriented) {
+          better = arrival < best.arrival ||
+                   (arrival == best.arrival && flow < best.area_flow);
+        } else {
+          const bool meets_req =
+              required_.empty() || arrival <= required_[id];
+          const bool best_meets =
+              best.cut_index >= 0 &&
+              (required_.empty() || best.arrival <= required_[id]);
+          if (best.cut_index < 0) {
+            better = true;
+          } else if (meets_req != best_meets) {
+            better = meets_req;
+          } else {
+            better = flow < best.area_flow ||
+                     (flow == best.area_flow && arrival < best.arrival);
+          }
+        }
+        if (better || best.cut_index < 0) {
+          best = Choice{static_cast<int>(ci), kind, arrival, flow};
+        }
+      }
+      choice_[id] = best;
+    }
+  }
+
+  void compute_required() {
+    // Global target: current depth of the cover.
+    int target = 0;
+    for (NodeId out : nl_.outputs()) {
+      if (!nl_.is_source(out)) target = std::max(target, choice_[out].arrival);
+    }
+    for (const auto& latch : nl_.latches()) {
+      if (!nl_.is_source(latch.input)) {
+        target = std::max(target, choice_[latch.input].arrival);
+      }
+    }
+    required_.assign(nl_.num_nodes(), std::numeric_limits<int>::max());
+    auto relax = [&](NodeId id, int req) {
+      if (!nl_.is_source(id)) required_[id] = std::min(required_[id], req);
+    };
+    for (NodeId out : nl_.outputs()) relax(out, target);
+    for (const auto& latch : nl_.latches()) relax(latch.input, target);
+    // Walk the current cover in reverse topological order.
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      const NodeId id = *it;
+      if (required_[id] == std::numeric_limits<int>::max()) continue;
+      if (choice_[id].cut_index < 0) continue;  // constant
+      const Cut& cut = enumerator_.cuts(id)[static_cast<std::size_t>(
+          choice_[id].cut_index)];
+      const int leaf_req = required_[id] - cell_delay(choice_[id].kind);
+      for (NodeId leaf : cut.data_leaves) relax(leaf, leaf_req);
+    }
+    // Nodes outside the current cover keep +inf (any cut acceptable).
+  }
+
+  MappedNetlist extract(MapStats* stats) {
+    MappedNetlist out(nl_.model_name());
+    std::vector<CellId> remap(nl_.num_nodes(), kNullCell);
+
+    for (NodeId id : nl_.inputs()) {
+      remap[id] = out.add_source(MKind::kInput, nl_.name(id));
+    }
+    for (NodeId id : nl_.params()) {
+      remap[id] = out.add_source(MKind::kParam, nl_.name(id));
+    }
+    for (NodeId id = 0; id < nl_.num_nodes(); ++id) {
+      if (nl_.kind(id) == NodeKind::kConst0) {
+        remap[id] = out.add_source(MKind::kConst0, nl_.name(id));
+      }
+    }
+    for (const auto& latch : nl_.latches()) {
+      remap[latch.output] =
+          out.add_latch_source(nl_.name(latch.output), latch.init_value);
+    }
+
+    // Mark nodes in the cover, from the roots down through chosen cuts.
+    std::vector<bool> needed(nl_.num_nodes(), false);
+    std::vector<NodeId> stack;
+    auto require_node = [&](NodeId id) {
+      if (!nl_.is_source(id) && !needed[id]) {
+        needed[id] = true;
+        stack.push_back(id);
+      }
+    };
+    for (NodeId o : nl_.outputs()) require_node(o);
+    for (const auto& latch : nl_.latches()) require_node(latch.input);
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (choice_[id].cut_index < 0) continue;  // constant node
+      const Cut& cut = enumerator_.cuts(id)[static_cast<std::size_t>(
+          choice_[id].cut_index)];
+      for (NodeId leaf : cut.data_leaves) require_node(leaf);
+    }
+
+    // Emit cells in topological order of the subject graph.
+    for (NodeId id : topo_) {
+      if (!needed[id]) continue;
+      if (choice_[id].cut_index < 0) {
+        // Constant node.
+        const bool value = nl_.function(id).is_const1();
+        remap[id] = out.add_cell(
+            MKind::kLut, nl_.name(id), {}, {},
+            value ? TruthTable::one(0) : TruthTable::zero(0));
+        continue;
+      }
+      const Cut& cut = enumerator_.cuts(id)[static_cast<std::size_t>(
+          choice_[id].cut_index)];
+      std::vector<CellId> data, params;
+      for (NodeId leaf : cut.data_leaves) {
+        FPGADBG_ASSERT(remap[leaf] != kNullCell, "cover: leaf not emitted");
+        data.push_back(remap[leaf]);
+      }
+      for (NodeId leaf : cut.param_leaves) {
+        FPGADBG_ASSERT(remap[leaf] != kNullCell, "cover: param not emitted");
+        params.push_back(remap[leaf]);
+      }
+      MKind kind = MKind::kLut;
+      switch (choice_[id].kind) {
+        case CutKind::kLut:
+          kind = MKind::kLut;
+          break;
+        case CutKind::kTlut:
+          kind = MKind::kTlut;
+          break;
+        case CutKind::kTcon:
+          kind = MKind::kTcon;
+          break;
+      }
+      remap[id] = out.add_cell(kind, nl_.name(id), std::move(data),
+                               std::move(params), cut.function);
+    }
+
+    for (std::size_t i = 0; i < nl_.latches().size(); ++i) {
+      out.set_latch_input(i, remap[nl_.latches()[i].input]);
+    }
+    for (std::size_t i = 0; i < nl_.outputs().size(); ++i) {
+      out.add_output(remap[nl_.outputs()[i]], nl_.output_names()[i]);
+    }
+    out.check();
+
+    if (stats) {
+      stats->num_luts = out.count(MKind::kLut);
+      stats->num_tluts = out.count(MKind::kTlut);
+      stats->num_tcons = out.count(MKind::kTcon);
+      stats->lut_area = out.lut_area();
+      stats->depth = out.depth();
+    }
+    return out;
+  }
+
+  const Netlist& nl_;
+  MapOptions options_;
+  std::vector<bool> mask_;
+  CutEnumerator enumerator_;
+  std::vector<NodeId> topo_;
+  std::vector<double> fanout_refs_;
+  std::vector<Choice> choice_;
+  std::vector<int> required_;
+};
+
+}  // namespace
+
+MapResult cover_network(const Netlist& nl, const MapOptions& options,
+                        const std::string& mapper_name) {
+  Stopwatch timer;
+  MapResult result;
+  result.stats.mapper = mapper_name;
+  if (options.run_synthesis) {
+    const Netlist prepared = synth::synthesize(nl);
+    CoverEngine engine(prepared, options);
+    result.netlist = engine.run(&result.stats);
+  } else {
+    CoverEngine engine(nl, options);
+    result.netlist = engine.run(&result.stats);
+  }
+  result.stats.runtime_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace fpgadbg::map

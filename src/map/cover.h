@@ -1,0 +1,56 @@
+// Cut-based covering shared by SimpleMap, AbcMap and TconMap.
+//
+// The engine runs a delay-oriented pass followed by optional area-flow
+// recovery passes, then extracts the cover into a MappedNetlist.  The only
+// difference between the conventional mappers and the parameter-aware
+// mapper is the CutConfig (params_free) and the per-cut cell classification
+// (LUT / TLUT / TCON) with its cost model.
+#pragma once
+
+#include <string>
+
+#include "map/cuts.h"
+#include "map/mapped_netlist.h"
+#include "netlist/netlist.h"
+
+namespace fpgadbg::map {
+
+struct MapOptions {
+  int lut_size = 6;
+  int cut_limit = 8;
+  bool params_free = false;  ///< TCON/TLUT mapping when true
+  int max_param_leaves = 4;
+  int area_passes = 2;       ///< 0 = pure delay-oriented mapping
+  /// Area charged for a TCON during covering.  Nonzero keeps the mapper from
+  /// building gratuitous routing chains; the paper's area metric still counts
+  /// TCONs as zero LUTs.
+  double tcon_area_cost = 0.1;
+  bool run_synthesis = true;  ///< sweep+decompose the input first
+  /// Name prefix identifying debug-layer (mux network) nodes; cuts rooted in
+  /// the debug layer treat other logic as hard leaves (see CutConfig).
+  /// Empty disables the layer barrier.  Only meaningful with params_free.
+  std::string debug_prefix = "dbgmux_";
+};
+
+struct MapStats {
+  std::string mapper;
+  std::size_t num_luts = 0;
+  std::size_t num_tluts = 0;
+  std::size_t num_tcons = 0;
+  std::size_t lut_area = 0;  ///< num_luts + num_tluts (paper Table I metric)
+  int depth = 0;             ///< LUT levels (paper Table II metric)
+  double runtime_seconds = 0.0;
+};
+
+struct MapResult {
+  MappedNetlist netlist;
+  MapStats stats;
+};
+
+/// Covers `nl` with cells according to `options`.  The input may contain
+/// nodes of any arity; it is synthesized (sweep + decompose) first unless
+/// options.run_synthesis is false (then arity must already be <= 2).
+MapResult cover_network(const netlist::Netlist& nl, const MapOptions& options,
+                        const std::string& mapper_name);
+
+}  // namespace fpgadbg::map

@@ -1,0 +1,18 @@
+#include "map/cover.h"
+#include "map/mappers.h"
+
+namespace fpgadbg::map {
+
+MapResult simple_map(const netlist::Netlist& nl, int lut_size) {
+  MapOptions options;
+  options.lut_size = lut_size;
+  // Depth-oriented only: SimpleMap mirrors the classic level-minimal
+  // structural mappers (FlowMap lineage) with no area recovery and a small
+  // cut budget.
+  options.cut_limit = 4;
+  options.area_passes = 0;
+  options.params_free = false;
+  return cover_network(nl, options, "SimpleMap");
+}
+
+}  // namespace fpgadbg::map

@@ -1,0 +1,20 @@
+#include "map/cover.h"
+#include "map/mappers.h"
+
+namespace fpgadbg::map {
+
+MapResult tcon_map(const netlist::Netlist& nl, int lut_size,
+                   int max_param_leaves) {
+  MapOptions options;
+  options.lut_size = lut_size;
+  options.cut_limit = 8;
+  options.area_passes = 2;
+  // The one switch that implements the paper's idea: parameters are free
+  // inputs absorbed into the parameterized configuration, and wire-like
+  // residual functions land in the routing fabric as TCONs.
+  options.params_free = true;
+  options.max_param_leaves = max_param_leaves;
+  return cover_network(nl, options, "TCONMap");
+}
+
+}  // namespace fpgadbg::map

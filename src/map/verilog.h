@@ -1,0 +1,20 @@
+// Structural Verilog export of a mapped netlist.
+//
+// Emits a synthesizable-style module: LUT/TLUT/TCON cells as continuous
+// assignments of their SOP expressions, latches as a posedge-clocked always
+// block (a `clk` port is added), parameters as ordinary inputs annotated
+// with a comment.  Lets mapped results be inspected or re-simulated in any
+// standard Verilog tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "map/mapped_netlist.h"
+
+namespace fpgadbg::map {
+
+void write_verilog(const MappedNetlist& mn, std::ostream& out);
+void write_verilog_file(const MappedNetlist& mn, const std::string& path);
+
+}  // namespace fpgadbg::map

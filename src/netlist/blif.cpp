@@ -1,0 +1,324 @@
+#include "netlist/blif.h"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "logic/sop.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace fpgadbg::netlist {
+
+namespace {
+
+struct RawNames {
+  std::vector<std::string> signals;  // fanins..., output
+  std::vector<std::pair<std::string, char>> cover;  // (input plane, output bit)
+  int line = 0;
+};
+
+struct RawLatch {
+  std::string input;
+  std::string output;
+  int init = 2;
+  int line = 0;
+};
+
+/// Reads logical lines: strips comments, joins '\' continuations.
+class LineReader {
+ public:
+  LineReader(std::istream& in, std::string filename)
+      : in_(in), filename_(std::move(filename)) {}
+
+  bool next(std::string* out, int* line_no) {
+    std::string logical;
+    bool have = false;
+    std::string phys;
+    while (std::getline(in_, phys)) {
+      ++line_;
+      if (!have) *line_no = line_;
+      // Strip comment.
+      if (auto pos = phys.find('#'); pos != std::string::npos) {
+        phys.erase(pos);
+      }
+      bool continued = false;
+      std::string_view sv = trim(phys);
+      if (!sv.empty() && sv.back() == '\\') {
+        continued = true;
+        sv.remove_suffix(1);
+      }
+      if (!sv.empty()) {
+        if (have) logical.push_back(' ');
+        logical.append(sv);
+        have = true;
+      }
+      if (have && !continued) {
+        *out = std::move(logical);
+        return true;
+      }
+    }
+    if (have) {
+      *out = std::move(logical);
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& filename() const { return filename_; }
+  int line() const { return line_; }
+
+ private:
+  std::istream& in_;
+  std::string filename_;
+  int line_ = 0;
+};
+
+}  // namespace
+
+Netlist read_blif(std::istream& in, const std::string& filename) {
+  LineReader reader(in, filename);
+
+  std::string model_name = "top";
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<RawLatch> raw_latches;
+  std::vector<RawNames> raw_names;
+
+  std::string line;
+  int line_no = 0;
+  RawNames* open_names = nullptr;
+  bool saw_model = false;
+  while (reader.next(&line, &line_no)) {
+    if (line[0] == '.') {
+      open_names = nullptr;
+      std::vector<std::string> tok = split_ws(line);
+      const std::string& cmd = tok[0];
+      if (cmd == ".model") {
+        if (saw_model) break;  // only the first model is read
+        saw_model = true;
+        if (tok.size() >= 2) model_name = tok[1];
+      } else if (cmd == ".inputs") {
+        input_names.insert(input_names.end(), tok.begin() + 1, tok.end());
+      } else if (cmd == ".outputs") {
+        output_names.insert(output_names.end(), tok.begin() + 1, tok.end());
+      } else if (cmd == ".latch") {
+        if (tok.size() < 3) {
+          throw ParseError(filename, line_no, ".latch needs input and output");
+        }
+        RawLatch l;
+        l.input = tok[1];
+        l.output = tok[2];
+        l.line = line_no;
+        // Optional: [<type> <control>] [<init>]
+        if (tok.size() == 4) {
+          l.init = static_cast<int>(parse_size(tok[3], "latch init"));
+        } else if (tok.size() >= 6) {
+          l.init = static_cast<int>(parse_size(tok[5], "latch init"));
+        }
+        raw_latches.push_back(std::move(l));
+      } else if (cmd == ".names") {
+        RawNames n;
+        n.signals.assign(tok.begin() + 1, tok.end());
+        if (n.signals.empty()) {
+          throw ParseError(filename, line_no, ".names needs an output");
+        }
+        n.line = line_no;
+        raw_names.push_back(std::move(n));
+        open_names = &raw_names.back();
+      } else if (cmd == ".end") {
+        break;
+      } else if (cmd == ".subckt" || cmd == ".gate") {
+        throw ParseError(filename, line_no,
+                         "hierarchical BLIF (.subckt/.gate) is not supported");
+      } else {
+        // Ignore unknown dot-commands (.clock, .default_input_arrival, ...).
+      }
+    } else {
+      if (open_names == nullptr) {
+        throw ParseError(filename, line_no, "cover line outside .names");
+      }
+      std::vector<std::string> tok = split_ws(line);
+      const std::size_t arity = open_names->signals.size() - 1;
+      if (arity == 0) {
+        if (tok.size() != 1 || tok[0].size() != 1) {
+          throw ParseError(filename, line_no, "bad constant cover line");
+        }
+        open_names->cover.emplace_back("", tok[0][0]);
+      } else {
+        if (tok.size() != 2 || tok[0].size() != arity || tok[1].size() != 1) {
+          throw ParseError(filename, line_no, "bad cover line");
+        }
+        open_names->cover.emplace_back(tok[0], tok[1][0]);
+      }
+    }
+  }
+
+  // --- build the netlist ---------------------------------------------------
+  Netlist nl(model_name);
+  for (const std::string& name : input_names) nl.add_input(name);
+  for (const RawLatch& l : raw_latches) {
+    if (nl.find(l.output)) {
+      throw ParseError(filename, l.line, "latch output redefined: " + l.output);
+    }
+    nl.add_latch(l.output, kNullNode, l.init);
+  }
+
+  // .names bodies may reference signals defined later; resolve in two passes.
+  // First create placeholder ids in definition order using a topological
+  // fixpoint: repeatedly add nodes whose fanins are all known.
+  std::vector<bool> built(raw_names.size(), false);
+  std::size_t remaining = raw_names.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t i = 0; i < raw_names.size(); ++i) {
+      if (built[i]) continue;
+      const RawNames& rn = raw_names[i];
+      bool ready = true;
+      for (std::size_t s = 0; s + 1 < rn.signals.size(); ++s) {
+        if (!nl.find(rn.signals[s])) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+
+      const std::string& out_name = rn.signals.back();
+      if (nl.find(out_name)) {
+        throw ParseError(filename, rn.line, "signal redefined: " + out_name);
+      }
+      const int arity = static_cast<int>(rn.signals.size()) - 1;
+
+      // Decide ON-set vs OFF-set semantics from the output column.
+      logic::SopCover cover;
+      cover.num_vars = arity;
+      bool off_set = false;
+      for (const auto& [plane, out_bit] : rn.cover) {
+        if (out_bit == '0') off_set = true;
+      }
+      for (const auto& [plane, out_bit] : rn.cover) {
+        if ((out_bit == '0') != off_set) {
+          throw ParseError(filename, rn.line,
+                           "mixed ON/OFF-set covers are not supported");
+        }
+        cover.cubes.push_back(logic::Cube{plane});
+      }
+      logic::TruthTable tt = logic::cover_to_tt(cover);
+      if (off_set) tt = ~tt;
+
+      std::vector<NodeId> fanins;
+      for (std::size_t s = 0; s + 1 < rn.signals.size(); ++s) {
+        fanins.push_back(*nl.find(rn.signals[s]));
+      }
+      nl.add_logic(out_name, std::move(fanins), std::move(tt));
+      built[i] = true;
+      --remaining;
+      progress = true;
+    }
+    if (!progress) {
+      // Either an undefined signal or a combinational cycle.
+      for (std::size_t i = 0; i < raw_names.size(); ++i) {
+        if (built[i]) continue;
+        const RawNames& rn = raw_names[i];
+        for (std::size_t s = 0; s + 1 < rn.signals.size(); ++s) {
+          bool defined_somewhere = false;
+          for (const RawNames& other : raw_names) {
+            if (other.signals.back() == rn.signals[s]) {
+              defined_somewhere = true;
+              break;
+            }
+          }
+          if (!nl.find(rn.signals[s]) && !defined_somewhere) {
+            throw ParseError(filename, rn.line,
+                             "undefined signal: " + rn.signals[s]);
+          }
+        }
+      }
+      throw ParseError(filename, reader.line(),
+                       "combinational cycle in .names definitions");
+    }
+  }
+
+  // Connect latch drivers and primary outputs.
+  for (std::size_t i = 0; i < raw_latches.size(); ++i) {
+    auto driver = nl.find(raw_latches[i].input);
+    if (!driver) {
+      throw ParseError(filename, raw_latches[i].line,
+                       "undefined latch input: " + raw_latches[i].input);
+    }
+    nl.set_latch_input(i, *driver);
+  }
+  for (const std::string& name : output_names) {
+    auto id = nl.find(name);
+    if (!id) {
+      throw ParseError(filename, reader.line(), "undefined output: " + name);
+    }
+    nl.add_output(*id, name);
+  }
+  nl.check();
+  return nl;
+}
+
+Netlist read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open BLIF file: " + path);
+  return read_blif(in, path);
+}
+
+void write_blif(const Netlist& nl, std::ostream& out) {
+  out << ".model " << nl.model_name() << '\n';
+
+  out << ".inputs";
+  for (NodeId id : nl.inputs()) out << ' ' << nl.name(id);
+  for (NodeId id : nl.params()) out << ' ' << nl.name(id);
+  out << '\n';
+
+  out << ".outputs";
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    out << ' ' << nl.output_names()[i];
+  }
+  out << '\n';
+
+  for (const Latch& l : nl.latches()) {
+    out << ".latch " << nl.name(l.input) << ' ' << nl.name(l.output) << ' '
+        << l.init_value << '\n';
+  }
+
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    out << ".names";
+    for (NodeId f : n.fanins) out << ' ' << nl.name(f);
+    out << ' ' << n.name << '\n';
+    const logic::SopCover cover = logic::tt_to_isop(n.function);
+    if (n.fanins.empty()) {
+      if (n.function.is_const1()) out << "1\n";
+      // const0 is the empty cover: nothing to print.
+    } else {
+      for (const logic::Cube& cube : cover.cubes) {
+        out << cube.literals << " 1\n";
+      }
+    }
+  }
+
+  // Primary outputs fed directly by sources (inputs/latches) need buffers so
+  // the name exists as a .names output.
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    const NodeId id = nl.outputs()[i];
+    const std::string& want = nl.output_names()[i];
+    if (nl.name(id) != want) {
+      out << ".names " << nl.name(id) << ' ' << want << "\n1 1\n";
+    }
+  }
+
+  out << ".end\n";
+}
+
+void write_blif_file(const Netlist& nl, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open BLIF output file: " + path);
+  write_blif(nl, out);
+}
+
+}  // namespace fpgadbg::netlist

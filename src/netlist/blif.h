@@ -1,0 +1,25 @@
+// BLIF (Berkeley Logic Interchange Format) reader and writer.
+//
+// Supports the subset used by the academic FPGA flows the paper builds on
+// (VTR/ABC): .model, .inputs, .outputs, .latch (re/rising-edge, optional
+// clock), .names with ON-set covers, .end, line continuation with '\'.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fpgadbg::netlist {
+
+/// Parse a BLIF stream; `filename` is used only for error messages.
+Netlist read_blif(std::istream& in, const std::string& filename = "<stream>");
+Netlist read_blif_file(const std::string& path);
+
+/// Write the netlist; logic node functions are emitted as irredundant SOPs.
+/// Parameter inputs are written as regular .inputs (the .par sidecar file
+/// carries the parameter annotation, as in the paper's tool flow).
+void write_blif(const Netlist& nl, std::ostream& out);
+void write_blif_file(const Netlist& nl, const std::string& path);
+
+}  // namespace fpgadbg::netlist

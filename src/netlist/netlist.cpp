@@ -1,0 +1,231 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace fpgadbg::netlist {
+
+NodeId Netlist::add_node(Node node) {
+  FPGADBG_REQUIRE(!node.name.empty(), "node name must not be empty");
+  FPGADBG_REQUIRE(!by_name_.contains(node.name),
+                  "duplicate node name: " + node.name);
+  nodes_.push_back(std::move(node));
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  by_name_.emplace(nodes_.back().name, id);
+  return id;
+}
+
+NodeId Netlist::add_input(const std::string& name) {
+  Node n;
+  n.kind = NodeKind::kInput;
+  n.name = name;
+  const NodeId id = add_node(std::move(n));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_param(const std::string& name) {
+  Node n;
+  n.kind = NodeKind::kParam;
+  n.name = name;
+  const NodeId id = add_node(std::move(n));
+  params_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_const0(const std::string& name) {
+  Node n;
+  n.kind = NodeKind::kConst0;
+  n.name = name;
+  return add_node(std::move(n));
+}
+
+NodeId Netlist::add_logic(const std::string& name, std::vector<NodeId> fanins,
+                          logic::TruthTable function) {
+  FPGADBG_REQUIRE(
+      function.num_vars() == static_cast<int>(fanins.size()),
+      "logic node arity mismatch between fanins and truth table: " + name);
+  for (NodeId f : fanins) {
+    FPGADBG_REQUIRE(f < nodes_.size(), "fanin id out of range for " + name);
+  }
+  Node n;
+  n.kind = NodeKind::kLogic;
+  n.name = name;
+  n.fanins = std::move(fanins);
+  n.function = std::move(function);
+  return add_node(std::move(n));
+}
+
+NodeId Netlist::add_latch(const std::string& q_name, NodeId input,
+                          int init_value) {
+  Node n;
+  n.kind = NodeKind::kLatchOut;
+  n.name = q_name;
+  const NodeId q = add_node(std::move(n));
+  latches_.push_back(Latch{input, q, init_value});
+  return q;
+}
+
+void Netlist::set_latch_input(std::size_t latch_index, NodeId input) {
+  FPGADBG_REQUIRE(latch_index < latches_.size(), "latch index out of range");
+  FPGADBG_REQUIRE(input < nodes_.size(), "latch input id out of range");
+  latches_[latch_index].input = input;
+}
+
+void Netlist::add_output(NodeId node, const std::string& name) {
+  FPGADBG_REQUIRE(node < nodes_.size(), "output node id out of range");
+  outputs_.push_back(node);
+  output_names_.push_back(name);
+}
+
+void Netlist::rewrite_logic(NodeId node, std::vector<NodeId> fanins,
+                            logic::TruthTable function) {
+  FPGADBG_REQUIRE(node < nodes_.size() &&
+                      nodes_[node].kind == NodeKind::kLogic,
+                  "rewrite_logic target must be a logic node");
+  FPGADBG_REQUIRE(function.num_vars() == static_cast<int>(fanins.size()),
+                  "rewrite_logic arity mismatch");
+  nodes_[node].fanins = std::move(fanins);
+  nodes_[node].function = std::move(function);
+}
+
+std::optional<NodeId> Netlist::find(const std::string& name) const {
+  if (auto it = by_name_.find(name); it != by_name_.end()) return it->second;
+  return std::nullopt;
+}
+
+bool Netlist::is_source(NodeId id) const {
+  const NodeKind k = kind(id);
+  return k == NodeKind::kConst0 || k == NodeKind::kInput ||
+         k == NodeKind::kParam || k == NodeKind::kLatchOut;
+}
+
+std::size_t Netlist::num_logic_nodes() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(), [](const Node& n) {
+        return n.kind == NodeKind::kLogic;
+      }));
+}
+
+std::vector<NodeId> Netlist::topo_order() const {
+  // Kahn's algorithm over logic nodes only; sources have no prerequisites.
+  std::vector<int> pending(nodes_.size(), 0);
+  std::vector<std::vector<NodeId>> readers(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.kind != NodeKind::kLogic) continue;
+    for (NodeId f : n.fanins) {
+      if (nodes_[f].kind == NodeKind::kLogic) {
+        ++pending[id];
+      }
+      readers[f].push_back(id);
+    }
+  }
+  std::vector<NodeId> ready;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].kind == NodeKind::kLogic && pending[id] == 0) {
+      ready.push_back(id);
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(num_logic_nodes());
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const NodeId id = ready[head];
+    order.push_back(id);
+    for (NodeId r : readers[id]) {
+      if (--pending[r] == 0) ready.push_back(r);
+    }
+  }
+  FPGADBG_ASSERT(order.size() == num_logic_nodes(),
+                 "combinational cycle detected in netlist");
+  return order;
+}
+
+std::vector<int> Netlist::levels() const {
+  std::vector<int> level(nodes_.size(), 0);
+  for (NodeId id : topo_order()) {
+    int max_in = 0;
+    for (NodeId f : nodes_[id].fanins) {
+      max_in = std::max(max_in, level[f]);
+    }
+    level[id] = max_in + 1;
+  }
+  return level;
+}
+
+int Netlist::depth() const {
+  const std::vector<int> level = levels();
+  int d = 0;
+  for (NodeId out : outputs_) d = std::max(d, level[out]);
+  for (const Latch& l : latches_) {
+    if (l.input != kNullNode) d = std::max(d, level[l.input]);
+  }
+  return d;
+}
+
+std::vector<std::vector<NodeId>> Netlist::fanouts() const {
+  std::vector<std::vector<NodeId>> out(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    for (NodeId f : nodes_[id].fanins) out[f].push_back(id);
+  }
+  return out;
+}
+
+std::vector<bool> Netlist::live_mask() const {
+  std::vector<bool> live(nodes_.size(), false);
+  std::vector<NodeId> stack;
+  auto mark = [&](NodeId id) {
+    if (id != kNullNode && !live[id]) {
+      live[id] = true;
+      stack.push_back(id);
+    }
+  };
+  for (NodeId out : outputs_) mark(out);
+  for (const Latch& l : latches_) mark(l.input);
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId f : nodes_[id].fanins) mark(f);
+    // A live latch output keeps its driver cone alive.
+    if (nodes_[id].kind == NodeKind::kLatchOut) {
+      for (const Latch& l : latches_) {
+        if (l.output == id) mark(l.input);
+      }
+    }
+  }
+  return live;
+}
+
+void Netlist::check() const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.kind == NodeKind::kLogic) {
+      if (n.function.num_vars() != static_cast<int>(n.fanins.size())) {
+        throw Error("node " + n.name + ": truth table arity mismatch");
+      }
+      for (NodeId f : n.fanins) {
+        if (f >= nodes_.size()) {
+          throw Error("node " + n.name + ": dangling fanin");
+        }
+      }
+    } else if (!n.fanins.empty()) {
+      throw Error("source node " + n.name + " must not have fanins");
+    }
+  }
+  for (const Latch& l : latches_) {
+    if (l.output >= nodes_.size() ||
+        nodes_[l.output].kind != NodeKind::kLatchOut) {
+      throw Error("latch output is not a kLatchOut node");
+    }
+    if (l.input == kNullNode || l.input >= nodes_.size()) {
+      throw Error("latch " + nodes_[l.output].name + " has no driver");
+    }
+  }
+  for (NodeId out : outputs_) {
+    if (out >= nodes_.size()) throw Error("dangling primary output");
+  }
+  (void)topo_order();  // asserts acyclicity
+}
+
+}  // namespace fpgadbg::netlist

@@ -1,0 +1,127 @@
+// Technology-independent logic network.
+//
+// A Netlist is a DAG of logic nodes over primary inputs and latch outputs.
+// Every combinational node carries a truth table over its fanins; latches
+// connect a combinational driver to a sequential source node.  This single
+// representation serves the whole flow: synthesis cleans it, the signal
+// parameterisation pass instruments it, the mappers cover it with LUTs,
+// and the simulator evaluates it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/truth_table.h"
+
+namespace fpgadbg::netlist {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNullNode = 0xffffffffu;
+
+enum class NodeKind : std::uint8_t {
+  kConst0,      ///< constant false source
+  kInput,       ///< primary input
+  kParam,       ///< debug parameter input (infrequently changing)
+  kLatchOut,    ///< sequential source (Q pin of a latch)
+  kLogic,       ///< combinational node with a truth table over its fanins
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kLogic;
+  std::string name;
+  std::vector<NodeId> fanins;      // empty unless kind == kLogic
+  logic::TruthTable function;      // arity == fanins.size() for kLogic
+};
+
+struct Latch {
+  NodeId input = kNullNode;   ///< combinational driver (D pin)
+  NodeId output = kNullNode;  ///< the kLatchOut node (Q pin)
+  int init_value = 0;         ///< 0, 1, or 2 (unknown), 3 (don't care)
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string model_name) : model_name_(std::move(model_name)) {}
+
+  const std::string& model_name() const { return model_name_; }
+  void set_model_name(std::string name) { model_name_ = std::move(name); }
+
+  // --- construction -------------------------------------------------------
+  NodeId add_input(const std::string& name);
+  NodeId add_param(const std::string& name);
+  NodeId add_const0(const std::string& name);
+  NodeId add_logic(const std::string& name, std::vector<NodeId> fanins,
+                   logic::TruthTable function);
+  /// Creates the kLatchOut node and registers the latch; `input` may be set
+  /// later via set_latch_input when the driver does not exist yet.
+  NodeId add_latch(const std::string& q_name, NodeId input, int init_value);
+  void set_latch_input(std::size_t latch_index, NodeId input);
+
+  void add_output(NodeId node, const std::string& name);
+
+  /// Replace a node's function/fanins in place (used by optimisation passes).
+  void rewrite_logic(NodeId node, std::vector<NodeId> fanins,
+                     logic::TruthTable function);
+
+  // --- access -------------------------------------------------------------
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  NodeKind kind(NodeId id) const { return nodes_.at(id).kind; }
+  const std::string& name(NodeId id) const { return nodes_.at(id).name; }
+  const std::vector<NodeId>& fanins(NodeId id) const {
+    return nodes_.at(id).fanins;
+  }
+  const logic::TruthTable& function(NodeId id) const {
+    return nodes_.at(id).function;
+  }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& params() const { return params_; }
+  const std::vector<Latch>& latches() const { return latches_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  const std::vector<std::string>& output_names() const { return output_names_; }
+
+  std::optional<NodeId> find(const std::string& name) const;
+
+  /// All sequential+combinational sources: const0, inputs, params, latch outs.
+  bool is_source(NodeId id) const;
+
+  std::size_t num_logic_nodes() const;
+
+  // --- analysis -----------------------------------------------------------
+  /// Logic nodes in topological order (fanins before fanouts).
+  std::vector<NodeId> topo_order() const;
+
+  /// Per-node logic level: sources at 0, logic node = 1 + max(fanin levels).
+  std::vector<int> levels() const;
+
+  /// Maximum level over outputs and latch inputs (the paper's "logic depth").
+  int depth() const;
+
+  /// fanout[id] = nodes (and implicit latch D-pins/outputs) reading id.
+  std::vector<std::vector<NodeId>> fanouts() const;
+
+  /// Nodes reachable backwards from outputs and latch inputs.
+  std::vector<bool> live_mask() const;
+
+  /// Validates structural invariants; throws fpgadbg::Error on violation.
+  void check() const;
+
+ private:
+  NodeId add_node(Node node);
+
+  std::string model_name_ = "top";
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> params_;
+  std::vector<Latch> latches_;
+  std::vector<NodeId> outputs_;
+  std::vector<std::string> output_names_;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+}  // namespace fpgadbg::netlist

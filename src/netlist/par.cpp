@@ -1,0 +1,107 @@
+#include "netlist/par.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "netlist/blif.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace fpgadbg::netlist {
+
+std::vector<std::string> param_names(const Netlist& nl) {
+  std::vector<std::string> names;
+  names.reserve(nl.params().size());
+  for (NodeId id : nl.params()) names.push_back(nl.name(id));
+  return names;
+}
+
+void write_par(const Netlist& nl, std::ostream& out) {
+  out << "# parameters of model " << nl.model_name() << '\n';
+  for (const std::string& name : param_names(nl)) out << name << '\n';
+}
+
+void write_par_file(const Netlist& nl, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open .par output file: " + path);
+  write_par(nl, out);
+}
+
+std::vector<std::string> read_par(std::istream& in,
+                                  const std::string& filename) {
+  std::vector<std::string> names;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (auto pos = line.find('#'); pos != std::string::npos) line.erase(pos);
+    for (const std::string& tok : split_ws(line)) {
+      names.push_back(tok);
+    }
+  }
+  (void)filename;
+  (void)line_no;
+  return names;
+}
+
+Netlist apply_params(Netlist nl, const std::vector<std::string>& params) {
+  // The Netlist API has no re-tagging operation (names and kinds are fixed at
+  // construction), so rebuild the network with the chosen inputs as params.
+  Netlist out(nl.model_name());
+  std::vector<NodeId> remap(nl.num_nodes(), kNullNode);
+
+  std::vector<bool> is_param_name(nl.num_nodes(), false);
+  for (const std::string& p : params) {
+    auto id = nl.find(p);
+    if (!id) throw Error(".par names unknown signal: " + p);
+    if (nl.kind(*id) != NodeKind::kInput && nl.kind(*id) != NodeKind::kParam) {
+      throw Error(".par signal is not an input: " + p);
+    }
+    is_param_name[*id] = true;
+  }
+
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const Node& n = nl.node(id);
+    switch (n.kind) {
+      case NodeKind::kInput:
+        remap[id] = is_param_name[id] ? out.add_param(n.name)
+                                      : out.add_input(n.name);
+        break;
+      case NodeKind::kParam:
+        remap[id] = out.add_param(n.name);
+        break;
+      case NodeKind::kConst0:
+        remap[id] = out.add_const0(n.name);
+        break;
+      case NodeKind::kLatchOut:
+        // added with its latch below
+        break;
+      case NodeKind::kLogic:
+        break;
+    }
+  }
+  for (const Latch& l : nl.latches()) {
+    remap[l.output] = out.add_latch(nl.name(l.output), kNullNode, l.init_value);
+  }
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    std::vector<NodeId> fanins;
+    fanins.reserve(n.fanins.size());
+    for (NodeId f : n.fanins) {
+      FPGADBG_ASSERT(remap[f] != kNullNode, "apply_params remap gap");
+      fanins.push_back(remap[f]);
+    }
+    remap[id] = out.add_logic(n.name, std::move(fanins), n.function);
+  }
+  for (std::size_t i = 0; i < nl.latches().size(); ++i) {
+    out.set_latch_input(i, remap[nl.latches()[i].input]);
+  }
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    out.add_output(remap[nl.outputs()[i]], nl.output_names()[i]);
+  }
+  out.check();
+  return out;
+}
+
+}  // namespace fpgadbg::netlist

@@ -1,0 +1,32 @@
+// .par parameter-annotation sidecar file.
+//
+// The paper's signal parameterisation step produces "a new .blif file and a
+// .par file ... used to give an indication to the mapper for which signals
+// the PConf should be applied".  The format here is one parameter name per
+// line, '#' comments allowed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fpgadbg::netlist {
+
+/// Parameter names of a netlist (the .par content).
+std::vector<std::string> param_names(const Netlist& nl);
+
+void write_par(const Netlist& nl, std::ostream& out);
+void write_par_file(const Netlist& nl, const std::string& path);
+
+/// Read parameter names and re-annotate matching inputs of `nl` as
+/// parameters (moves them from inputs() to params()).  Unknown names throw.
+std::vector<std::string> read_par(std::istream& in,
+                                  const std::string& filename = "<stream>");
+
+/// Applies a parameter name list to a netlist read from plain BLIF: each
+/// named input is re-tagged as NodeKind::kParam.
+Netlist apply_params(Netlist nl, const std::vector<std::string>& params);
+
+}  // namespace fpgadbg::netlist

@@ -1,0 +1,32 @@
+#include "netlist/stats.h"
+
+#include <ostream>
+
+namespace fpgadbg::netlist {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.model = nl.model_name();
+  s.num_inputs = nl.inputs().size();
+  s.num_params = nl.params().size();
+  s.num_outputs = nl.outputs().size();
+  s.num_latches = nl.latches().size();
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    if (nl.kind(id) != NodeKind::kLogic) continue;
+    ++s.num_logic;
+    s.num_edges += nl.fanins(id).size();
+    s.max_fanin = std::max(s.max_fanin, static_cast<int>(nl.fanins(id).size()));
+  }
+  s.depth = nl.depth();
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const NetlistStats& s) {
+  os << s.model << ": pi=" << s.num_inputs << " param=" << s.num_params
+     << " po=" << s.num_outputs << " latch=" << s.num_latches
+     << " logic=" << s.num_logic << " edges=" << s.num_edges
+     << " depth=" << s.depth << " max_fanin=" << s.max_fanin;
+  return os;
+}
+
+}  // namespace fpgadbg::netlist

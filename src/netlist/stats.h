@@ -1,0 +1,27 @@
+// Netlist statistics (the quantities the paper's tables report).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fpgadbg::netlist {
+
+struct NetlistStats {
+  std::string model;
+  std::size_t num_inputs = 0;
+  std::size_t num_params = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_latches = 0;
+  std::size_t num_logic = 0;   ///< combinational node ("gate"/LUT) count
+  std::size_t num_edges = 0;   ///< total fanin connections
+  int depth = 0;               ///< logic depth (levels)
+  int max_fanin = 0;
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+std::ostream& operator<<(std::ostream& os, const NetlistStats& s);
+
+}  // namespace fpgadbg::netlist

@@ -1,0 +1,58 @@
+// TPaR flow driver: pack -> place -> route on an auto-sized device.
+//
+// This is the offline, computationally intensive stage of the paper's
+// Fig. 4(b).  The report carries the §V-C1 metrics (CLBs, wires, runtime)
+// compared between the conventional and the parameterized flow.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "arch/frames.h"
+#include "pnr/route.h"
+
+namespace fpgadbg::pnr {
+
+struct CompileOptions {
+  arch::ArchParams arch;
+  PlaceOptions place;
+  RouteOptions route;
+  /// CLB capacity slack: the device provides clusters * slack CLB tiles.
+  double device_slack = 1.4;
+};
+
+struct CompileReport {
+  std::string device;
+  std::size_t clbs_used = 0;
+  std::size_t luts = 0;       ///< kLut + kTlut cells
+  std::size_t tcons = 0;
+  std::size_t nets = 0;
+  bool route_success = false;
+  int route_iterations = 0;
+  std::size_t wire_nodes_used = 0;
+  std::size_t total_wirelength = 0;
+  double pack_seconds = 0.0;
+  double place_seconds = 0.0;
+  double route_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// A fully compiled design.  Owns the device model so internal references
+/// stay valid; move-only.
+struct CompiledDesign {
+  std::unique_ptr<arch::Device> device;
+  std::unique_ptr<arch::RRGraph> rr;
+  std::unique_ptr<arch::FrameGeometry> frames;
+  map::MappedNetlist netlist;
+  Packing packing;
+  NetExtraction nets;
+  Placement placement;
+  RouteResult routing;
+  CompileReport report;
+};
+
+CompiledDesign compile(map::MappedNetlist mn,
+                       const std::vector<std::string>& trace_output_names,
+                       const CompileOptions& options = {});
+
+}  // namespace fpgadbg::pnr

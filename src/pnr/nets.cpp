@@ -1,0 +1,153 @@
+#include "pnr/nets.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace fpgadbg::pnr {
+
+using map::CellId;
+using map::kNullCell;
+using map::MappedNetlist;
+using map::MKind;
+
+namespace {
+
+struct Flattened {
+  std::vector<NetSink> sinks;
+  int group = -1;  ///< max TCON id on any path (chain representative)
+};
+
+}  // namespace
+
+NetExtraction extract_nets(const MappedNetlist& mn,
+                           const std::vector<std::string>& trace_output_names) {
+  NetExtraction result;
+
+  // Classify outputs: trace lanes vs regular POs.
+  const std::size_t npos = static_cast<std::size_t>(-1);
+  result.trace_lane_of_output.assign(mn.outputs().size(), npos);
+  for (std::size_t i = 0; i < mn.outputs().size(); ++i) {
+    const auto it = std::find(trace_output_names.begin(),
+                              trace_output_names.end(), mn.output_names()[i]);
+    if (it != trace_output_names.end()) {
+      result.trace_lane_of_output[i] =
+          static_cast<std::size_t>(it - trace_output_names.begin());
+    }
+  }
+
+  // Reader lists: cell -> consuming cells; plus output/latch-D consumers.
+  std::vector<std::vector<CellId>> readers(mn.num_cells());
+  for (CellId id = 0; id < mn.num_cells(); ++id) {
+    const auto& cell = mn.cell(id);
+    for (CellId in : cell.data_inputs) readers[in].push_back(id);
+    // Param inputs do not create signal nets: they are configuration.
+  }
+  std::vector<std::vector<std::size_t>> po_of(mn.num_cells());
+  for (std::size_t i = 0; i < mn.outputs().size(); ++i) {
+    po_of[mn.outputs()[i]].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> latch_d_of(mn.num_cells());
+  for (std::size_t i = 0; i < mn.latches().size(); ++i) {
+    latch_d_of[mn.latches()[i].input].push_back(i);
+  }
+
+  // Flatten the consumers of a signal produced by `id`, looking through
+  // TCON readers.  Memoized per cell.
+  std::vector<char> computed(mn.num_cells(), 0);
+  std::vector<Flattened> flat(mn.num_cells());
+  auto flatten = [&](auto&& self, CellId id) -> const Flattened& {
+    if (computed[id]) return flat[id];
+    computed[id] = 1;  // set first: TCON graphs are acyclic, guard anyway
+    Flattened& f = flat[id];
+    for (CellId r : readers[id]) {
+      if (mn.cell(r).kind == MKind::kTcon) {
+        const Flattened& sub = self(self, r);
+        f.sinks.insert(f.sinks.end(), sub.sinks.begin(), sub.sinks.end());
+        f.group = std::max(f.group,
+                           std::max(sub.group, static_cast<int>(r)));
+      } else {
+        f.sinks.push_back(NetSink{SinkKind::kCellPin, r, 0});
+      }
+    }
+    for (std::size_t po : po_of[id]) {
+      const std::size_t lane = result.trace_lane_of_output[po];
+      if (lane == static_cast<std::size_t>(-1)) {
+        f.sinks.push_back(NetSink{SinkKind::kPrimaryOutput, kNullCell, po});
+      } else {
+        f.sinks.push_back(NetSink{SinkKind::kTraceBuffer, kNullCell, lane});
+      }
+    }
+    for (std::size_t l : latch_d_of[id]) {
+      // The latch D pin lives in the BLE of its driver when possible; model
+      // it as a pin of the latch-output cell's cluster.
+      f.sinks.push_back(
+          NetSink{SinkKind::kCellPin, mn.latches()[l].output, 0});
+    }
+    // Deduplicate sinks.
+    std::sort(f.sinks.begin(), f.sinks.end(),
+              [](const NetSink& a, const NetSink& b) {
+                return std::tie(a.kind, a.cell, a.index) <
+                       std::tie(b.kind, b.cell, b.index);
+              });
+    f.sinks.erase(std::unique(f.sinks.begin(), f.sinks.end(),
+                              [](const NetSink& a, const NetSink& b) {
+                                return a.kind == b.kind && a.cell == b.cell &&
+                                       a.index == b.index;
+                              }),
+                  f.sinks.end());
+    return f;
+  };
+
+  // Per non-TCON signal producer: one always-on net for its direct sinks,
+  // plus one conditional (grouped) net per TCON it enters.  Splitting is
+  // essential for the bitstream: only the TCON-branch switches are
+  // parameter-dependent; wires to regular consumers are always configured.
+  for (CellId id = 0; id < mn.num_cells(); ++id) {
+    const MKind kind = mn.cell(id).kind;
+    if (kind == MKind::kTcon) continue;  // virtual: no own net
+
+    PhysNet direct;
+    direct.driver = id;
+    for (CellId r : readers[id]) {
+      if (mn.cell(r).kind != MKind::kTcon) {
+        direct.sinks.push_back(NetSink{SinkKind::kCellPin, r, 0});
+      }
+    }
+    for (std::size_t po : po_of[id]) {
+      const std::size_t lane = result.trace_lane_of_output[po];
+      if (lane == npos) {
+        direct.sinks.push_back(NetSink{SinkKind::kPrimaryOutput, kNullCell, po});
+      } else {
+        direct.sinks.push_back(NetSink{SinkKind::kTraceBuffer, kNullCell, lane});
+      }
+    }
+    for (std::size_t l : latch_d_of[id]) {
+      direct.sinks.push_back(
+          NetSink{SinkKind::kCellPin, mn.latches()[l].output, 0});
+    }
+    if (!direct.sinks.empty()) {
+      result.nets.push_back(std::move(direct));
+    }
+
+    // Conditional branches: one net per (driver, entered TCON, input pin).
+    for (CellId r : readers[id]) {
+      if (mn.cell(r).kind != MKind::kTcon) continue;
+      const Flattened& f = flatten(flatten, r);
+      const auto& pins = mn.cell(r).data_inputs;
+      for (std::size_t i = 0; i < pins.size(); ++i) {
+        if (pins[i] != id) continue;
+        PhysNet branch;
+        branch.driver = id;
+        branch.sinks = f.sinks;
+        branch.exclusive_group = std::max(f.group, static_cast<int>(r));
+        branch.via_tcon = r;
+        branch.via_input = i;
+        if (!branch.sinks.empty()) result.nets.push_back(std::move(branch));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fpgadbg::pnr

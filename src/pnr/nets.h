@@ -1,0 +1,55 @@
+// Physical net extraction from a mapped netlist.
+//
+// LUT/TLUT cells and sources are physical blocks; TCON cells are *virtual* —
+// they exist only as parameterized switch settings in the routing fabric.
+// A TCON is therefore flattened: each of its data drivers gets a wire to the
+// TCON chain's eventual consumers, and all drivers funneling into the same
+// chain belong to one *exclusive group*: at most one of them is selected by
+// any parameter value, so the group's nets may legally share routing
+// resources (the heart of the paper's §V-C1 wire savings).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "map/mapped_netlist.h"
+
+namespace fpgadbg::pnr {
+
+/// Sink kinds a net can terminate in.
+enum class SinkKind : std::uint8_t { kCellPin, kPrimaryOutput, kTraceBuffer };
+
+struct NetSink {
+  SinkKind kind;
+  map::CellId cell;        ///< consuming cell (kCellPin) or kNullCell
+  std::size_t index = 0;   ///< PO index or trace-lane index
+};
+
+struct PhysNet {
+  map::CellId driver = map::kNullCell;  ///< a placed cell or source
+  std::vector<NetSink> sinks;
+  /// Nets with equal non-negative group ids are mutually exclusive
+  /// parameter alternatives and may overlap in the routing fabric.
+  int exclusive_group = -1;
+  /// For a parameterized branch: the TCON this net enters and which of its
+  /// data inputs carries the driver.  The net is physically configured only
+  /// when the parameters steer that input through the chain — its switch
+  /// bits in the PConf are exactly that condition.
+  map::CellId via_tcon = map::kNullCell;
+  std::size_t via_input = 0;
+};
+
+struct NetExtraction {
+  std::vector<PhysNet> nets;
+  /// Trace-lane index per output position (or npos when the output is a
+  /// regular PO).  Lane outputs route to BRAM trace buffers.
+  std::vector<std::size_t> trace_lane_of_output;
+};
+
+/// Flattens TCON chains into grouped physical nets.  `trace_output_names`
+/// (from the instrumentation result) marks which primary outputs are trace
+/// lanes headed for BRAM buffers; pass empty for plain circuits.
+NetExtraction extract_nets(const map::MappedNetlist& mn,
+                           const std::vector<std::string>& trace_output_names);
+
+}  // namespace fpgadbg::pnr

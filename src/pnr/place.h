@@ -1,0 +1,46 @@
+// TPlace: simulated-annealing placement (VPR lineage).
+//
+// Clusters are assigned to CLB tiles, primary I/O and parameters to the IO
+// ring, trace lanes to BRAM tiles.  The annealer minimises total half-
+// perimeter wirelength (HPWL) over the extracted physical nets with the
+// classic swap/move + adaptive temperature schedule.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "arch/device.h"
+#include "pnr/nets.h"
+#include "pnr/pack.h"
+
+namespace fpgadbg::pnr {
+
+struct PlaceOptions {
+  std::uint64_t seed = 1;
+  /// Moves per temperature step = moves_per_cell * sqrt(#clusters).
+  double moves_per_cell = 10.0;
+  double initial_accept = 0.8;  ///< target initial acceptance ratio
+  double exit_temperature = 0.005;
+};
+
+struct Placement {
+  /// Tile position per cluster.
+  std::vector<std::pair<int, int>> cluster_pos;
+  /// IO tile per source cell (inputs, params) and per primary output index.
+  std::unordered_map<map::CellId, std::pair<int, int>> io_of_cell;
+  std::vector<std::pair<int, int>> io_of_output;
+  /// BRAM tile per trace lane.
+  std::vector<std::pair<int, int>> bram_of_lane;
+
+  /// Position of a net endpoint.
+  std::pair<int, int> cell_pos(const map::MappedNetlist& mn,
+                               const Packing& packing, map::CellId cell) const;
+
+  double total_hpwl = 0.0;
+};
+
+Placement place(const map::MappedNetlist& mn, const Packing& packing,
+                const NetExtraction& nets, const arch::Device& device,
+                const PlaceOptions& options = {});
+
+}  // namespace fpgadbg::pnr

@@ -1,0 +1,246 @@
+#include "pnr/route.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "support/error.h"
+#include "support/stopwatch.h"
+
+namespace fpgadbg::pnr {
+
+using arch::RREdgeId;
+using arch::RRGraph;
+using arch::RRKind;
+using arch::RRNodeId;
+using map::MappedNetlist;
+
+namespace {
+
+/// Group-aware occupancy of one RR node: a short list of (group, count).
+/// Ungrouped nets use unique synthetic group ids so each counts separately.
+struct NodeOcc {
+  std::vector<std::pair<int, int>> groups;
+
+  int occupancy() const { return static_cast<int>(groups.size()); }
+
+  bool holds(int group) const {
+    for (const auto& [g, c] : groups) {
+      if (g == group) return true;
+    }
+    return false;
+  }
+  void add(int group) {
+    for (auto& [g, c] : groups) {
+      if (g == group) {
+        ++c;
+        return;
+      }
+    }
+    groups.emplace_back(group, 1);
+  }
+  void remove(int group) {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i].first == group) {
+        if (--groups[i].second == 0) {
+          groups[i] = groups.back();
+          groups.pop_back();
+        }
+        return;
+      }
+    }
+    FPGADBG_ASSERT(false, "removing absent group from RR node");
+  }
+};
+
+struct QueueEntry {
+  double cost;
+  RRNodeId node;
+  bool operator>(const QueueEntry& o) const { return cost > o.cost; }
+};
+
+}  // namespace
+
+RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
+                  const Packing& packing, const NetExtraction& nets,
+                  const Placement& placement, const RouteOptions& options) {
+  Stopwatch timer;
+  RouteResult result;
+  result.routes.resize(nets.nets.size());
+
+  // Net terminals in RR space.
+  struct Terminals {
+    RRNodeId source;
+    std::vector<RRNodeId> sinks;
+    int group;
+    int source_group;  ///< keyed by driver: all fanout nets share the OPIN
+  };
+  std::vector<Terminals> terms(nets.nets.size());
+  for (std::size_t n = 0; n < nets.nets.size(); ++n) {
+    const PhysNet& net = nets.nets[n];
+    const auto dpos = placement.cell_pos(mn, packing, net.driver);
+    Terminals t;
+    t.source = rr.opin_at(dpos.first, dpos.second);
+    t.group = net.exclusive_group >= 0
+                  ? net.exclusive_group
+                  : -(static_cast<int>(n) + 2);  // unique synthetic group
+    // A physical output pin drives arbitrary fanout: every net of the same
+    // driver occupies the OPIN once, together.
+    t.source_group = -(static_cast<int>(net.driver) + 2);
+    std::unordered_set<RRNodeId> seen;
+    for (const NetSink& sink : net.sinks) {
+      std::pair<int, int> pos;
+      switch (sink.kind) {
+        case SinkKind::kCellPin:
+          pos = placement.cell_pos(mn, packing, sink.cell);
+          break;
+        case SinkKind::kPrimaryOutput:
+          pos = placement.io_of_output[sink.index];
+          break;
+        case SinkKind::kTraceBuffer:
+          pos = placement.bram_of_lane[sink.index];
+          break;
+      }
+      if (pos == dpos) continue;  // intra-tile connection: no routing needed
+      const RRNodeId ipin = rr.ipin_at(pos.first, pos.second);
+      if (seen.insert(ipin).second) t.sinks.push_back(ipin);
+    }
+    terms[n] = std::move(t);
+  }
+
+  std::vector<NodeOcc> occ(rr.num_nodes());
+  std::vector<double> history(rr.num_nodes(), 0.0);
+  // Per-net node usage (for rip-up).
+  std::vector<std::vector<RRNodeId>> net_nodes(nets.nets.size());
+
+  double pres_fac = options.pres_fac_init;
+
+  // Group used by net n on node id: OPINs are keyed by driver (all fanout
+  // nets of one driver share the physical pin), everything else by the
+  // net's exclusivity group.
+  auto group_at = [&](std::size_t n, RRNodeId id) {
+    return rr.node(id).kind == RRKind::kOpin ? terms[n].source_group
+                                             : terms[n].group;
+  };
+
+  auto node_cost = [&](RRNodeId id, int group) {
+    const auto& node = rr.node(id);
+    int occupancy = occ[id].occupancy();
+    if (!occ[id].holds(group)) occupancy += 1;  // cost as if we were added
+    const int over = std::max(0, occupancy - node.capacity);
+    const double congestion = 1.0 + pres_fac * over;
+    return (1.0 + history[id]) * congestion;
+  };
+
+  auto rip_up = [&](std::size_t n) {
+    for (RRNodeId id : net_nodes[n]) occ[id].remove(group_at(n, id));
+    net_nodes[n].clear();
+    result.routes[n].clear();
+  };
+
+  std::vector<double> dist(rr.num_nodes());
+  std::vector<RREdgeId> prev_edge(rr.num_nodes());
+  std::vector<std::uint32_t> stamp(rr.num_nodes(), 0);
+  std::uint32_t now = 0;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+    bool any_overuse = false;
+
+    for (std::size_t n = 0; n < nets.nets.size(); ++n) {
+      if (terms[n].sinks.empty()) continue;
+      rip_up(n);
+
+      // Route tree starts at the source; each sink is reached by Dijkstra
+      // from the whole current tree (cost 0 inside the tree).
+      std::vector<RRNodeId> tree{terms[n].source};
+      occ[terms[n].source].add(group_at(n, terms[n].source));
+      net_nodes[n].push_back(terms[n].source);
+
+      for (RRNodeId target : terms[n].sinks) {
+        ++now;
+        std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                            std::greater<QueueEntry>>
+            queue;
+        for (RRNodeId t : tree) {
+          dist[t] = 0.0;
+          stamp[t] = now;
+          prev_edge[t] = static_cast<RREdgeId>(-1);
+          queue.push(QueueEntry{0.0, t});
+        }
+        bool reached = false;
+        while (!queue.empty()) {
+          const QueueEntry top = queue.top();
+          queue.pop();
+          if (stamp[top.node] == now && top.cost > dist[top.node]) continue;
+          if (top.node == target) {
+            reached = true;
+            break;
+          }
+          for (RREdgeId e : rr.out_edges(top.node)) {
+            const RRNodeId next = rr.edge(e).to;
+            // IPINs are only enterable when they are the target (a pin is
+            // not a through-route).
+            if (rr.node(next).kind == RRKind::kIpin && next != target) {
+              continue;
+            }
+            const double c = top.cost + node_cost(next, group_at(n, next));
+            if (stamp[next] != now || c < dist[next]) {
+              stamp[next] = now;
+              dist[next] = c;
+              prev_edge[next] = e;
+              queue.push(QueueEntry{c, next});
+            }
+          }
+        }
+        if (!reached) {
+          // Unroutable sink this iteration; PathFinder keeps negotiating.
+          any_overuse = true;
+          continue;
+        }
+        // Walk back, adding new nodes to the tree.
+        RRNodeId cur = target;
+        while (prev_edge[cur] != static_cast<RREdgeId>(-1)) {
+          const RREdgeId e = prev_edge[cur];
+          result.routes[n].push_back(e);
+          if (std::find(net_nodes[n].begin(), net_nodes[n].end(), cur) ==
+              net_nodes[n].end()) {
+            occ[cur].add(group_at(n, cur));
+            net_nodes[n].push_back(cur);
+          }
+          tree.push_back(cur);
+          cur = rr.edge(e).from;
+        }
+      }
+    }
+
+    // Overuse check + history update.
+    for (RRNodeId id = 0; id < rr.num_nodes(); ++id) {
+      const int over = occ[id].occupancy() - rr.node(id).capacity;
+      if (over > 0) {
+        any_overuse = true;
+        history[id] += options.hist_fac * over;
+      }
+    }
+    if (!any_overuse) {
+      result.success = true;
+      break;
+    }
+    pres_fac *= options.pres_fac_mult;
+  }
+
+  // Final statistics over wires.
+  for (RRNodeId id = 0; id < rr.num_nodes(); ++id) {
+    const RRKind kind = rr.node(id).kind;
+    if (kind != RRKind::kChanX && kind != RRKind::kChanY) continue;
+    const int users = occ[id].occupancy();
+    if (users > 0) {
+      ++result.wire_nodes_used;
+      result.total_wirelength += static_cast<std::size_t>(users);
+    }
+  }
+  result.runtime_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace fpgadbg::pnr

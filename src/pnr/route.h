@@ -1,0 +1,46 @@
+// TRoute: PathFinder negotiated-congestion routing with tuneable sharing.
+//
+// Standard PathFinder (rip-up & re-route with growing present-congestion
+// penalties and history costs), extended with the paper's key routing
+// property: nets in the same *exclusive group* are parameter alternatives —
+// at any moment only one of them is configured into the fabric — so they may
+// occupy the same wires without conflict.  Occupancy therefore counts
+// distinct groups per routing resource, not distinct nets.  This is what
+// produces the ~3x wire reduction of §V-C1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/frames.h"
+#include "arch/rr_graph.h"
+#include "pnr/nets.h"
+#include "pnr/place.h"
+
+namespace fpgadbg::pnr {
+
+struct RouteOptions {
+  int max_iterations = 40;
+  double pres_fac_init = 0.6;
+  double pres_fac_mult = 1.6;
+  double hist_fac = 0.4;
+};
+
+struct RouteResult {
+  bool success = false;
+  int iterations = 0;
+  /// RR edges per net (same order as the input nets).
+  std::vector<std::vector<arch::RREdgeId>> routes;
+  /// Distinct CHANX/CHANY nodes carrying at least one net.
+  std::size_t wire_nodes_used = 0;
+  /// Sum of per-wire occupancy (shared group segments count once).
+  std::size_t total_wirelength = 0;
+  double runtime_seconds = 0.0;
+};
+
+RouteResult route(const arch::RRGraph& rr, const map::MappedNetlist& mn,
+                  const Packing& packing, const NetExtraction& nets,
+                  const Placement& placement,
+                  const RouteOptions& options = {});
+
+}  // namespace fpgadbg::pnr

@@ -1,0 +1,86 @@
+#include "pnr/timing.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace fpgadbg::pnr {
+
+using map::CellId;
+using map::kNullCell;
+using map::MappedNetlist;
+using map::MKind;
+
+TimingReport analyze_timing(const CompiledDesign& design,
+                            const DelayModel& model) {
+  const MappedNetlist& mn = design.netlist;
+  TimingReport report;
+  report.arrival_ns.assign(mn.num_cells(), 0.0);
+  std::vector<CellId> pred(mn.num_cells(), kNullCell);
+
+  // Per-driver routed wire delay: the net's segment count scaled by the
+  // model.  Nets were split per TCON branch; charge each driver the worst
+  // of its nets (pessimistic but consistent across flows).
+  std::vector<double> net_delay(mn.num_cells(), model.pin_ns);
+  std::vector<std::size_t> worst_segments(mn.num_cells(), 0);
+  for (std::size_t n = 0; n < design.nets.nets.size(); ++n) {
+    const CellId driver = design.nets.nets[n].driver;
+    std::size_t segments = 0;
+    for (arch::RREdgeId e : design.routing.routes[n]) {
+      const auto kind = design.rr->node(design.rr->edge(e).to).kind;
+      if (kind == arch::RRKind::kChanX || kind == arch::RRKind::kChanY) {
+        ++segments;
+      }
+    }
+    worst_segments[driver] = std::max(worst_segments[driver], segments);
+  }
+  for (CellId id = 0; id < mn.num_cells(); ++id) {
+    net_delay[id] = 2 * model.pin_ns +
+                    static_cast<double>(worst_segments[id]) * model.segment_ns;
+  }
+
+  // Arrival propagation in topological order; TCONs add routing delay only
+  // (their wires were already charged to their drivers' nets).
+  for (CellId id : mn.topo_order()) {
+    const auto& cell = mn.cell(id);
+    double worst_in = 0.0;
+    CellId worst_pred = kNullCell;
+    for (CellId in : cell.data_inputs) {
+      const double t = report.arrival_ns[in] + net_delay[in];
+      if (t > worst_in) {
+        worst_in = t;
+        worst_pred = in;
+      }
+    }
+    const double cell_delay = cell.kind == MKind::kTcon ? 0.0 : model.lut_ns;
+    report.arrival_ns[id] = worst_in + cell_delay;
+    pred[id] = worst_pred;
+  }
+
+  // Endpoints: primary outputs and latch D pins.
+  CellId worst_end = kNullCell;
+  auto consider = [&](CellId id) {
+    const double t = report.arrival_ns[id] + net_delay[id];
+    if (worst_end == kNullCell ||
+        t > report.arrival_ns[worst_end] + net_delay[worst_end]) {
+      worst_end = id;
+    }
+  };
+  for (CellId out : mn.outputs()) consider(out);
+  for (const auto& latch : mn.latches()) consider(latch.input);
+  if (worst_end == kNullCell) return report;
+
+  report.critical_path_ns =
+      report.arrival_ns[worst_end] + net_delay[worst_end];
+  report.max_frequency_mhz =
+      report.critical_path_ns > 0 ? 1e3 / report.critical_path_ns : 0.0;
+
+  // Unwind the worst path.
+  for (CellId cur = worst_end; cur != kNullCell; cur = pred[cur]) {
+    report.critical_path.push_back(mn.cell(cur).name);
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  return report;
+}
+
+}  // namespace fpgadbg::pnr

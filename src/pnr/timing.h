@@ -1,0 +1,35 @@
+// Routed timing analysis (paper §V-B: critical path delay).
+//
+// Table II's logic depth is the architecture-independent proxy; this
+// analysis weights the real placed-and-routed design: every LUT/TLUT costs a
+// cell delay, every net costs pin delay plus wire delay proportional to its
+// routed segment count.  TCONs contribute only their routing (that is the
+// §V-B argument for why the proposed flow leaves the critical path alone).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnr/flow.h"
+
+namespace fpgadbg::pnr {
+
+struct DelayModel {
+  double lut_ns = 0.9;       ///< K-LUT cell delay
+  double pin_ns = 0.05;      ///< OPIN/IPIN transfer
+  double segment_ns = 0.18;  ///< one unit-length routed wire segment
+};
+
+struct TimingReport {
+  double critical_path_ns = 0.0;
+  double max_frequency_mhz = 0.0;
+  /// Cell names along the critical path, source to endpoint.
+  std::vector<std::string> critical_path;
+  /// Arrival time per cell (ns), indexed by CellId.
+  std::vector<double> arrival_ns;
+};
+
+TimingReport analyze_timing(const CompiledDesign& design,
+                            const DelayModel& model = {});
+
+}  // namespace fpgadbg::pnr

@@ -1,0 +1,114 @@
+#include "sim/equivalence.h"
+
+#include <sstream>
+
+#include "sim/mapped_simulator.h"
+#include "sim/simulator.h"
+#include "support/error.h"
+
+namespace fpgadbg::sim {
+
+namespace {
+
+/// Drives two simulators with identical stimulus and compares outputs.
+/// SimB must expose the same set_input/set_param/step/output interface.
+template <typename SimA, typename SimB, typename NamesA>
+EquivalenceReport run_lockstep(SimA& sa, SimB& sb, const NamesA& input_names,
+                               const NamesA& param_names,
+                               const std::vector<std::string>& out_names,
+                               std::uint64_t vectors, Rng& rng) {
+  EquivalenceReport report;
+  // Parameters change rarely; re-randomize them every 16 vectors.
+  std::vector<bool> params(param_names.size(), false);
+  for (std::uint64_t v = 0; v < vectors; ++v) {
+    if (v % 16 == 0) {
+      for (std::size_t p = 0; p < params.size(); ++p) {
+        params[p] = rng.next_bool();
+        sa.set_param_by_name(param_names[p], params[p]);
+        sb.set_param_by_name(param_names[p], params[p]);
+      }
+    }
+    for (const auto& name : input_names) {
+      const bool bit = rng.next_bool();
+      sa.set_input_by_name(name, bit);
+      sb.set_input_by_name(name, bit);
+    }
+    sa.sim.step();
+    sb.sim.step();
+    const auto oa = sa.sim.output_values();
+    const auto ob = sb.sim.output_values();
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+      if (oa[i] != ob[i]) {
+        report.equivalent = false;
+        std::ostringstream os;
+        os << "output '" << out_names[i] << "' differs at vector " << v
+           << ": " << oa[i] << " vs " << ob[i];
+        report.first_mismatch = os.str();
+        report.vectors_checked = v + 1;
+        return report;
+      }
+    }
+  }
+  report.vectors_checked = vectors;
+  return report;
+}
+
+struct NetlistDriver {
+  explicit NetlistDriver(const netlist::Netlist& nl) : sim(nl) {}
+  void set_input_by_name(const std::string& name, bool v) {
+    sim.set_input(name, v);
+  }
+  void set_param_by_name(const std::string& name, bool v) {
+    const auto id = sim.netlist().find(name);
+    FPGADBG_REQUIRE(id.has_value(), "unknown param: " + name);
+    sim.set_param(*id, v);
+  }
+  NetlistSimulator sim;
+};
+
+struct MappedDriver {
+  explicit MappedDriver(const map::MappedNetlist& mn) : sim(mn) {}
+  void set_input_by_name(const std::string& name, bool v) {
+    sim.set_input(name, v);
+  }
+  void set_param_by_name(const std::string& name, bool v) {
+    const auto id = sim.netlist().find(name);
+    FPGADBG_REQUIRE(id.has_value(), "unknown param: " + name);
+    sim.set_param(*id, v);
+  }
+  MappedSimulator sim;
+};
+
+std::vector<std::string> names_of(const netlist::Netlist& nl,
+                                  const std::vector<netlist::NodeId>& ids) {
+  std::vector<std::string> names;
+  names.reserve(ids.size());
+  for (auto id : ids) names.push_back(nl.name(id));
+  return names;
+}
+
+}  // namespace
+
+EquivalenceReport check_equivalence(const netlist::Netlist& a,
+                                    const netlist::Netlist& b,
+                                    std::uint64_t vectors, Rng& rng) {
+  FPGADBG_REQUIRE(a.outputs().size() == b.outputs().size(),
+                  "output count mismatch");
+  NetlistDriver da(a);
+  NetlistDriver db(b);
+  return run_lockstep(da, db, names_of(a, a.inputs()), names_of(a, a.params()),
+                      a.output_names(), vectors, rng);
+}
+
+EquivalenceReport check_equivalence(const netlist::Netlist& a,
+                                    const map::MappedNetlist& b,
+                                    std::uint64_t vectors, Rng& rng) {
+  FPGADBG_REQUIRE(a.outputs().size() == b.outputs().size(),
+                  "output count mismatch");
+  NetlistDriver da(a);
+  MappedDriver db(b);
+  return run_lockstep(da, db, names_of(a, a.inputs()), names_of(a, a.params()),
+                      a.output_names(), vectors, rng);
+}
+
+}  // namespace fpgadbg::sim

@@ -1,0 +1,21 @@
+#include "sim/fault.h"
+
+#include <string>
+
+namespace fpgadbg::sim {
+
+std::string to_string(FaultType type) {
+  switch (type) {
+    case FaultType::kStuckAt0:
+      return "stuck-at-0";
+    case FaultType::kStuckAt1:
+      return "stuck-at-1";
+    case FaultType::kInvert:
+      return "invert";
+    case FaultType::kFlipOnCycle:
+      return "flip-on-cycle";
+  }
+  return "unknown";
+}
+
+}  // namespace fpgadbg::sim

@@ -1,0 +1,48 @@
+// Fault models for emulation-time bug hunting.
+//
+// The paper's debug loop exists to localize functional errors "inadvertently
+// introduced at the RTL stage".  We model them as net-level faults injected
+// into the golden netlist: stuck-at values, output inversions, and
+// intermittent bit-flips that fire on chosen cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fpgadbg::sim {
+
+enum class FaultType : std::uint8_t {
+  kStuckAt0,
+  kStuckAt1,
+  kInvert,          ///< permanent output inversion (wrong-gate model)
+  kFlipOnCycle,     ///< single-cycle transient on `cycle`
+};
+
+struct Fault {
+  netlist::NodeId node = netlist::kNullNode;
+  FaultType type = FaultType::kStuckAt0;
+  std::uint64_t cycle = 0;  ///< only for kFlipOnCycle
+
+  bool active_at(std::uint64_t now) const {
+    return type != FaultType::kFlipOnCycle || cycle == now;
+  }
+  bool apply(bool value, std::uint64_t now) const {
+    switch (type) {
+      case FaultType::kStuckAt0:
+        return false;
+      case FaultType::kStuckAt1:
+        return true;
+      case FaultType::kInvert:
+        return !value;
+      case FaultType::kFlipOnCycle:
+        return cycle == now ? !value : value;
+    }
+    return value;
+  }
+};
+
+std::string to_string(FaultType type);
+
+}  // namespace fpgadbg::sim

@@ -1,0 +1,113 @@
+#include "sim/mapped_simulator.h"
+
+#include "support/error.h"
+
+namespace fpgadbg::sim {
+
+using map::CellId;
+using map::MappedNetlist;
+using map::MKind;
+
+MappedSimulator::MappedSimulator(const MappedNetlist& mn)
+    : mn_(mn), topo_(mn.topo_order()), values_(mn.num_cells(), 0) {
+  latch_state_.resize(mn.latches().size(), 0);
+  reset();
+}
+
+void MappedSimulator::reset() {
+  cycle_ = 0;
+  for (std::size_t i = 0; i < mn_.latches().size(); ++i) {
+    latch_state_[i] = mn_.latches()[i].init_value == 1 ? 1 : 0;
+    values_[mn_.latches()[i].output] = latch_state_[i];
+  }
+}
+
+void MappedSimulator::set_input(CellId id, bool value) {
+  FPGADBG_REQUIRE(mn_.cell(id).kind == MKind::kInput,
+                  "set_input target is not an input");
+  values_[id] = value ? 1 : 0;
+}
+
+void MappedSimulator::set_input(const std::string& name, bool value) {
+  const auto id = mn_.find(name);
+  FPGADBG_REQUIRE(id.has_value(), "unknown input: " + name);
+  set_input(*id, value);
+}
+
+void MappedSimulator::set_inputs(const std::vector<bool>& values) {
+  FPGADBG_REQUIRE(values.size() == mn_.inputs().size(),
+                  "set_inputs size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values_[mn_.inputs()[i]] = values[i] ? 1 : 0;
+  }
+}
+
+void MappedSimulator::set_param(CellId id, bool value) {
+  FPGADBG_REQUIRE(mn_.cell(id).kind == MKind::kParam,
+                  "set_param target is not a parameter");
+  values_[id] = value ? 1 : 0;
+}
+
+void MappedSimulator::set_params(const std::vector<bool>& values) {
+  FPGADBG_REQUIRE(values.size() == mn_.params().size(),
+                  "set_params size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values_[mn_.params()[i]] = values[i] ? 1 : 0;
+  }
+}
+
+void MappedSimulator::eval() {
+  for (std::size_t i = 0; i < mn_.latches().size(); ++i) {
+    values_[mn_.latches()[i].output] = latch_state_[i];
+  }
+  for (CellId id : topo_) {
+    const auto& cell = mn_.cell(id);
+    std::uint64_t assignment = 0;
+    std::size_t v = 0;
+    for (CellId in : cell.data_inputs) {
+      if (values_[in]) assignment |= 1ULL << v;
+      ++v;
+    }
+    for (CellId in : cell.param_inputs) {
+      if (values_[in]) assignment |= 1ULL << v;
+      ++v;
+    }
+    values_[id] = cell.function.evaluate(assignment) ? 1 : 0;
+  }
+}
+
+void MappedSimulator::step() {
+  eval();
+  for (std::size_t i = 0; i < mn_.latches().size(); ++i) {
+    latch_state_[i] = values_[mn_.latches()[i].input];
+  }
+  ++cycle_;
+}
+
+bool MappedSimulator::output(std::size_t index) const {
+  FPGADBG_REQUIRE(index < mn_.outputs().size(), "output index out of range");
+  return values_[mn_.outputs()[index]] != 0;
+}
+
+MappedSimulator::Snapshot MappedSimulator::snapshot() const {
+  return Snapshot{latch_state_, cycle_};
+}
+
+void MappedSimulator::restore(const Snapshot& snap) {
+  FPGADBG_REQUIRE(snap.latch_state.size() == latch_state_.size(),
+                  "snapshot is for a different design");
+  latch_state_ = snap.latch_state;
+  cycle_ = snap.cycle;
+  for (std::size_t i = 0; i < mn_.latches().size(); ++i) {
+    values_[mn_.latches()[i].output] = latch_state_[i];
+  }
+}
+
+std::vector<bool> MappedSimulator::output_values() const {
+  std::vector<bool> out;
+  out.reserve(mn_.outputs().size());
+  for (CellId id : mn_.outputs()) out.push_back(values_[id] != 0);
+  return out;
+}
+
+}  // namespace fpgadbg::sim

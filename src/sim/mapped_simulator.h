@@ -1,0 +1,56 @@
+// Functional simulation of a technology-mapped netlist.
+//
+// Evaluates LUTs, TLUTs and TCONs exactly as configured hardware would:
+// parameter inputs are quasi-static values that change only between
+// debugging turns, data inputs toggle every cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "map/mapped_netlist.h"
+
+namespace fpgadbg::sim {
+
+class MappedSimulator {
+ public:
+  explicit MappedSimulator(const map::MappedNetlist& mn);
+
+  const map::MappedNetlist& netlist() const { return mn_; }
+
+  void reset();
+  void set_input(map::CellId id, bool value);
+  void set_input(const std::string& name, bool value);
+  void set_inputs(const std::vector<bool>& values);
+  void set_param(map::CellId id, bool value);
+  void set_params(const std::vector<bool>& values);
+
+  void eval();
+  void step();
+
+  bool value(map::CellId id) const { return values_[id] != 0; }
+  bool output(std::size_t index) const;
+  std::vector<bool> output_values() const;
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Sequential state snapshot (latch contents + cycle counter).  Emulators
+  /// support state readback/restore so a debug run can rewind to just before
+  /// a trigger and re-run with different observation parameters.
+  struct Snapshot {
+    std::vector<std::uint8_t> latch_state;
+    std::uint64_t cycle = 0;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snapshot);
+
+ private:
+  const map::MappedNetlist& mn_;
+  std::vector<map::CellId> topo_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint8_t> latch_state_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace fpgadbg::sim

@@ -1,0 +1,73 @@
+#include "sim/parallel_simulator.h"
+
+#include "support/error.h"
+
+namespace fpgadbg::sim {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+ParallelSimulator::ParallelSimulator(const Netlist& nl)
+    : nl_(nl), topo_(nl.topo_order()), values_(nl.num_nodes(), 0) {
+  latch_state_.resize(nl.latches().size(), 0);
+  reset();
+}
+
+void ParallelSimulator::reset() {
+  cycle_ = 0;
+  for (std::size_t i = 0; i < nl_.latches().size(); ++i) {
+    latch_state_[i] = nl_.latches()[i].init_value == 1 ? ~0ULL : 0ULL;
+    values_[nl_.latches()[i].output] = latch_state_[i];
+  }
+}
+
+void ParallelSimulator::set_input_word(NodeId id, std::uint64_t word) {
+  FPGADBG_REQUIRE(nl_.kind(id) == NodeKind::kInput,
+                  "set_input_word target is not an input");
+  values_[id] = word;
+}
+
+void ParallelSimulator::set_param_word(NodeId id, std::uint64_t word) {
+  FPGADBG_REQUIRE(nl_.kind(id) == NodeKind::kParam,
+                  "set_param_word target is not a parameter");
+  values_[id] = word;
+}
+
+void ParallelSimulator::eval() {
+  for (std::size_t i = 0; i < nl_.latches().size(); ++i) {
+    values_[nl_.latches()[i].output] = latch_state_[i];
+  }
+  for (NodeId id : topo_) {
+    const auto& node = nl_.node(id);
+    const std::size_t arity = node.fanins.size();
+    // Word-parallel truth-table evaluation: OR of minterm products.
+    std::uint64_t result = 0;
+    const std::size_t minterms = std::size_t{1} << arity;
+    for (std::size_t m = 0; m < minterms; ++m) {
+      if (!node.function.bit(m)) continue;
+      std::uint64_t term = ~0ULL;
+      for (std::size_t v = 0; v < arity && term != 0; ++v) {
+        const std::uint64_t w = values_[node.fanins[v]];
+        term &= ((m >> v) & 1) ? w : ~w;
+      }
+      result |= term;
+    }
+    values_[id] = result;
+  }
+}
+
+void ParallelSimulator::step() {
+  eval();
+  for (std::size_t i = 0; i < nl_.latches().size(); ++i) {
+    latch_state_[i] = values_[nl_.latches()[i].input];
+  }
+  ++cycle_;
+}
+
+std::uint64_t ParallelSimulator::output_word(std::size_t index) const {
+  FPGADBG_REQUIRE(index < nl_.outputs().size(), "output index out of range");
+  return values_[nl_.outputs()[index]];
+}
+
+}  // namespace fpgadbg::sim

@@ -1,0 +1,54 @@
+// Bit-sliced (word-parallel) netlist simulation.
+//
+// Emulation-style verification needs millions of vectors; evaluating one
+// vector at a time wastes 63/64 of every machine word.  This simulator packs
+// 64 independent stimulus vectors into one 64-bit lane per net and evaluates
+// each node once per batch via Shannon-expanded word operations, giving a
+// ~20-50x throughput gain over NetlistSimulator (see bench_micro).
+// Sequential semantics match NetlistSimulator: all 64 streams step their
+// latches in lock-step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fpgadbg::sim {
+
+class ParallelSimulator {
+ public:
+  static constexpr std::size_t kLanes = 64;
+
+  explicit ParallelSimulator(const netlist::Netlist& nl);
+
+  const netlist::Netlist& netlist() const { return nl_; }
+
+  /// Reset all 64 streams' latches to their init values.
+  void reset();
+
+  /// Set the 64-vector word of an input (bit i = stream i's value).
+  void set_input_word(netlist::NodeId id, std::uint64_t word);
+  void set_param_word(netlist::NodeId id, std::uint64_t word);
+
+  void eval();
+  void step();
+
+  std::uint64_t word(netlist::NodeId id) const { return values_[id]; }
+  bool value(netlist::NodeId id, std::size_t lane) const {
+    return (values_[id] >> lane) & 1;
+  }
+  std::uint64_t output_word(std::size_t index) const;
+
+  std::uint64_t cycle() const { return cycle_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<netlist::NodeId> topo_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> latch_state_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace fpgadbg::sim

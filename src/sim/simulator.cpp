@@ -1,0 +1,109 @@
+#include "sim/simulator.h"
+
+#include "support/error.h"
+
+namespace fpgadbg::sim {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+NetlistSimulator::NetlistSimulator(const Netlist& nl)
+    : nl_(nl), topo_(nl.topo_order()), values_(nl.num_nodes(), 0) {
+  latch_state_.resize(nl.latches().size(), 0);
+  reset();
+}
+
+void NetlistSimulator::reset() {
+  cycle_ = 0;
+  for (std::size_t i = 0; i < nl_.latches().size(); ++i) {
+    latch_state_[i] = nl_.latches()[i].init_value == 1 ? 1 : 0;
+  }
+  for (std::size_t i = 0; i < nl_.latches().size(); ++i) {
+    values_[nl_.latches()[i].output] = latch_state_[i];
+  }
+}
+
+void NetlistSimulator::set_input(NodeId id, bool value) {
+  FPGADBG_REQUIRE(nl_.kind(id) == NodeKind::kInput,
+                  "set_input target is not an input");
+  values_[id] = value ? 1 : 0;
+}
+
+void NetlistSimulator::set_input(const std::string& name, bool value) {
+  const auto id = nl_.find(name);
+  FPGADBG_REQUIRE(id.has_value(), "unknown input: " + name);
+  set_input(*id, value);
+}
+
+void NetlistSimulator::set_inputs(const std::vector<bool>& values) {
+  FPGADBG_REQUIRE(values.size() == nl_.inputs().size(),
+                  "set_inputs size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values_[nl_.inputs()[i]] = values[i] ? 1 : 0;
+  }
+}
+
+void NetlistSimulator::set_param(NodeId id, bool value) {
+  FPGADBG_REQUIRE(nl_.kind(id) == NodeKind::kParam,
+                  "set_param target is not a parameter");
+  values_[id] = value ? 1 : 0;
+}
+
+void NetlistSimulator::set_params(const std::vector<bool>& values) {
+  FPGADBG_REQUIRE(values.size() == nl_.params().size(),
+                  "set_params size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values_[nl_.params()[i]] = values[i] ? 1 : 0;
+  }
+}
+
+void NetlistSimulator::eval() {
+  for (std::size_t i = 0; i < nl_.latches().size(); ++i) {
+    values_[nl_.latches()[i].output] = latch_state_[i];
+  }
+  for (NodeId id : topo_) {
+    const auto& node = nl_.node(id);
+    std::uint64_t assignment = 0;
+    for (std::size_t v = 0; v < node.fanins.size(); ++v) {
+      if (values_[node.fanins[v]]) assignment |= 1ULL << v;
+    }
+    values_[id] = node.function.evaluate(assignment) ? 1 : 0;
+    // Faults override computed values in place so downstream logic sees the
+    // faulty net, as real silicon would.
+    for (const Fault& f : faults_) {
+      if (f.node == id) {
+        values_[id] = f.apply(values_[id] != 0, cycle_) ? 1 : 0;
+      }
+    }
+  }
+}
+
+void NetlistSimulator::step() {
+  eval();
+  for (std::size_t i = 0; i < nl_.latches().size(); ++i) {
+    latch_state_[i] = values_[nl_.latches()[i].input];
+  }
+  ++cycle_;
+}
+
+bool NetlistSimulator::output(std::size_t index) const {
+  FPGADBG_REQUIRE(index < nl_.outputs().size(), "output index out of range");
+  return values_[nl_.outputs()[index]] != 0;
+}
+
+std::vector<bool> NetlistSimulator::output_values() const {
+  std::vector<bool> out;
+  out.reserve(nl_.outputs().size());
+  for (NodeId id : nl_.outputs()) out.push_back(values_[id] != 0);
+  return out;
+}
+
+void NetlistSimulator::inject_fault(const Fault& fault) {
+  FPGADBG_REQUIRE(fault.node < nl_.num_nodes(), "fault node out of range");
+  faults_.push_back(fault);
+}
+
+void NetlistSimulator::clear_faults() { faults_.clear(); }
+
+}  // namespace fpgadbg::sim

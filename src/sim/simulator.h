@@ -1,0 +1,63 @@
+// Levelized functional simulation of a Netlist.
+//
+// This is the "FPGA emulation" substrate: it executes the design
+// cycle-by-cycle, drives inputs, clocks latches, and exposes every internal
+// net's value — the ground truth that the debugging infrastructure's trace
+// buffers sample.  Fault injection (sim/fault.h) perturbs it to create the
+// buggy silicon the examples hunt down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/fault.h"
+
+namespace fpgadbg::sim {
+
+class NetlistSimulator {
+ public:
+  explicit NetlistSimulator(const netlist::Netlist& nl);
+
+  const netlist::Netlist& netlist() const { return nl_; }
+
+  /// Reset latches to their init values (init 2/3 resets to 0).
+  void reset();
+
+  void set_input(netlist::NodeId id, bool value);
+  void set_input(const std::string& name, bool value);
+  /// Values in inputs() order.
+  void set_inputs(const std::vector<bool>& values);
+  void set_param(netlist::NodeId id, bool value);
+  void set_params(const std::vector<bool>& values);
+
+  /// Propagate combinationally (does not advance latches).
+  void eval();
+
+  /// eval() then clock all latches.
+  void step();
+
+  bool value(netlist::NodeId id) const { return values_[id] != 0; }
+  bool output(std::size_t index) const;
+  std::vector<bool> output_values() const;
+
+  /// Install/remove a fault.  Faults apply from the next eval().
+  void inject_fault(const Fault& fault);
+  void clear_faults();
+  const std::vector<Fault>& faults() const { return faults_; }
+
+  std::uint64_t cycle() const { return cycle_; }
+
+ private:
+  void apply_faults();
+
+  const netlist::Netlist& nl_;
+  std::vector<netlist::NodeId> topo_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint8_t> latch_state_;
+  std::vector<Fault> faults_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace fpgadbg::sim

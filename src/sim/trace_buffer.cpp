@@ -1,0 +1,44 @@
+#include "sim/trace_buffer.h"
+
+namespace fpgadbg::sim {
+
+TraceBuffer::TraceBuffer(std::size_t width, std::size_t depth)
+    : width_(width), depth_(depth) {
+  FPGADBG_REQUIRE(width > 0 && depth > 0, "trace buffer dimensions");
+  ring_.assign(depth, BitVec(width));
+}
+
+void TraceBuffer::capture(const BitVec& sample) {
+  FPGADBG_REQUIRE(sample.size() == width_, "trace sample width mismatch");
+  ring_[next_] = sample;
+  next_ = (next_ + 1) % depth_;
+  ++total_;
+}
+
+std::size_t TraceBuffer::samples_stored() const {
+  return total_ >= depth_ ? depth_ : static_cast<std::size_t>(total_);
+}
+
+const BitVec& TraceBuffer::sample_back(std::size_t age) const {
+  FPGADBG_REQUIRE(age < samples_stored(), "trace readback out of range");
+  const std::size_t index = (next_ + depth_ - 1 - age) % depth_;
+  return ring_[index];
+}
+
+std::vector<BitVec> TraceBuffer::read_window() const {
+  std::vector<BitVec> window;
+  const std::size_t n = samples_stored();
+  window.reserve(n);
+  for (std::size_t i = n; i-- > 0;) {
+    window.push_back(sample_back(i));
+  }
+  return window;
+}
+
+void TraceBuffer::clear() {
+  for (auto& row : ring_) row = BitVec(width_);
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace fpgadbg::sim

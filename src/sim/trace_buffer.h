@@ -1,0 +1,51 @@
+// Trace buffer model: embedded-memory capture of observed signals.
+//
+// FPGA debugging instruments route selected internal signals into block-RAM
+// trace buffers that record a sliding window of W signals x D cycles.  This
+// model mirrors that: capture() stores one W-bit sample per cycle into a
+// circular buffer; after a trigger fires the window can be frozen and read
+// back, exactly like ChipScope/SignalTap readback.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitvec.h"
+#include "support/error.h"
+
+namespace fpgadbg::sim {
+
+class TraceBuffer {
+ public:
+  TraceBuffer(std::size_t width, std::size_t depth);
+
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+
+  /// Record one sample (sample.size() == width).  Oldest data is
+  /// overwritten once the buffer is full.
+  void capture(const BitVec& sample);
+
+  /// Number of valid samples currently stored (<= depth).
+  std::size_t samples_stored() const;
+
+  /// Sample `age` cycles back from the newest (age 0 = newest).
+  const BitVec& sample_back(std::size_t age) const;
+
+  /// Oldest-to-newest readback of everything stored.
+  std::vector<BitVec> read_window() const;
+
+  void clear();
+
+  /// Total captures since construction/clear (may exceed depth).
+  std::uint64_t total_captures() const { return total_; }
+
+ private:
+  std::size_t width_;
+  std::size_t depth_;
+  std::vector<BitVec> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fpgadbg::sim

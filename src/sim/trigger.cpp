@@ -1,0 +1,136 @@
+#include "sim/trigger.h"
+
+#include "support/error.h"
+
+namespace fpgadbg::sim {
+
+Trigger::Trigger(const std::string& condition,
+                 std::uint64_t post_trigger_cycles)
+    : post_(post_trigger_cycles) {
+  conds_.reserve(condition.size());
+  for (char c : condition) {
+    switch (c) {
+      case 'x':
+      case 'X':
+      case '-':
+        conds_.push_back(BitCond::kDontCare);
+        break;
+      case '0':
+        conds_.push_back(BitCond::kLow);
+        break;
+      case '1':
+        conds_.push_back(BitCond::kHigh);
+        break;
+      case 'r':
+      case 'R':
+        conds_.push_back(BitCond::kRising);
+        break;
+      case 'f':
+      case 'F':
+        conds_.push_back(BitCond::kFalling);
+        break;
+      default:
+        throw Error(std::string("invalid trigger condition char: ") + c);
+    }
+  }
+  FPGADBG_REQUIRE(!conds_.empty(), "empty trigger condition");
+}
+
+bool Trigger::matches(const BitVec& sample) const {
+  for (std::size_t i = 0; i < conds_.size(); ++i) {
+    const bool now = sample.get(i);
+    switch (conds_[i]) {
+      case BitCond::kDontCare:
+        break;
+      case BitCond::kLow:
+        if (now) return false;
+        break;
+      case BitCond::kHigh:
+        if (!now) return false;
+        break;
+      case BitCond::kRising:
+        if (!have_prev_ || prev_.get(i) || !now) return false;
+        break;
+      case BitCond::kFalling:
+        if (!have_prev_ || !prev_.get(i) || now) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+bool Trigger::observe(const BitVec& sample) {
+  FPGADBG_REQUIRE(sample.size() == conds_.size(),
+                  "trigger sample width mismatch");
+  if (fired_) {
+    if (remaining_post_ == 0) return false;
+    --remaining_post_;
+    ++seen_;
+    prev_ = sample;
+    have_prev_ = true;
+    return remaining_post_ > 0;
+  }
+  if (matches(sample)) {
+    fired_ = true;
+    fire_cycle_ = seen_;
+    remaining_post_ = post_;
+  }
+  ++seen_;
+  prev_ = sample;
+  have_prev_ = true;
+  return !fired_ || remaining_post_ > 0;
+}
+
+void Trigger::reset() {
+  fired_ = false;
+  fire_cycle_ = 0;
+  seen_ = 0;
+  remaining_post_ = 0;
+  have_prev_ = false;
+  prev_ = BitVec();
+}
+
+TriggerSequence::TriggerSequence(
+    const std::vector<std::string>& stage_conditions,
+    std::uint64_t post_trigger_cycles)
+    : post_(post_trigger_cycles) {
+  FPGADBG_REQUIRE(!stage_conditions.empty(), "empty trigger sequence");
+  stages_.reserve(stage_conditions.size());
+  for (const std::string& cond : stage_conditions) {
+    stages_.emplace_back(cond, 0);
+  }
+}
+
+bool TriggerSequence::observe(const BitVec& sample) {
+  if (fired_) {
+    if (remaining_post_ == 0) return false;
+    --remaining_post_;
+    ++seen_;
+    return remaining_post_ > 0;
+  }
+  // Feed the active stage only; when it fires, arm the next one.
+  stages_[current_].observe(sample);
+  if (stages_[current_].fired()) {
+    if (current_ + 1 == stages_.size()) {
+      fired_ = true;
+      fire_cycle_ = seen_;
+      remaining_post_ = post_;
+      ++seen_;
+      return remaining_post_ > 0;
+    }
+    ++current_;
+  }
+  ++seen_;
+  return true;
+}
+
+void TriggerSequence::reset() {
+  for (Trigger& stage : stages_) stage.reset();
+  current_ = 0;
+  fired_ = false;
+  fire_cycle_ = 0;
+  seen_ = 0;
+  remaining_post_ = 0;
+}
+
+}  // namespace fpgadbg::sim

@@ -1,0 +1,82 @@
+// Trigger engine: decides when trace capture should stop.
+//
+// Commercial logic analyzer IP ("trigger monitors" in the paper's related
+// work) matches the observed sample against a condition each cycle; after
+// the trigger fires, capture continues for a programmable post-trigger count
+// and then freezes.  Conditions are per-bit {0, 1, X (don't care), R (rising
+// edge), F (falling edge)}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bitvec.h"
+
+namespace fpgadbg::sim {
+
+enum class BitCond : std::uint8_t { kDontCare, kLow, kHigh, kRising, kFalling };
+
+class Trigger {
+ public:
+  /// Condition string over the observed window, one char per bit:
+  /// 'x'/'-', '0', '1', 'r', 'f'.
+  explicit Trigger(const std::string& condition,
+                   std::uint64_t post_trigger_cycles = 0);
+
+  std::size_t width() const { return conds_.size(); }
+
+  /// Feed one sample; returns true while capture should continue.
+  /// After the trigger condition matches, `post_trigger_cycles` further
+  /// samples are accepted, then observe() returns false.
+  bool observe(const BitVec& sample);
+
+  bool fired() const { return fired_; }
+  /// Cycle index (0-based sample count) at which the condition matched.
+  std::uint64_t fire_cycle() const { return fire_cycle_; }
+
+  void reset();
+
+ private:
+  bool matches(const BitVec& sample) const;
+
+  std::vector<BitCond> conds_;
+  std::uint64_t post_ = 0;
+  bool fired_ = false;
+  std::uint64_t fire_cycle_ = 0;
+  std::uint64_t seen_ = 0;
+  std::uint64_t remaining_post_ = 0;
+  BitVec prev_;
+  bool have_prev_ = false;
+};
+
+/// Multi-stage trigger sequencer: fires only after its stages match in
+/// order (each stage is a Trigger condition string), like the cascaded
+/// trigger state machines of commercial logic-analyzer IP.  Capture stops
+/// `post_trigger_cycles` samples after the final stage matches.
+class TriggerSequence {
+ public:
+  TriggerSequence(const std::vector<std::string>& stage_conditions,
+                  std::uint64_t post_trigger_cycles = 0);
+
+  std::size_t num_stages() const { return stages_.size(); }
+  std::size_t current_stage() const { return current_; }
+  bool fired() const { return fired_; }
+  std::uint64_t fire_cycle() const { return fire_cycle_; }
+
+  /// Feed one sample; returns true while capture should continue.
+  bool observe(const BitVec& sample);
+
+  void reset();
+
+ private:
+  std::vector<Trigger> stages_;
+  std::uint64_t post_ = 0;
+  std::size_t current_ = 0;
+  bool fired_ = false;
+  std::uint64_t fire_cycle_ = 0;
+  std::uint64_t seen_ = 0;
+  std::uint64_t remaining_post_ = 0;
+};
+
+}  // namespace fpgadbg::sim

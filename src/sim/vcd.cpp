@@ -1,0 +1,79 @@
+#include "sim/vcd.h"
+
+#include <ostream>
+
+#include "support/error.h"
+
+namespace fpgadbg::sim {
+
+VcdWriter::VcdWriter(std::ostream& out, std::string module,
+                     std::string timescale)
+    : out_(out), module_(std::move(module)), timescale_(std::move(timescale)) {}
+
+void VcdWriter::declare(const std::string& signal_name) {
+  FPGADBG_REQUIRE(!started_, "declare() after begin()");
+  names_.push_back(signal_name);
+}
+
+std::string VcdWriter::id_code(std::size_t index) const {
+  // Base-94 over the printable range '!'..'~'.
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+void VcdWriter::begin() {
+  FPGADBG_REQUIRE(!started_, "begin() called twice");
+  FPGADBG_REQUIRE(!names_.empty(), "no signals declared");
+  started_ = true;
+  out_ << "$timescale " << timescale_ << " $end\n";
+  out_ << "$scope module " << module_ << " $end\n";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    out_ << "$var wire 1 " << id_code(i) << ' ' << names_[i] << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  out_ << "$dumpvars\n";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    out_ << 'x' << id_code(i) << '\n';
+  }
+  out_ << "$end\n";
+  last_ = BitVec(names_.size());
+}
+
+void VcdWriter::sample(std::uint64_t time, const BitVec& values) {
+  FPGADBG_REQUIRE(started_, "sample() before begin()");
+  FPGADBG_REQUIRE(values.size() == names_.size(), "sample width mismatch");
+  bool header_written = false;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const bool value = values.get(i);
+    if (any_sample_ && value == last_.get(i)) continue;
+    if (!header_written) {
+      out_ << '#' << time << '\n';
+      header_written = true;
+    }
+    out_ << (value ? '1' : '0') << id_code(i) << '\n';
+  }
+  last_ = values;
+  any_sample_ = true;
+}
+
+void VcdWriter::finish(std::uint64_t end_time) {
+  FPGADBG_REQUIRE(started_, "finish() before begin()");
+  out_ << '#' << end_time << '\n';
+}
+
+void write_vcd(std::ostream& out, const std::vector<std::string>& signals,
+               const std::vector<BitVec>& window, const std::string& module) {
+  VcdWriter writer(out, module);
+  for (const auto& name : signals) writer.declare(name);
+  writer.begin();
+  for (std::size_t t = 0; t < window.size(); ++t) {
+    writer.sample(t, window[t]);
+  }
+  writer.finish(window.size());
+}
+
+}  // namespace fpgadbg::sim

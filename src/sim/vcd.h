@@ -1,0 +1,58 @@
+// VCD (Value Change Dump, IEEE 1364) waveform writer.
+//
+// Debug sessions capture trace windows; dumping them as VCD lets any
+// standard waveform viewer (GTKWave etc.) display what the trace buffers
+// saw.  The writer is change-based: a sample only emits the bits that
+// toggled since the previous sample.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/bitvec.h"
+
+namespace fpgadbg::sim {
+
+class VcdWriter {
+ public:
+  /// `timescale` is a VCD timescale string, e.g. "1ns".
+  explicit VcdWriter(std::ostream& out, std::string module = "dut",
+                     std::string timescale = "1ns");
+
+  /// Declare signals before writing the header; order defines the sample
+  /// bit order.
+  void declare(const std::string& signal_name);
+
+  /// Writes the VCD header + $dumpvars block with everything at x.
+  void begin();
+
+  /// Emits changes for one sample at `time`; sample.size() must equal the
+  /// number of declared signals.
+  void sample(std::uint64_t time, const BitVec& values);
+
+  /// Final timestamp (optional, closes the wave cleanly).
+  void finish(std::uint64_t end_time);
+
+  std::size_t num_signals() const { return names_.size(); }
+
+ private:
+  std::string id_code(std::size_t index) const;
+
+  std::ostream& out_;
+  std::string module_;
+  std::string timescale_;
+  std::vector<std::string> names_;
+  BitVec last_;
+  bool started_ = false;
+  bool any_sample_ = false;
+};
+
+/// Convenience: dump a whole captured window (oldest first, one sample per
+/// time unit) for the given signal names.
+void write_vcd(std::ostream& out, const std::vector<std::string>& signals,
+               const std::vector<BitVec>& window,
+               const std::string& module = "dut");
+
+}  // namespace fpgadbg::sim

@@ -1,0 +1,34 @@
+#include "support/error.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fpgadbg {
+
+namespace {
+std::string format_parse_error(const std::string& file, int line,
+                               const std::string& what) {
+  std::ostringstream os;
+  os << file << ':' << line << ": " << what;
+  return os.str();
+}
+}  // namespace
+
+ParseError::ParseError(const std::string& file, int line,
+                       const std::string& what)
+    : Error(format_parse_error(file, line, what)), file_(file), line_(line) {}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::cerr << "fpgadbg: internal invariant violated\n"
+            << "  expression: " << expr << '\n'
+            << "  location:   " << file << ':' << line << '\n'
+            << "  detail:     " << msg << std::endl;
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace fpgadbg

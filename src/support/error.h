@@ -1,0 +1,60 @@
+// Error handling primitives for the fpgadbg libraries.
+//
+// The libraries report unrecoverable API misuse and malformed input through
+// exceptions derived from fpgadbg::Error.  Internal invariants are guarded by
+// FPGADBG_ASSERT, which is compiled in all build types: a CAD flow that keeps
+// running after an invariant break produces silently wrong bitstreams, which
+// is far worse than an abort.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fpgadbg {
+
+/// Base class of all exceptions thrown by the fpgadbg libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input file (BLIF, .par, ...) is malformed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& file, int line, const std::string& what);
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  std::string file_;
+  int line_ = 0;
+};
+
+/// Thrown when a tool stage cannot complete (e.g. unroutable design).
+class FlowError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace fpgadbg
+
+/// Always-on invariant check.  `msg` may use stream syntax-free strings only.
+#define FPGADBG_ASSERT(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::fpgadbg::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                       \
+  } while (false)
+
+/// Precondition check on public API entry points; throws fpgadbg::Error.
+#define FPGADBG_REQUIRE(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      throw ::fpgadbg::Error(std::string("precondition failed: ") + (msg)); \
+    }                                                                       \
+  } while (false)

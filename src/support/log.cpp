@@ -1,0 +1,49 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace fpgadbg {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::ostream* g_stream = nullptr;  // nullptr -> std::cerr
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info ";
+    case LogLevel::kWarn:
+      return "warn ";
+    case LogLevel::kError:
+      return "error";
+    default:
+      return "?????";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void set_log_stream(std::ostream* os) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_stream = os;
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostream& os = g_stream ? *g_stream : std::cerr;
+  os << "[fpgadbg " << level_tag(level) << "] " << msg << '\n';
+}
+
+}  // namespace detail
+}  // namespace fpgadbg

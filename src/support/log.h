@@ -1,0 +1,53 @@
+// Minimal leveled logger.  Single global sink (stderr by default); the CAD
+// stages log progress at Info and per-iteration detail at Debug.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fpgadbg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Redirect log output (tests use this to capture messages). Pass nullptr to
+/// restore stderr.
+void set_log_stream(std::ostream* os);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace fpgadbg
+
+#define FPGADBG_LOG(level)                          \
+  if (::fpgadbg::log_level() > (level)) {           \
+  } else                                            \
+    ::fpgadbg::detail::LogLine(level)
+
+#define LOG_DEBUG FPGADBG_LOG(::fpgadbg::LogLevel::kDebug)
+#define LOG_INFO FPGADBG_LOG(::fpgadbg::LogLevel::kInfo)
+#define LOG_WARN FPGADBG_LOG(::fpgadbg::LogLevel::kWarn)
+#define LOG_ERROR FPGADBG_LOG(::fpgadbg::LogLevel::kError)

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic algorithms in the flow (benchmark generation, simulated
+// annealing, random simulation vectors) draw from Rng so that every run is
+// reproducible from a single seed.  The generator is xoshiro256** seeded via
+// splitmix64, which is fast, well distributed, and trivially portable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fpgadbg {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound) with rejection to avoid modulo bias.
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability p of true.
+  bool next_bool(double p = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Split off an independent child generator (for per-thread streams).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace fpgadbg

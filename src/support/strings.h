@@ -1,0 +1,26 @@
+// Small string utilities used by the text-format readers/writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpgadbg {
+
+/// Split on runs of whitespace; no empty tokens are produced.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Split on a single delimiter character; empty fields are preserved.
+std::vector<std::string> split_on(std::string_view s, char delim);
+
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a non-negative integer; throws fpgadbg::Error on garbage.
+std::size_t parse_size(std::string_view s, std::string_view what);
+
+/// printf-style human formatting: 12345678 -> "12,345,678".
+std::string with_commas(std::uint64_t value);
+
+}  // namespace fpgadbg

@@ -1,0 +1,112 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace fpgadbg {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // With a single hardware thread, inline execution beats context switching.
+  if (threads <= 1) return;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+  }
+}
+
+namespace {
+// Shared by the caller and every queued drain job; kept alive by shared_ptr
+// so a job that outlives the caller's wait still owns valid state.
+struct ForState {
+  std::size_t count = 0;
+  std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->count = count;
+  state->fn = fn;
+
+  const std::size_t jobs = std::min(count, workers_.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t j = 0; j + 1 < jobs; ++j) {
+      queue_.push([state] { state->drain(); });
+    }
+  }
+  cv_.notify_all();
+  state->drain();  // caller participates
+
+  std::unique_lock<std::mutex> lock(state->done_mutex);
+  state->done_cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) >= count;
+  });
+
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace fpgadbg

@@ -1,0 +1,48 @@
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// The mappers and the router parallelize over independent work items
+// (benchmarks, nets, simulation words).  On single-core hosts the pool
+// degrades to sequential execution with no thread overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fpgadbg {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency(); a pool of size 1 runs
+  /// submitted work inline inside parallel_for.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until all
+  /// iterations complete.  Exceptions from fn propagate (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool shared by the CAD stages.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace fpgadbg

@@ -1,0 +1,27 @@
+// Decomposition of wide logic nodes into a 2-input gate network.
+//
+// The structural LUT mappers (SimpleMap / AbcMap) operate on fine-grained
+// networks, like ABC operates on AIGs.  decompose() rewrites every logic
+// node of arity > 2 into a balanced tree of 2-input gates derived from the
+// node's irredundant SOP (AND of literals per cube, OR across cubes).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace fpgadbg::synth {
+
+struct DecomposeStats {
+  std::size_t nodes_in = 0;
+  std::size_t nodes_out = 0;
+};
+
+/// Returns a functionally equivalent netlist in which every logic node has
+/// at most 2 fanins.  Names of original nodes are preserved on the root of
+/// each decomposition tree.
+netlist::Netlist decompose(const netlist::Netlist& nl,
+                           DecomposeStats* stats = nullptr);
+
+/// Convenience: sweep followed by decompose (the "synthesis" front end).
+netlist::Netlist synthesize(const netlist::Netlist& nl);
+
+}  // namespace fpgadbg::synth

@@ -1,0 +1,21 @@
+// Netlist cleanup: constant propagation, irrelevant-fanin pruning, buffer
+// collapsing, and dead-node removal.  Run before mapping so the mappers see a
+// minimal network, mirroring the "synthesis" box of the paper's Fig. 5.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace fpgadbg::synth {
+
+struct SweepStats {
+  std::size_t const_folded = 0;    ///< nodes reduced to constants
+  std::size_t fanins_pruned = 0;   ///< irrelevant fanin connections removed
+  std::size_t buffers_collapsed = 0;
+  std::size_t dead_removed = 0;
+};
+
+/// Returns a cleaned copy of `nl`.  Output/latch structure is preserved;
+/// node names of surviving nodes are preserved.
+netlist::Netlist sweep(const netlist::Netlist& nl, SweepStats* stats = nullptr);
+
+}  // namespace fpgadbg::synth

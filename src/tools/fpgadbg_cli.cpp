@@ -1,0 +1,262 @@
+// fpgadbg — command-line front end for the parameterized debug flow.
+//
+//   fpgadbg stats <design.blif>
+//       print netlist statistics
+//   fpgadbg instrument <design.blif> <out.blif> <out.par>
+//              [--width N] [--radix R] [--replication R] [--select K]
+//       run the signal parameterisation step; with --select K, run critical
+//       signal selection first (paper SSVI future work) and instrument only
+//       the K best signals
+//   fpgadbg map <design.blif> [--par <file.par>] [--mapper sm|abc|tcon] [-k K]
+//       technology-map and print area/depth (paper Tables I/II metrics)
+//   fpgadbg flow <design.blif> [--width N]
+//       full offline stage + a sample online debugging turn, with timing
+//   fpgadbg gen <benchname|list> [<out.blif>]
+//       emit one of the paper's synthetic benchmark circuits
+//   fpgadbg export <design.blif> <out.v> [--par f.par] [--mapper sm|abc|tcon]
+//       technology-map and write structural Verilog
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "debug/session.h"
+#include "debug/signal_select.h"
+#include "genbench/genbench.h"
+#include "map/mappers.h"
+#include "map/verilog.h"
+#include "netlist/blif.h"
+#include "netlist/par.h"
+#include "netlist/stats.h"
+#include "support/error.h"
+#include "support/strings.h"
+#include "support/log.h"
+
+using namespace fpgadbg;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fpgadbg <stats|instrument|map|flow|gen> ...\n"
+               "  stats <design.blif>\n"
+               "  instrument <design.blif> <out.blif> <out.par> [--width N]"
+               " [--radix R] [--replication R] [--select K]\n"
+               "  map <design.blif> [--par f.par] [--mapper sm|abc|tcon]"
+               " [-k K]\n"
+               "  flow <design.blif> [--width N]\n"
+               "  gen <benchname|list> [<out.blif>]\n"
+               "  export <design.blif> <out.v> [--par f.par]"
+               " [--mapper sm|abc|tcon]\n");
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::optional<std::string> option(const std::string& name) const {
+    for (std::size_t i = 0; i + 1 < raw.size(); ++i) {
+      if (raw[i] == name) return raw[i + 1];
+    }
+    return std::nullopt;
+  }
+  std::vector<std::string> raw;
+};
+
+Args parse(int argc, char** argv, int skip) {
+  Args args;
+  for (int i = skip; i < argc; ++i) {
+    args.raw.emplace_back(argv[i]);
+  }
+  for (std::size_t i = 0; i < args.raw.size(); ++i) {
+    if (args.raw[i].rfind("--", 0) == 0 || args.raw[i].rfind("-", 0) == 0) {
+      ++i;  // skip option value
+    } else {
+      args.positional.push_back(args.raw[i]);
+    }
+  }
+  return args;
+}
+
+std::size_t to_count(const std::string& s, const char* what) {
+  return parse_size(s, what);
+}
+
+int cmd_stats(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto nl = netlist::read_blif_file(args.positional[0]);
+  std::cout << netlist::compute_stats(nl) << '\n';
+  return 0;
+}
+
+int cmd_instrument(const Args& args) {
+  if (args.positional.size() < 3) return usage();
+  auto nl = netlist::read_blif_file(args.positional[0]);
+
+  debug::InstrumentOptions options;
+  if (auto w = args.option("--width")) {
+    options.trace_width = to_count(*w, "--width");
+  }
+  if (auto r = args.option("--radix")) {
+    options.mux_radix = static_cast<int>(to_count(*r, "--radix"));
+  }
+  if (auto r = args.option("--replication")) {
+    options.replication = static_cast<int>(to_count(*r, "--replication"));
+  }
+  if (auto k = args.option("--select")) {
+    debug::SelectOptions select;
+    select.count = to_count(*k, "--select");
+    const auto selection = debug::select_critical_signals(nl, select);
+    options.observe_list = selection.signals;
+    std::printf("critical signal selection: %zu signals cover %.1f%% of the "
+                "logic\n",
+                selection.signals.size(), selection.coverage * 100.0);
+  }
+
+  const auto inst = debug::parameterize_signals(nl, options);
+  netlist::write_blif_file(inst.netlist, args.positional[1]);
+  netlist::write_par_file(inst.netlist, args.positional[2]);
+  std::printf("instrumented: %zu observable signals, %zu lanes, %zu "
+              "parameters\n",
+              inst.num_observable(), inst.lane_signals.size(),
+              inst.netlist.params().size());
+  std::printf("wrote %s and %s\n", args.positional[1].c_str(),
+              args.positional[2].c_str());
+  return 0;
+}
+
+int cmd_map(const Args& args) {
+  if (args.positional.empty()) return usage();
+  auto nl = netlist::read_blif_file(args.positional[0]);
+  if (auto par = args.option("--par")) {
+    std::ifstream in(*par);
+    if (!in) throw Error("cannot open .par file: " + *par);
+    nl = netlist::apply_params(std::move(nl), netlist::read_par(in, *par));
+  }
+  int k = 6;
+  if (auto kk = args.option("-k")) k = static_cast<int>(to_count(*kk, "-k"));
+
+  const std::string mapper = args.option("--mapper").value_or("tcon");
+  map::MapResult result;
+  if (mapper == "sm") {
+    result = map::simple_map(nl, k);
+  } else if (mapper == "abc") {
+    result = map::abc_map(nl, k);
+  } else if (mapper == "tcon") {
+    result = map::tcon_map(nl, k);
+  } else {
+    std::fprintf(stderr, "unknown mapper: %s\n", mapper.c_str());
+    return 2;
+  }
+  std::printf("%s: %zu LUTs + %zu TLUTs + %zu TCONs (LUT area %zu), depth "
+              "%d, %.2fs\n",
+              result.stats.mapper.c_str(), result.stats.num_luts,
+              result.stats.num_tluts, result.stats.num_tcons,
+              result.stats.lut_area, result.stats.depth,
+              result.stats.runtime_seconds);
+  return 0;
+}
+
+int cmd_flow(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto nl = netlist::read_blif_file(args.positional[0]);
+  debug::OfflineOptions options;
+  if (auto w = args.option("--width")) {
+    options.instrument.trace_width = to_count(*w, "--width");
+  }
+  const auto offline = debug::run_offline(nl, options);
+  std::printf("offline stage: instrument %.2fs, map %.2fs, P&R %.2fs, "
+              "bitstream %.2fs\n",
+              offline.instrument_seconds, offline.map_seconds,
+              offline.pnr_seconds, offline.bitstream_seconds);
+  std::printf("  %zu LUTs + %zu TLUTs + %zu TCONs, depth %d\n",
+              offline.mapping.stats.num_luts, offline.mapping.stats.num_tluts,
+              offline.mapping.stats.num_tcons, offline.mapping.stats.depth);
+  std::printf("  device %s, routed: %s\n",
+              offline.compiled->report.device.c_str(),
+              offline.compiled->report.route_success ? "yes" : "NO");
+  std::printf("  PConf: %zu bits, %zu parameterized, %zu touchable frames\n",
+              offline.pconf->total_bits(),
+              offline.pconf->num_parameterized_bits(),
+              offline.pconf->parameterized_frames().size());
+
+  debug::DebugSession session(offline);
+  const auto& lane0 = offline.instrumented.lane_signals[0];
+  const auto turn = session.observe({lane0[lane0.size() / 2]});
+  std::printf("sample debugging turn ('%s'): %zu frames, SCG %.1f us, "
+              "reconfig %.1f us\n",
+              lane0[lane0.size() / 2].c_str(), turn.frames_reconfigured,
+              turn.scg_eval_seconds * 1e6, turn.reconfig_seconds * 1e6);
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  auto nl = netlist::read_blif_file(args.positional[0]);
+  if (auto par = args.option("--par")) {
+    std::ifstream in(*par);
+    if (!in) throw Error("cannot open .par file: " + *par);
+    nl = netlist::apply_params(std::move(nl), netlist::read_par(in, *par));
+  }
+  const std::string mapper = args.option("--mapper").value_or("tcon");
+  map::MapResult result;
+  if (mapper == "sm") {
+    result = map::simple_map(nl);
+  } else if (mapper == "abc") {
+    result = map::abc_map(nl);
+  } else if (mapper == "tcon") {
+    result = map::tcon_map(nl);
+  } else {
+    std::fprintf(stderr, "unknown mapper: %s\n", mapper.c_str());
+    return 2;
+  }
+  map::write_verilog_file(result.netlist, args.positional[1]);
+  std::printf("wrote %s (%zu cells)\n", args.positional[1].c_str(),
+              result.netlist.num_cells());
+  return 0;
+}
+
+int cmd_gen(const Args& args) {
+  if (args.positional.empty()) return usage();
+  if (args.positional[0] == "list") {
+    for (const auto& spec : genbench::paper_benchmarks()) {
+      std::printf("%-10s %6zu gates, depth %2d, %3zu PI, %4zu latches\n",
+                  spec.name.c_str(), spec.num_gates, spec.depth,
+                  spec.num_inputs, spec.num_latches);
+    }
+    return 0;
+  }
+  const auto spec = genbench::paper_benchmark(args.positional[0]);
+  const auto nl = genbench::generate(spec);
+  if (args.positional.size() >= 2) {
+    netlist::write_blif_file(nl, args.positional[1]);
+    std::printf("wrote %s (%zu gates)\n", args.positional[1].c_str(),
+                nl.num_logic_nodes());
+  } else {
+    std::cout << netlist::compute_stats(nl) << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  set_log_level(LogLevel::kWarn);
+  const std::string command = argv[1];
+  const Args args = parse(argc, argv, 2);
+  try {
+    if (command == "stats") return cmd_stats(args);
+    if (command == "instrument") return cmd_instrument(args);
+    if (command == "map") return cmd_map(args);
+    if (command == "flow") return cmd_flow(args);
+    if (command == "gen") return cmd_gen(args);
+    if (command == "export") return cmd_export(args);
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "fpgadbg: %s\n", e.what());
+    return 1;
+  }
+}

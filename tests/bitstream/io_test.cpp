@@ -1,0 +1,70 @@
+#include "bitstream/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace fpgadbg::bitstream {
+namespace {
+
+constexpr std::size_t kFrameBits = arch::FrameGeometry::kFrameBits;
+
+ConfigMemory random_config(std::size_t frames, std::uint64_t seed) {
+  ConfigMemory mem(frames * kFrameBits);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < mem.total_bits(); ++i) {
+    if (rng.next_bool(0.3)) mem.set(i, true);
+  }
+  return mem;
+}
+
+TEST(ConfigIo, RoundTripStream) {
+  const ConfigMemory original = random_config(5, 42);
+  std::stringstream buffer;
+  write_config(original, buffer);
+  const ConfigMemory loaded = read_config(buffer);
+  EXPECT_EQ(original, loaded);
+}
+
+TEST(ConfigIo, RoundTripEmptyish) {
+  const ConfigMemory original(kFrameBits);
+  std::stringstream buffer;
+  write_config(original, buffer);
+  EXPECT_EQ(read_config(buffer), original);
+}
+
+TEST(ConfigIo, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "NOTAFILE" << std::string(64, '\0');
+  EXPECT_THROW(read_config(buffer), Error);
+}
+
+TEST(ConfigIo, TruncatedRejected) {
+  const ConfigMemory original = random_config(3, 7);
+  std::stringstream buffer;
+  write_config(original, buffer);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream cut(data);
+  EXPECT_THROW(read_config(cut), Error);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  const ConfigMemory original = random_config(4, 99);
+  const std::string path = "/tmp/fpgadbg_io_test.fdbs";
+  write_config_file(original, path);
+  const ConfigMemory loaded = read_config_file(path);
+  EXPECT_EQ(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(ConfigIo, MissingFileThrows) {
+  EXPECT_THROW(read_config_file("/nonexistent/nope.fdbs"), Error);
+}
+
+}  // namespace
+}  // namespace fpgadbg::bitstream

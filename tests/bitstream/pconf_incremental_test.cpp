@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "bitstream/pconf.h"
+#include "debug/flow.h"
+#include "genbench/genbench.h"
+#include "support/rng.h"
+
+namespace fpgadbg::bitstream {
+namespace {
+
+constexpr std::size_t kFrameBits = arch::FrameGeometry::kFrameBits;
+
+TEST(PConfIncremental, MatchesFullSpecialization) {
+  PConf pconf(kFrameBits * 2, {"a", "b", "c", "d"});
+  auto& bdd = pconf.bdd();
+  Rng rng(11);
+  for (std::size_t bit = 0; bit < 300; ++bit) {
+    const int v1 = static_cast<int>(rng.next_below(4));
+    const int v2 = static_cast<int>(rng.next_below(4));
+    pconf.set_function(bit, bdd.bdd_xor(bdd.var(v1), bdd.bdd_and(bdd.var(v2),
+                                                                 bdd.var(v1))));
+  }
+
+  std::unordered_map<std::string, bool> prev{{"a", false}, {"b", true}};
+  auto base = pconf.specialize(prev);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::unordered_map<std::string, bool> next;
+    for (const char* p : {"a", "b", "c", "d"}) next[p] = rng.next_bool();
+    const auto full = pconf.specialize(next);
+    const auto incr = pconf.specialize_incremental(base, prev, next);
+    EXPECT_EQ(full.memory, incr.memory) << "trial " << trial;
+    base = incr;
+    prev = next;
+  }
+}
+
+TEST(PConfIncremental, NoChangeEvaluatesNothing) {
+  PConf pconf(kFrameBits, {"p", "q"});
+  pconf.set_function(0, pconf.bdd().var(0));
+  pconf.set_function(1, pconf.bdd().var(1));
+  const std::unordered_map<std::string, bool> asg{{"p", true}};
+  const auto base = pconf.specialize(asg);
+  const auto same = pconf.specialize_incremental(base, asg, asg);
+  EXPECT_EQ(same.bits_evaluated, 0u);
+  EXPECT_EQ(same.memory, base.memory);
+}
+
+TEST(PConfIncremental, OnlyAffectedBitsEvaluated) {
+  PConf pconf(kFrameBits, {"p", "q"});
+  auto& bdd = pconf.bdd();
+  for (std::size_t bit = 0; bit < 50; ++bit) pconf.set_function(bit, bdd.var(0));
+  for (std::size_t bit = 50; bit < 60; ++bit) pconf.set_function(bit, bdd.var(1));
+  const std::unordered_map<std::string, bool> a{{"p", false}, {"q", false}};
+  const std::unordered_map<std::string, bool> b{{"p", false}, {"q", true}};
+  const auto base = pconf.specialize(a);
+  const auto incr = pconf.specialize_incremental(base, a, b);
+  EXPECT_EQ(incr.bits_evaluated, 10u);  // only the q-dependent bits
+  EXPECT_EQ(incr.memory, pconf.specialize(b).memory);
+}
+
+TEST(PConfIncremental, RealFlowTurnByTurn) {
+  genbench::CircuitSpec spec{"incr", 8, 6, 4, 40, 3, 5, 21};
+  debug::OfflineOptions options;
+  options.instrument.trace_width = 6;
+  const auto offline = debug::run_offline(genbench::generate(spec), options);
+  const auto& inst = offline.instrumented;
+
+  auto prev_asg = inst.select_signals({});
+  auto prev = offline.pconf->specialize(prev_asg);
+  const std::size_t full_evals = prev.bits_evaluated;
+  Rng rng(21);
+  for (int turn = 0; turn < 10; ++turn) {
+    const auto& lane = inst.lane_signals[rng.next_below(inst.lane_signals.size())];
+    const auto asg =
+        inst.select_signals({lane[rng.next_below(lane.size())]});
+    const auto full = offline.pconf->specialize(asg);
+    const auto incr =
+        offline.pconf->specialize_incremental(prev, prev_asg, asg);
+    EXPECT_EQ(full.memory, incr.memory) << "turn " << turn;
+    EXPECT_LE(incr.bits_evaluated, full_evals);
+    prev = incr;
+    prev_asg = asg;
+  }
+}
+
+}  // namespace
+}  // namespace fpgadbg::bitstream

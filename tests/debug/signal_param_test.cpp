@@ -1,0 +1,205 @@
+#include "debug/signal_param.h"
+
+#include <gtest/gtest.h>
+
+#include "genbench/genbench.h"
+#include "sim/simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace fpgadbg::debug {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+Netlist user_circuit(std::uint64_t seed, std::size_t gates = 50) {
+  genbench::CircuitSpec spec{"u" + std::to_string(seed), 10, 8, 6, gates, 4, 5,
+                             seed};
+  return genbench::generate(spec);
+}
+
+TEST(SignalParam, ObservesAllSignals) {
+  const Netlist nl = user_circuit(1);
+  const Instrumented inst = parameterize_signals(nl, {});
+  // Every logic node and latch output is observable somewhere.
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const NodeKind k = nl.kind(id);
+    if (k != NodeKind::kLogic && k != NodeKind::kLatchOut) continue;
+    const auto [lane, index] = inst.locate(nl.name(id));
+    EXPECT_NE(lane, static_cast<std::size_t>(-1)) << nl.name(id);
+  }
+  EXPECT_EQ(inst.trace_outputs.size(), inst.lane_signals.size());
+}
+
+TEST(SignalParam, UserCircuitUnchanged) {
+  const Netlist nl = user_circuit(2);
+  const Instrumented inst = parameterize_signals(nl, {});
+  // All original nodes exist with identical functions.
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const auto other = inst.netlist.find(nl.name(id));
+    ASSERT_TRUE(other.has_value()) << nl.name(id);
+    if (nl.kind(id) == NodeKind::kLogic) {
+      EXPECT_EQ(inst.netlist.function(*other), nl.function(id));
+    }
+  }
+  // Original outputs preserved, trace outputs appended.
+  EXPECT_EQ(inst.netlist.outputs().size(),
+            nl.outputs().size() + inst.trace_outputs.size());
+}
+
+TEST(SignalParam, OnlySelectsAreParams) {
+  const Netlist nl = user_circuit(3);
+  const Instrumented inst = parameterize_signals(nl, {});
+  std::size_t expected = 0;
+  for (const auto& lane : inst.lane_params) expected += lane.size();
+  EXPECT_EQ(inst.netlist.params().size(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST(SignalParam, ReplicationPlacesSignalInDistinctLanes) {
+  const Netlist nl = user_circuit(4);
+  InstrumentOptions opt;
+  opt.trace_width = 8;
+  opt.replication = 3;
+  const Instrumented inst = parameterize_signals(nl, opt);
+  const std::string some_signal = nl.name(nl.topo_order().front());
+  const auto placements = inst.locate_all(some_signal);
+  EXPECT_EQ(placements.size(), 3u);
+  std::set<std::size_t> lanes;
+  for (const auto& [lane, idx] : placements) lanes.insert(lane);
+  EXPECT_EQ(lanes.size(), 3u);
+}
+
+TEST(SignalParam, SelectedSignalAppearsOnTraceOutput) {
+  const Netlist nl = user_circuit(5);
+  InstrumentOptions opt;
+  opt.trace_width = 4;
+  const Instrumented inst = parameterize_signals(nl, opt);
+
+  // Pick three observable signals and route them to lanes.
+  std::vector<std::string> want;
+  for (NodeId id : nl.topo_order()) {
+    want.push_back(nl.name(id));
+    if (want.size() == 3) break;
+  }
+  const auto params = inst.select_signals(want);
+  const auto observed = inst.observed_under(params);
+
+  // Resolve each trace output name to its driving node.
+  std::vector<NodeId> trace_nodes(inst.trace_outputs.size());
+  for (std::size_t l = 0; l < inst.trace_outputs.size(); ++l) {
+    const auto& names = inst.netlist.output_names();
+    const auto it =
+        std::find(names.begin(), names.end(), inst.trace_outputs[l]);
+    ASSERT_NE(it, names.end());
+    trace_nodes[l] =
+        inst.netlist.outputs()[static_cast<std::size_t>(it - names.begin())];
+  }
+
+  sim::NetlistSimulator s(inst.netlist);
+  for (const auto& [name, value] : params) {
+    s.set_param(*inst.netlist.find(name), value);
+  }
+  Rng rng(55);
+  for (int vec = 0; vec < 50; ++vec) {
+    for (NodeId in : inst.netlist.inputs()) {
+      s.set_input(in, rng.next_bool());
+    }
+    s.eval();
+    // Every lane's trace output equals the signal observed_under says.
+    for (std::size_t l = 0; l < inst.trace_outputs.size(); ++l) {
+      const bool lane_value = s.value(trace_nodes[l]);
+      const auto sig = inst.netlist.find(observed[l]);
+      ASSERT_TRUE(sig.has_value()) << observed[l];
+      EXPECT_EQ(lane_value, s.value(*sig))
+          << "lane " << l << " cycle " << vec << " shows wrong signal";
+    }
+    s.step();
+  }
+  // All requested signals are among the observed.
+  for (const std::string& w : want) {
+    EXPECT_NE(std::find(observed.begin(), observed.end(), w), observed.end());
+  }
+}
+
+TEST(SignalParam, MatchingResolvesLaneConflicts) {
+  const Netlist nl = user_circuit(6, 40);
+  InstrumentOptions opt;
+  opt.trace_width = 4;
+  opt.replication = 2;
+  const Instrumented inst = parameterize_signals(nl, opt);
+  // Request as many signals as lanes; with replication 2 a conflict-free
+  // matching should exist for most subsets.
+  std::vector<std::string> want;
+  for (NodeId id : nl.topo_order()) {
+    want.push_back(nl.name(id));
+    if (want.size() == 4) break;
+  }
+  const auto params = inst.select_signals(want);
+  const auto observed = inst.observed_under(params);
+  for (const std::string& w : want) {
+    EXPECT_NE(std::find(observed.begin(), observed.end(), w), observed.end())
+        << w;
+  }
+}
+
+TEST(SignalParam, UnknownSignalThrows) {
+  const Netlist nl = user_circuit(7);
+  const Instrumented inst = parameterize_signals(nl, {});
+  EXPECT_THROW(inst.select_signals({"no_such_signal"}), Error);
+}
+
+TEST(SignalParam, MaxObservedCapsSignals) {
+  const Netlist nl = user_circuit(8);
+  InstrumentOptions opt;
+  opt.max_observed = 10;
+  opt.replication = 1;
+  const Instrumented inst = parameterize_signals(nl, opt);
+  EXPECT_EQ(inst.num_observable(), 10u);
+}
+
+TEST(SignalParam, Radix4TreesUseFewerMuxNodes) {
+  const Netlist nl = user_circuit(9, 120);
+  InstrumentOptions opt2;
+  opt2.trace_width = 4;
+  opt2.replication = 1;
+  InstrumentOptions opt4 = opt2;
+  opt4.mux_radix = 4;
+  const Instrumented r2 = parameterize_signals(nl, opt2);
+  const Instrumented r4 = parameterize_signals(nl, opt4);
+  const std::size_t muxes2 =
+      r2.netlist.num_logic_nodes() - nl.num_logic_nodes();
+  const std::size_t muxes4 =
+      r4.netlist.num_logic_nodes() - nl.num_logic_nodes();
+  EXPECT_LT(muxes4, muxes2);
+  // Selection still works at radix 4.
+  const std::string sig = nl.name(nl.topo_order()[5]);
+  const auto params = r4.select_signals({sig});
+  const auto observed = r4.observed_under(params);
+  EXPECT_NE(std::find(observed.begin(), observed.end(), sig), observed.end());
+}
+
+TEST(SignalParam, RejectsAlreadyParameterized) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.add_param("p");
+  nl.add_output(nl.add_logic("f", {a}, ~logic::TruthTable::var(1, 0)), "o");
+  EXPECT_THROW(parameterize_signals(nl, {}), Error);
+}
+
+TEST(SignalParam, LatchOutputsObservableByDefault) {
+  const Netlist nl = user_circuit(10);
+  const Instrumented inst = parameterize_signals(nl, {});
+  const auto [lane, index] = inst.locate("lq0");
+  EXPECT_NE(lane, static_cast<std::size_t>(-1));
+  InstrumentOptions opt;
+  opt.observe_latch_outputs = false;
+  const Instrumented inst2 = parameterize_signals(nl, opt);
+  const auto [lane2, index2] = inst2.locate("lq0");
+  EXPECT_EQ(lane2, static_cast<std::size_t>(-1));
+}
+
+}  // namespace
+}  // namespace fpgadbg::debug

@@ -1,0 +1,117 @@
+#include "debug/signal_select.h"
+
+#include <gtest/gtest.h>
+
+#include "debug/signal_param.h"
+#include "genbench/genbench.h"
+#include "support/error.h"
+
+namespace fpgadbg::debug {
+namespace {
+
+using netlist::Netlist;
+
+Netlist circuit(std::uint64_t seed, std::size_t gates = 80) {
+  genbench::CircuitSpec spec{"sel" + std::to_string(seed), 10, 8, 6, gates, 4,
+                             5, seed};
+  return genbench::generate(spec);
+}
+
+TEST(SignalSelect, SelectsRequestedCount) {
+  const Netlist nl = circuit(1);
+  SelectOptions options;
+  options.count = 10;
+  const SignalSelection sel = select_critical_signals(nl, options);
+  EXPECT_EQ(sel.signals.size(), 10u);
+  EXPECT_EQ(sel.coverage_curve.size(), 10u);
+}
+
+TEST(SignalSelect, CoverageIsMonotone) {
+  const Netlist nl = circuit(2);
+  SelectOptions options;
+  options.count = 20;
+  const SignalSelection sel = select_critical_signals(nl, options);
+  for (std::size_t i = 1; i < sel.coverage_curve.size(); ++i) {
+    EXPECT_GE(sel.coverage_curve[i], sel.coverage_curve[i - 1]);
+  }
+  EXPECT_GT(sel.coverage, 0.0);
+  EXPECT_LE(sel.coverage, 1.0);
+}
+
+TEST(SignalSelect, GreedyBeatsArbitraryPrefix) {
+  // The first k greedy picks must cover at least as much as observing the
+  // first k signals in id order (a weak but meaningful optimality check).
+  const Netlist nl = circuit(3);
+  SelectOptions options;
+  options.count = 5;
+  const SignalSelection greedy = select_critical_signals(nl, options);
+  // Coverage of 5 arbitrary signals = their union cone / universe; since
+  // greedy picked maxima first, its first pick alone covers >= any single
+  // signal's cone.
+  EXPECT_GE(greedy.coverage_curve[0], 1.0 / 80.0);
+  EXPECT_GE(greedy.coverage, greedy.coverage_curve[0]);
+}
+
+TEST(SignalSelect, FullSelectionCoversEverything) {
+  const Netlist nl = circuit(4, 40);
+  SelectOptions options;
+  options.count = 1000;  // more than exists
+  const SignalSelection sel = select_critical_signals(nl, options);
+  EXPECT_NEAR(sel.coverage, 1.0, 1e-9);
+}
+
+TEST(SignalSelect, DistinctSignals) {
+  const Netlist nl = circuit(5);
+  SelectOptions options;
+  options.count = 30;
+  const SignalSelection sel = select_critical_signals(nl, options);
+  std::set<std::string> unique(sel.signals.begin(), sel.signals.end());
+  EXPECT_EQ(unique.size(), sel.signals.size());
+}
+
+TEST(SignalSelect, FeedsInstrumentationObserveList) {
+  // End-to-end with the paper's future-work flow: select k critical signals,
+  // instrument only those, and verify the parameter count shrinks.
+  const Netlist nl = circuit(6);
+  SelectOptions select_options;
+  select_options.count = 12;
+  const SignalSelection sel = select_critical_signals(nl, select_options);
+
+  InstrumentOptions all_opts;
+  all_opts.trace_width = 8;
+  const Instrumented all = parameterize_signals(nl, all_opts);
+
+  InstrumentOptions few_opts;
+  few_opts.trace_width = 8;
+  few_opts.observe_list = sel.signals;
+  const Instrumented few = parameterize_signals(nl, few_opts);
+
+  EXPECT_EQ(few.num_observable(), 12u * 3u);  // x replication
+  EXPECT_LT(few.netlist.params().size(), all.netlist.params().size());
+  EXPECT_LT(few.netlist.num_logic_nodes(), all.netlist.num_logic_nodes());
+  // Selected signals are actually observable.
+  for (const std::string& s : sel.signals) {
+    const auto [lane, idx] = few.locate(s);
+    EXPECT_NE(lane, static_cast<std::size_t>(-1)) << s;
+  }
+}
+
+TEST(SignalSelect, ObserveListRejectsUnknown) {
+  const Netlist nl = circuit(7);
+  InstrumentOptions options;
+  options.observe_list = {"not_a_signal"};
+  EXPECT_THROW(parameterize_signals(nl, options), Error);
+}
+
+TEST(SignalSelect, MaxConeCapsMemory) {
+  const Netlist nl = circuit(8, 120);
+  SelectOptions options;
+  options.count = 10;
+  options.max_cone = 8;
+  const SignalSelection sel = select_critical_signals(nl, options);
+  EXPECT_EQ(sel.signals.size(), 10u);
+  EXPECT_GT(sel.coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace fpgadbg::debug

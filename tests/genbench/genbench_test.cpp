@@ -1,0 +1,114 @@
+#include "genbench/genbench.h"
+
+#include <gtest/gtest.h>
+
+#include "genbench/paper_table.h"
+#include "netlist/stats.h"
+#include "support/error.h"
+#include "synth/sweep.h"
+
+namespace fpgadbg::genbench {
+namespace {
+
+TEST(Genbench, HitsGateAndDepthTargets) {
+  const CircuitSpec spec{"t", 16, 12, 8, 200, 6, 6, 42};
+  const netlist::Netlist nl = generate(spec);
+  EXPECT_EQ(nl.num_logic_nodes(), 200u);
+  EXPECT_EQ(nl.depth(), 6);
+  EXPECT_EQ(nl.inputs().size(), 16u);
+  EXPECT_EQ(nl.latches().size(), 8u);
+  EXPECT_GE(nl.outputs().size(), 12u);  // extras allowed for fanout-free nodes
+}
+
+TEST(Genbench, DeterministicForSeed) {
+  const CircuitSpec spec{"t", 8, 8, 4, 60, 4, 5, 7};
+  const netlist::Netlist a = generate(spec);
+  const netlist::Netlist b = generate(spec);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (netlist::NodeId id = 0; id < a.num_nodes(); ++id) {
+    EXPECT_EQ(a.name(id), b.name(id));
+    EXPECT_EQ(a.fanins(id), b.fanins(id));
+    EXPECT_EQ(a.function(id), b.function(id));
+  }
+}
+
+TEST(Genbench, DifferentSeedsDiffer) {
+  CircuitSpec s1{"t", 8, 8, 0, 60, 4, 5, 1};
+  CircuitSpec s2 = s1;
+  s2.seed = 2;
+  const netlist::Netlist a = generate(s1);
+  const netlist::Netlist b = generate(s2);
+  bool any_diff = false;
+  for (netlist::NodeId id = 0; id < std::min(a.num_nodes(), b.num_nodes());
+       ++id) {
+    if (a.kind(id) == netlist::NodeKind::kLogic &&
+        b.kind(id) == netlist::NodeKind::kLogic &&
+        (a.function(id) != b.function(id) || a.fanins(id) != b.fanins(id))) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Genbench, SweepCannotShrinkGeneratedCircuit) {
+  // Full-support functions + guaranteed fanout = nothing to remove.
+  const CircuitSpec spec{"t", 12, 8, 4, 100, 5, 6, 99};
+  const netlist::Netlist nl = generate(spec);
+  synth::SweepStats stats;
+  const netlist::Netlist swept = synth::sweep(nl, &stats);
+  EXPECT_EQ(swept.num_logic_nodes(), nl.num_logic_nodes());
+  EXPECT_EQ(stats.dead_removed, 0u);
+  EXPECT_EQ(stats.const_folded, 0u);
+}
+
+TEST(Genbench, PaperBenchmarksMatchPublishedStructure) {
+  const auto specs = paper_benchmarks();
+  ASSERT_EQ(specs.size(), 8u);
+  for (const CircuitSpec& spec : specs) {
+    const PaperRow& row = paper_row(spec.name);
+    EXPECT_EQ(spec.num_gates, row.gates) << spec.name;
+    EXPECT_EQ(spec.depth, row.depth_golden) << spec.name;
+  }
+}
+
+TEST(Genbench, SmallPaperBenchmarksGenerate) {
+  for (const char* name : {"stereov", "diffeq2", "diffeq1"}) {
+    const CircuitSpec spec = paper_benchmark(name);
+    const netlist::Netlist nl = generate(spec);
+    EXPECT_EQ(nl.num_logic_nodes(), spec.num_gates);
+    EXPECT_EQ(nl.depth(), spec.depth);
+    nl.check();
+  }
+}
+
+TEST(Genbench, UnknownBenchmarkThrows) {
+  EXPECT_THROW(paper_benchmark("bogus"), Error);
+}
+
+TEST(PaperTable, RowsAreComplete) {
+  for (const PaperRow& row : paper_table()) {
+    EXPECT_GT(row.gates, 0u);
+    EXPECT_GT(row.initial, 0u);
+    EXPECT_GT(row.simplemap, row.proposed) << row.name;
+    EXPECT_GT(row.abc, row.proposed) << row.name;
+    EXPECT_GE(row.depth_simplemap, row.depth_golden - 1) << row.name;
+    EXPECT_LE(row.depth_proposed, row.depth_simplemap) << row.name;
+  }
+}
+
+TEST(Genbench, MaxFaninRespected) {
+  const CircuitSpec spec{"t", 10, 8, 0, 80, 4, 4, 13};
+  const netlist::Netlist nl = generate(spec);
+  const auto stats = netlist::compute_stats(nl);
+  EXPECT_LE(stats.max_fanin, 4);
+}
+
+TEST(Genbench, RejectsInfeasibleSpecs) {
+  EXPECT_THROW(generate(CircuitSpec{"t", 0, 1, 0, 10, 2, 4, 1}), Error);
+  EXPECT_THROW(generate(CircuitSpec{"t", 4, 1, 0, 2, 5, 4, 1}), Error);
+  EXPECT_THROW(generate(CircuitSpec{"t", 4, 1, 0, 10, 2, 9, 1}), Error);
+}
+
+}  // namespace
+}  // namespace fpgadbg::genbench

@@ -1,0 +1,103 @@
+#include "logic/sop.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace fpgadbg::logic {
+namespace {
+
+TruthTable random_tt(int num_vars, Rng& rng, double density = 0.5) {
+  TruthTable t(num_vars);
+  for (std::size_t i = 0; i < t.num_bits(); ++i) {
+    t.set_bit(i, rng.next_bool(density));
+  }
+  return t;
+}
+
+TEST(Sop, CoverToTtSimple) {
+  // f = a & !b  +  !a & b  == xor
+  SopCover cover;
+  cover.num_vars = 2;
+  cover.cubes = {Cube{"10"}, Cube{"01"}};
+  EXPECT_EQ(cover_to_tt(cover), tt_xor(2));
+}
+
+TEST(Sop, CoverWithDontCares) {
+  SopCover cover;
+  cover.num_vars = 3;
+  cover.cubes = {Cube{"1--"}};  // f = x0
+  EXPECT_EQ(cover_to_tt(cover), TruthTable::var(3, 0));
+}
+
+TEST(Sop, EmptyCoverIsConst0) {
+  SopCover cover;
+  cover.num_vars = 3;
+  EXPECT_TRUE(cover_to_tt(cover).is_const0());
+}
+
+TEST(Sop, AllDashCubeIsConst1) {
+  SopCover cover;
+  cover.num_vars = 4;
+  cover.cubes = {Cube{"----"}};
+  EXPECT_TRUE(cover_to_tt(cover).is_const1());
+}
+
+TEST(Sop, IsopConst) {
+  EXPECT_TRUE(tt_to_isop(TruthTable::zero(3)).cubes.empty());
+  const SopCover one = tt_to_isop(TruthTable::one(3));
+  ASSERT_EQ(one.cubes.size(), 1u);
+  EXPECT_EQ(one.cubes[0].literals, "---");
+}
+
+TEST(Sop, IsopZeroVars) {
+  EXPECT_TRUE(tt_to_isop(TruthTable::zero(0)).cubes.empty());
+  EXPECT_EQ(tt_to_isop(TruthTable::one(0)).cubes.size(), 1u);
+}
+
+TEST(Sop, IsopRoundTripNamedGates) {
+  for (const TruthTable& f :
+       {tt_and(4), tt_or(4), tt_xor(4), tt_nand(3), tt_nor(3), tt_mux21()}) {
+    EXPECT_EQ(cover_to_tt(tt_to_isop(f)), f);
+  }
+}
+
+TEST(Sop, IsopSingleCubeForAnd) {
+  const SopCover cover = tt_to_isop(tt_and(5));
+  ASSERT_EQ(cover.cubes.size(), 1u);
+  EXPECT_EQ(cover.cubes[0].literals, "11111");
+  EXPECT_EQ(literal_count(cover), 5u);
+}
+
+TEST(Sop, LiteralCount) {
+  SopCover cover;
+  cover.num_vars = 3;
+  cover.cubes = {Cube{"1-0"}, Cube{"---"}, Cube{"111"}};
+  EXPECT_EQ(literal_count(cover), 5u);
+}
+
+class IsopRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsopRoundTrip, RandomFunctionsRoundTrip) {
+  const int n = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 25; ++trial) {
+    const double density = 0.1 + 0.2 * (trial % 5);
+    const TruthTable f = random_tt(n, rng, density);
+    const SopCover cover = tt_to_isop(f);
+    EXPECT_EQ(cover_to_tt(cover), f) << "n=" << n << " trial=" << trial;
+    // Irredundancy: dropping any cube must lose part of the on-set.
+    for (std::size_t skip = 0; skip < cover.cubes.size(); ++skip) {
+      SopCover reduced = cover;
+      reduced.cubes.erase(reduced.cubes.begin() +
+                          static_cast<std::ptrdiff_t>(skip));
+      EXPECT_NE(cover_to_tt(reduced), f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IsopRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace fpgadbg::logic

@@ -1,0 +1,189 @@
+#include "map/cuts.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/truth_table.h"
+#include "netlist/netlist.h"
+#include "synth/decompose.h"
+
+namespace fpgadbg::map {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using logic::TruthTable;
+using logic::tt_and;
+using logic::tt_mux21;
+using logic::tt_or;
+using logic::tt_xor;
+
+TEST(TconFeasible, MuxIsFeasible) {
+  EXPECT_TRUE(tcon_feasible(tt_mux21(), 2, 1));
+}
+
+TEST(TconFeasible, AndWithParamIsFeasible) {
+  // f(d; p) = d & p: p=1 -> wire, p=0 -> const0.
+  const TruthTable f = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+  EXPECT_TRUE(tcon_feasible(f, 1, 1));
+}
+
+TEST(TconFeasible, XorWithParamIsNotFeasible) {
+  // f(d; p) = d ^ p: p=1 residual is ~d, not routable as a plain wire.
+  const TruthTable f = TruthTable::var(2, 0) ^ TruthTable::var(2, 1);
+  EXPECT_FALSE(tcon_feasible(f, 1, 1));
+}
+
+TEST(TconFeasible, DataOnlyIsNotTcon) {
+  EXPECT_FALSE(tcon_feasible(tt_and(2), 2, 0));
+}
+
+TEST(TconFeasible, TwoLevelMuxTree) {
+  // 4:1 mux over (d0..d3; s0, s1).
+  TruthTable f(6);
+  for (std::uint64_t w = 0; w < 64; ++w) {
+    const unsigned sel = static_cast<unsigned>((w >> 4) & 3);
+    f.set_bit(w, ((w >> sel) & 1) != 0);
+  }
+  EXPECT_TRUE(tcon_feasible(f, 4, 2));
+}
+
+TEST(TconFeasible, MixedLogicIsNotFeasible) {
+  // f = p ? (d0 & d1) : d0 — residual under p=1 is an AND, not a wire.
+  const TruthTable d0 = TruthTable::var(3, 0);
+  const TruthTable d1 = TruthTable::var(3, 1);
+  const TruthTable p = TruthTable::var(3, 2);
+  const TruthTable f = (p & d0 & d1) | (~p & d0);
+  EXPECT_FALSE(tcon_feasible(f, 2, 1));
+}
+
+Netlist decomposed_and6() {
+  Netlist nl;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 6; ++i) pis.push_back(nl.add_input("i" + std::to_string(i)));
+  nl.add_output(nl.add_logic("a6", pis, tt_and(6)), "o");
+  return synth::decompose(nl);
+}
+
+TEST(CutEnumerator, FindsFullBoundaryCut) {
+  const Netlist dec = decomposed_and6();
+  CutEnumerator en(dec, CutConfig{});
+  const NodeId root = *dec.find("a6");
+  bool found_full = false;
+  for (const Cut& c : en.cuts(root)) {
+    if (c.num_data() == 6) {
+      found_full = true;
+      EXPECT_EQ(c.function, tt_and(6));
+    }
+  }
+  EXPECT_TRUE(found_full);
+  EXPECT_EQ(en.est_arrival(root), 1);
+}
+
+TEST(CutEnumerator, TrivialCutAlwaysPresent) {
+  const Netlist dec = decomposed_and6();
+  CutEnumerator en(dec, CutConfig{});
+  for (NodeId id : dec.topo_order()) {
+    const auto& cuts = en.cuts(id);
+    ASSERT_FALSE(cuts.empty());
+    const Cut& last = cuts.back();
+    EXPECT_EQ(last.num_data(), 1);
+    EXPECT_EQ(last.data_leaves[0], id);
+  }
+}
+
+TEST(CutEnumerator, RespectsLutSize) {
+  const Netlist dec = decomposed_and6();
+  CutConfig config;
+  config.lut_size = 4;
+  CutEnumerator en(dec, config);
+  for (NodeId id : dec.topo_order()) {
+    for (const Cut& c : en.cuts(id)) {
+      // Trivial self-cut excepted (it is the leaf view, not a LUT).
+      if (c.data_leaves.size() == 1 && c.data_leaves[0] == id) continue;
+      EXPECT_LE(c.num_data(), 4);
+    }
+  }
+  // Depth must grow: and6 cannot fit one 4-LUT.
+  EXPECT_GE(en.est_arrival(*dec.find("a6")), 2);
+}
+
+TEST(CutEnumerator, ParamLeavesTrackedSeparately) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId s = nl.add_param("s");
+  nl.add_output(nl.add_logic("m", {a, b, s}, tt_mux21()), "o");
+  const Netlist dec = synth::decompose(nl);
+  CutConfig config;
+  config.params_free = true;
+  CutEnumerator en(dec, config);
+  const NodeId root = *dec.find("m");
+  bool found_tcon_cut = false;
+  for (const Cut& c : en.cuts(root)) {
+    if (c.num_params() == 1 && c.num_data() == 2 &&
+        tcon_feasible(c.function, 2, 1)) {
+      found_tcon_cut = true;  // the full-mux cut {a, b | s}
+    }
+    // Params never appear among data leaves in params_free mode.
+    for (NodeId leaf : c.data_leaves) {
+      EXPECT_NE(leaf, *dec.find("s"));
+    }
+  }
+  EXPECT_TRUE(found_tcon_cut);
+}
+
+TEST(CutEnumerator, ParamsCountAgainstKWhenNotFree) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId s = nl.add_param("s");
+  nl.add_output(nl.add_logic("m", {a, b, s}, tt_mux21()), "o");
+  const Netlist dec = synth::decompose(nl);
+  CutConfig config;
+  config.params_free = false;
+  CutEnumerator en(dec, config);
+  const NodeId root = *dec.find("m");
+  for (const Cut& c : en.cuts(root)) {
+    EXPECT_EQ(c.num_params(), 0);
+  }
+}
+
+TEST(CutEnumerator, DebugLayerBarrierStopsExpansion) {
+  // user: u = a & b; debug: mux(u, c; s).  With the barrier the mux's cuts
+  // must treat u as a leaf, never reaching a or b.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId s = nl.add_param("s");
+  const NodeId u = nl.add_logic("u", {a, b}, tt_and(2));
+  const NodeId m = nl.add_logic("dbgmux_m", {u, c, s}, tt_mux21());
+  nl.add_output(m, "o");
+  nl.add_output(u, "ou");
+  const Netlist dec = synth::decompose(nl);
+  std::vector<bool> mask(dec.num_nodes(), false);
+  for (NodeId id = 0; id < dec.num_nodes(); ++id) {
+    if (dec.kind(id) == netlist::NodeKind::kLogic &&
+        dec.name(id).rfind("dbgmux_", 0) == 0) {
+      mask[id] = true;
+    }
+  }
+  CutConfig config;
+  config.params_free = true;
+  config.debug_layer = &mask;
+  CutEnumerator en(dec, config);
+  // No debug cut may expand THROUGH the user node u into a or b; leaves may
+  // be u itself, primary inputs of the mux, or other debug-layer nodes.
+  const NodeId ad = *dec.find("a");
+  const NodeId bd = *dec.find("b");
+  const NodeId root = *dec.find("dbgmux_m");
+  for (const Cut& cut : en.cuts(root)) {
+    for (NodeId leaf : cut.data_leaves) {
+      EXPECT_NE(leaf, ad) << "barrier pierced through u";
+      EXPECT_NE(leaf, bd) << "barrier pierced through u";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpgadbg::map

@@ -1,0 +1,156 @@
+#include "map/mappers.h"
+
+#include <gtest/gtest.h>
+
+#include "debug/signal_param.h"
+#include "genbench/genbench.h"
+#include "sim/equivalence.h"
+#include "support/rng.h"
+
+namespace fpgadbg::map {
+namespace {
+
+using netlist::Netlist;
+
+Netlist small_circuit(std::uint64_t seed) {
+  genbench::CircuitSpec spec{"c" + std::to_string(seed), 12, 8, 6, 60, 4, 6,
+                             seed};
+  return genbench::generate(spec);
+}
+
+TEST(SimpleMap, EquivalentToSource) {
+  Rng rng(41);
+  const Netlist nl = small_circuit(11);
+  const MapResult res = simple_map(nl);
+  EXPECT_EQ(res.stats.mapper, "SimpleMap");
+  const auto report = sim::check_equivalence(nl, res.netlist, 300, rng);
+  EXPECT_TRUE(report.equivalent) << report.first_mismatch;
+}
+
+TEST(AbcMap, EquivalentToSource) {
+  Rng rng(43);
+  const Netlist nl = small_circuit(12);
+  const MapResult res = abc_map(nl);
+  EXPECT_EQ(res.stats.mapper, "ABC");
+  const auto report = sim::check_equivalence(nl, res.netlist, 300, rng);
+  EXPECT_TRUE(report.equivalent) << report.first_mismatch;
+}
+
+TEST(AbcMap, AreaNoWorseThanTwiceGates) {
+  const Netlist nl = small_circuit(13);
+  const MapResult res = abc_map(nl);
+  EXPECT_LE(res.stats.lut_area, 2 * nl.num_logic_nodes());
+  EXPECT_GE(res.stats.lut_area, nl.num_logic_nodes() / 3);
+}
+
+TEST(AbcMap, DepthCloseToGolden) {
+  const Netlist nl = small_circuit(14);
+  const MapResult res = abc_map(nl);
+  EXPECT_LE(res.stats.depth, nl.depth() + 1);
+}
+
+TEST(Mappers, BaselinesProduceNoTuneables) {
+  const Netlist nl = small_circuit(15);
+  const auto inst = debug::parameterize_signals(nl, {});
+  for (const MapResult& res :
+       {simple_map(inst.netlist), abc_map(inst.netlist)}) {
+    EXPECT_EQ(res.stats.num_tcons, 0u);
+    EXPECT_EQ(res.stats.num_tluts, 0u);
+    EXPECT_EQ(res.stats.lut_area, res.stats.num_luts);
+  }
+}
+
+TEST(TconMap, EquivalentOnInstrumentedCircuit) {
+  Rng rng(47);
+  const Netlist nl = small_circuit(16);
+  debug::InstrumentOptions opt;
+  opt.trace_width = 8;
+  const auto inst = debug::parameterize_signals(nl, opt);
+  const MapResult res = tcon_map(inst.netlist);
+  const auto report = sim::check_equivalence(inst.netlist, res.netlist, 400, rng);
+  EXPECT_TRUE(report.equivalent) << report.first_mismatch;
+}
+
+TEST(TconMap, ProducesTconsOnInstrumentedCircuit) {
+  const Netlist nl = small_circuit(17);
+  const auto inst = debug::parameterize_signals(nl, {});
+  const MapResult res = tcon_map(inst.netlist);
+  EXPECT_GT(res.stats.num_tcons, 0u);
+  // The TCON network is the dominant tuneable resource (paper §V-A).
+  EXPECT_GE(res.stats.num_tcons, res.stats.num_tluts);
+}
+
+TEST(TconMap, AreaNearInitial) {
+  // Paper claim 1: the instrumented design mapped with the proposed mapper
+  // is about the size of the original design.
+  const Netlist nl = small_circuit(18);
+  const auto inst = debug::parameterize_signals(nl, {});
+  const std::size_t initial = abc_map(nl).stats.lut_area;
+  const std::size_t prop = tcon_map(inst.netlist).stats.lut_area;
+  EXPECT_LE(prop, initial * 3 / 2) << "instrumentation should be ~free";
+}
+
+TEST(TconMap, ConventionalMappersPayTheMuxArea) {
+  // Paper claim: conventional mapping of the instrumented design is several
+  // times larger than the proposed mapping.
+  const Netlist nl = small_circuit(19);
+  const auto inst = debug::parameterize_signals(nl, {});
+  const std::size_t conv = abc_map(inst.netlist).stats.lut_area;
+  const std::size_t prop = tcon_map(inst.netlist).stats.lut_area;
+  EXPECT_GE(conv, prop * 3 / 2);
+}
+
+TEST(TconMap, DepthMatchesGolden) {
+  // Paper Table II: proposed depth equals the golden depth (or less).
+  const Netlist nl = small_circuit(20);
+  const auto inst = debug::parameterize_signals(nl, {});
+  const int golden = abc_map(nl).stats.depth;
+  const MapResult res = tcon_map(inst.netlist);
+  EXPECT_LE(res.stats.depth, golden + 1);
+}
+
+TEST(TconMap, HonorsCustomOptions) {
+  const Netlist nl = small_circuit(21);
+  const auto inst = debug::parameterize_signals(nl, {});
+  MapOptions options;
+  options.params_free = true;
+  options.lut_size = 4;
+  const MapResult res = map_with(inst.netlist, options, "custom");
+  EXPECT_EQ(res.stats.mapper, "custom");
+  for (CellId id = 0; id < res.netlist.num_cells(); ++id) {
+    EXPECT_LE(res.netlist.cell(id).data_inputs.size(), 4u);
+  }
+}
+
+class MapperEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MapperEquivalenceSweep, AllMappersPreserveFunction) {
+  const auto [lut_size, seed] = GetParam();
+  Rng rng(seed * 1000);
+  genbench::CircuitSpec spec{"sweep", 8, 6, 3, 40, 3, 5, seed};
+  const Netlist nl = genbench::generate(spec);
+  debug::InstrumentOptions opt;
+  opt.trace_width = 6;
+  const auto inst = debug::parameterize_signals(nl, opt);
+
+  for (auto mapper : {&simple_map, &abc_map}) {
+    const MapResult res = mapper(inst.netlist, 6);
+    Rng r2(seed);
+    const auto report = sim::check_equivalence(inst.netlist, res.netlist, 200, r2);
+    EXPECT_TRUE(report.equivalent) << report.first_mismatch;
+  }
+  const MapResult res = tcon_map(inst.netlist, lut_size);
+  Rng r3(seed);
+  const auto report = sim::check_equivalence(inst.netlist, res.netlist, 200, r3);
+  EXPECT_TRUE(report.equivalent)
+      << "tcon_map K=" << lut_size << ": " << report.first_mismatch;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MapperEquivalenceSweep,
+    ::testing::Combine(::testing::Values(4, 5, 6),
+                       ::testing::Values(101u, 202u, 303u)));
+
+}  // namespace
+}  // namespace fpgadbg::map

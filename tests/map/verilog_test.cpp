@@ -1,0 +1,94 @@
+#include "map/verilog.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "debug/signal_param.h"
+#include "genbench/genbench.h"
+#include "map/mappers.h"
+
+namespace fpgadbg::map {
+namespace {
+
+MappedNetlist mapped_demo() {
+  genbench::CircuitSpec spec{"vdemo", 8, 6, 4, 30, 3, 5, 91};
+  const auto nl = genbench::generate(spec);
+  debug::InstrumentOptions opt;
+  opt.trace_width = 4;
+  const auto inst = debug::parameterize_signals(nl, opt);
+  return tcon_map(inst.netlist).netlist;
+}
+
+TEST(Verilog, EmitsWellFormedModule) {
+  const MappedNetlist mn = mapped_demo();
+  std::ostringstream out;
+  write_verilog(mn, out);
+  const std::string v = out.str();
+  EXPECT_NE(v.find("module vdemo"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+  EXPECT_NE(v.find("/* debug parameter */"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+}
+
+TEST(Verilog, EveryOutputIsAssigned) {
+  const MappedNetlist mn = mapped_demo();
+  std::ostringstream out;
+  write_verilog(mn, out);
+  const std::string v = out.str();
+  for (const std::string& name : mn.output_names()) {
+    EXPECT_NE(v.find("assign " + name + " ="), std::string::npos) << name;
+  }
+}
+
+TEST(Verilog, CellKindsAnnotated) {
+  const MappedNetlist mn = mapped_demo();
+  std::ostringstream out;
+  write_verilog(mn, out);
+  const std::string v = out.str();
+  EXPECT_NE(v.find("// LUT"), std::string::npos);
+  EXPECT_NE(v.find("// TCON"), std::string::npos);
+}
+
+TEST(Verilog, EscapesAwkwardNames) {
+  MappedNetlist mn("t");
+  const CellId a = mn.add_source(MKind::kInput, "a$weird.name");
+  const CellId f = mn.add_cell(MKind::kLut, "f", {a}, {},
+                               ~logic::TruthTable::var(1, 0));
+  mn.add_output(f, "o");
+  std::ostringstream out;
+  write_verilog(mn, out);
+  EXPECT_NE(out.str().find("\\a$weird.name "), std::string::npos);
+}
+
+TEST(Verilog, OutputNameCollidingWithCellGetsInternalWire) {
+  MappedNetlist mn("t");
+  const CellId a = mn.add_source(MKind::kInput, "a");
+  const CellId f = mn.add_cell(MKind::kLut, "po0", {a}, {},
+                               ~logic::TruthTable::var(1, 0));
+  mn.add_output(f, "po0");
+  std::ostringstream out;
+  write_verilog(mn, out);
+  const std::string v = out.str();
+  EXPECT_NE(v.find("\\po0$int "), std::string::npos);
+  EXPECT_EQ(v.find("assign po0 = po0;"), std::string::npos);
+}
+
+TEST(Verilog, NoDuplicateWireDeclarations) {
+  const MappedNetlist mn = mapped_demo();
+  std::ostringstream out;
+  write_verilog(mn, out);
+  std::istringstream lines(out.str());
+  std::set<std::string> declared;
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto pos = line.find("  wire ");
+    if (pos != 0) continue;
+    EXPECT_TRUE(declared.insert(line.substr(7, line.find(';') - 7)).second)
+        << line;
+  }
+}
+
+}  // namespace
+}  // namespace fpgadbg::map

@@ -1,0 +1,220 @@
+#include "netlist/blif.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/stats.h"
+#include "support/error.h"
+
+namespace fpgadbg::netlist {
+namespace {
+
+Netlist parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_blif(in, "test.blif");
+}
+
+TEST(BlifReader, MinimalCombinational) {
+  const Netlist nl = parse(R"(
+.model tiny
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.end
+)");
+  EXPECT_EQ(nl.model_name(), "tiny");
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  const NodeId f = *nl.find("f");
+  EXPECT_EQ(nl.function(f), logic::tt_and(2));
+}
+
+TEST(BlifReader, OffSetCover) {
+  const Netlist nl = parse(R"(
+.model t
+.inputs a b
+.outputs f
+.names a b f
+00 0
+.end
+)");
+  // OFF-set: f is 0 only when a=b=0, i.e. OR.
+  EXPECT_EQ(nl.function(*nl.find("f")), logic::tt_or(2));
+}
+
+TEST(BlifReader, ConstantNodes) {
+  const Netlist nl = parse(R"(
+.model t
+.inputs a
+.outputs k1 k0
+.names k1
+1
+.names k0
+.end
+)");
+  EXPECT_TRUE(nl.function(*nl.find("k1")).is_const1());
+  EXPECT_TRUE(nl.function(*nl.find("k0")).is_const0());
+}
+
+TEST(BlifReader, Latches) {
+  const Netlist nl = parse(R"(
+.model seq
+.inputs d_in
+.outputs q_out
+.latch next q 1
+.names d_in q next
+11 1
+.names q q_out
+1 1
+.end
+)");
+  ASSERT_EQ(nl.latches().size(), 1u);
+  EXPECT_EQ(nl.latches()[0].init_value, 1);
+  EXPECT_EQ(nl.name(nl.latches()[0].output), "q");
+  EXPECT_EQ(nl.name(nl.latches()[0].input), "next");
+  EXPECT_EQ(nl.depth(), 1);
+}
+
+TEST(BlifReader, LatchWithClockField) {
+  const Netlist nl = parse(R"(
+.model seq
+.inputs d clk
+.outputs q
+.latch d q re clk 0
+.end
+)");
+  ASSERT_EQ(nl.latches().size(), 1u);
+  EXPECT_EQ(nl.latches()[0].init_value, 0);
+}
+
+TEST(BlifReader, OutOfOrderDefinitions) {
+  const Netlist nl = parse(R"(
+.model t
+.inputs a b
+.outputs f
+.names g a f
+11 1
+.names a b g
+10 1
+.end
+)");
+  EXPECT_EQ(nl.num_logic_nodes(), 2u);
+  EXPECT_EQ(nl.depth(), 2);
+}
+
+TEST(BlifReader, LineContinuation) {
+  const Netlist nl = parse(
+      ".model t\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n");
+  EXPECT_EQ(nl.inputs().size(), 2u);
+}
+
+TEST(BlifReader, CommentsIgnored) {
+  const Netlist nl = parse(R"(
+# full line comment
+.model t  # trailing comment
+.inputs a
+.outputs f
+.names a f  # buffer
+1 1
+.end
+)");
+  EXPECT_EQ(nl.model_name(), "t");
+}
+
+TEST(BlifReader, ErrorOnUndefinedSignal) {
+  EXPECT_THROW(parse(R"(
+.model t
+.inputs a
+.outputs f
+.names a ghost f
+11 1
+.end
+)"),
+               ParseError);
+}
+
+TEST(BlifReader, ErrorOnCombinationalCycle) {
+  EXPECT_THROW(parse(R"(
+.model t
+.inputs a
+.outputs f
+.names a g f
+11 1
+.names a f g
+11 1
+.end
+)"),
+               ParseError);
+}
+
+TEST(BlifReader, ErrorOnMixedCover) {
+  EXPECT_THROW(parse(R"(
+.model t
+.inputs a b
+.outputs f
+.names a b f
+11 1
+00 0
+.end
+)"),
+               ParseError);
+}
+
+TEST(BlifReader, ErrorOnSubckt) {
+  EXPECT_THROW(parse(".model t\n.subckt foo a=b\n.end\n"), ParseError);
+}
+
+TEST(BlifRoundTrip, PreservesSemantics) {
+  const std::string text = R"(
+.model rt
+.inputs a b c
+.outputs x y
+.latch d q 0
+.names a b t1
+11 1
+.names t1 c x
+10 1
+01 1
+.names x q d
+11 1
+.names q b y
+01 1
+10 1
+.end
+)";
+  const Netlist nl1 = parse(text);
+  std::ostringstream out;
+  write_blif(nl1, out);
+  const Netlist nl2 = parse(out.str());
+
+  const NetlistStats s1 = compute_stats(nl1);
+  const NetlistStats s2 = compute_stats(nl2);
+  EXPECT_EQ(s1.num_inputs, s2.num_inputs);
+  EXPECT_EQ(s1.num_outputs, s2.num_outputs);
+  EXPECT_EQ(s1.num_latches, s2.num_latches);
+  EXPECT_EQ(s1.num_logic, s2.num_logic);
+  EXPECT_EQ(s1.depth, s2.depth);
+  // Node-for-node functional identity by name.
+  for (NodeId id = 0; id < nl1.num_nodes(); ++id) {
+    if (nl1.kind(id) != NodeKind::kLogic) continue;
+    const auto other = nl2.find(nl1.name(id));
+    ASSERT_TRUE(other.has_value()) << nl1.name(id);
+    EXPECT_EQ(nl1.function(id), nl2.function(*other)) << nl1.name(id);
+  }
+}
+
+TEST(BlifWriter, OutputFedByInputGetsBuffer) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  nl.add_output(a, "out_a");
+  std::ostringstream out;
+  write_blif(nl, out);
+  const Netlist back = parse(out.str());
+  EXPECT_EQ(back.outputs().size(), 1u);
+  EXPECT_EQ(back.output_names()[0], "out_a");
+}
+
+}  // namespace
+}  // namespace fpgadbg::netlist

@@ -1,0 +1,165 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/stats.h"
+#include "support/error.h"
+
+namespace fpgadbg::netlist {
+namespace {
+
+using logic::TruthTable;
+using logic::tt_and;
+using logic::tt_or;
+using logic::tt_xor;
+
+// a tiny full adder: sum = a^b^cin, cout = maj(a,b,cin)
+Netlist full_adder() {
+  Netlist nl("full_adder");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId cin = nl.add_input("cin");
+  const NodeId sum = nl.add_logic("sum", {a, b, cin}, tt_xor(3));
+  TruthTable maj(3);
+  for (std::uint64_t w = 0; w < 8; ++w) {
+    const int ones = ((w >> 0) & 1) + ((w >> 1) & 1) + ((w >> 2) & 1);
+    maj.set_bit(w, ones >= 2);
+  }
+  const NodeId cout = nl.add_logic("cout", {a, b, cin}, maj);
+  nl.add_output(sum, "sum");
+  nl.add_output(cout, "cout");
+  return nl;
+}
+
+TEST(Netlist, BuildAndQuery) {
+  const Netlist nl = full_adder();
+  EXPECT_EQ(nl.inputs().size(), 3u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.num_logic_nodes(), 2u);
+  EXPECT_EQ(nl.depth(), 1);
+  EXPECT_TRUE(nl.find("sum").has_value());
+  EXPECT_FALSE(nl.find("nonexistent").has_value());
+  EXPECT_EQ(nl.kind(*nl.find("a")), NodeKind::kInput);
+  EXPECT_EQ(nl.kind(*nl.find("sum")), NodeKind::kLogic);
+  nl.check();
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Netlist nl;
+  nl.add_input("x");
+  EXPECT_THROW(nl.add_input("x"), Error);
+}
+
+TEST(Netlist, ArityMismatchRejected) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_logic("f", {a}, tt_and(2)), Error);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g1 = nl.add_logic("g1", {a, b}, tt_and(2));
+  const NodeId g2 = nl.add_logic("g2", {g1, b}, tt_or(2));
+  const NodeId g3 = nl.add_logic("g3", {g2, g1}, tt_xor(2));
+  nl.add_output(g3, "out");
+  const std::vector<NodeId> order = nl.topo_order();
+  ASSERT_EQ(order.size(), 3u);
+  std::vector<std::size_t> pos(nl.num_nodes());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[g1], pos[g2]);
+  EXPECT_LT(pos[g2], pos[g3]);
+  EXPECT_LT(pos[g1], pos[g3]);
+}
+
+TEST(Netlist, DepthCountsLevels) {
+  Netlist nl;
+  NodeId prev = nl.add_input("in");
+  for (int i = 0; i < 5; ++i) {
+    prev = nl.add_logic("n" + std::to_string(i), {prev, prev},
+                        tt_and(2));
+  }
+  nl.add_output(prev, "out");
+  EXPECT_EQ(nl.depth(), 5);
+}
+
+TEST(Netlist, LatchBreaksCombinationalPath) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_latch("q", kNullNode, 0);
+  const NodeId f = nl.add_logic("f", {a, q}, tt_and(2));
+  nl.set_latch_input(0, f);
+  nl.add_output(f, "out");
+  nl.check();  // f -> latch -> q -> f is fine sequentially
+  EXPECT_EQ(nl.depth(), 1);
+  EXPECT_EQ(nl.latches().size(), 1u);
+  EXPECT_EQ(nl.latches()[0].input, f);
+  EXPECT_EQ(nl.latches()[0].output, q);
+}
+
+TEST(Netlist, UnconnectedLatchFailsCheck) {
+  Netlist nl;
+  nl.add_latch("q", kNullNode, 0);
+  EXPECT_THROW(nl.check(), Error);
+}
+
+TEST(Netlist, FanoutsAreInverseOfFanins) {
+  const Netlist nl = full_adder();
+  const auto fo = nl.fanouts();
+  const NodeId a = *nl.find("a");
+  const NodeId sum = *nl.find("sum");
+  const NodeId cout = *nl.find("cout");
+  EXPECT_EQ(fo[a], (std::vector<NodeId>{sum, cout}));
+  EXPECT_TRUE(fo[sum].empty());
+}
+
+TEST(Netlist, LiveMaskDropsDeadCone) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId used = nl.add_logic("used", {a, b}, tt_and(2));
+  const NodeId dead = nl.add_logic("dead", {a, b}, tt_or(2));
+  nl.add_output(used, "out");
+  const auto live = nl.live_mask();
+  EXPECT_TRUE(live[used]);
+  EXPECT_FALSE(live[dead]);
+  EXPECT_TRUE(live[a]);
+}
+
+TEST(Netlist, ParamsTrackedSeparately) {
+  Netlist nl;
+  nl.add_input("x");
+  nl.add_param("p0");
+  nl.add_param("p1");
+  EXPECT_EQ(nl.inputs().size(), 1u);
+  EXPECT_EQ(nl.params().size(), 2u);
+  EXPECT_EQ(nl.kind(*nl.find("p0")), NodeKind::kParam);
+  EXPECT_TRUE(nl.is_source(*nl.find("p0")));
+}
+
+TEST(Netlist, RewriteLogicChangesFunction) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId f = nl.add_logic("f", {a, b}, tt_and(2));
+  nl.rewrite_logic(f, {a, b, c}, tt_or(3));
+  EXPECT_EQ(nl.fanins(f).size(), 3u);
+  EXPECT_EQ(nl.function(f), tt_or(3));
+  EXPECT_THROW(nl.rewrite_logic(a, {}, TruthTable(0)), Error);
+}
+
+TEST(NetlistStats, ComputesCounts) {
+  const Netlist nl = full_adder();
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.num_inputs, 3u);
+  EXPECT_EQ(s.num_outputs, 2u);
+  EXPECT_EQ(s.num_logic, 2u);
+  EXPECT_EQ(s.num_edges, 6u);
+  EXPECT_EQ(s.depth, 1);
+  EXPECT_EQ(s.max_fanin, 3);
+}
+
+}  // namespace
+}  // namespace fpgadbg::netlist

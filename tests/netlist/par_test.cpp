@@ -1,0 +1,89 @@
+#include "netlist/par.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/blif.h"
+#include "support/error.h"
+
+namespace fpgadbg::netlist {
+namespace {
+
+Netlist demo() {
+  std::istringstream in(R"(
+.model demo
+.inputs a b sel0 sel1
+.outputs f
+.names a b t
+11 1
+.names t sel0 sel1 f
+1-- 1
+-11 1
+.end
+)");
+  return read_blif(in, "demo.blif");
+}
+
+TEST(Par, WriteListsParams) {
+  Netlist nl = apply_params(demo(), {"sel0", "sel1"});
+  std::ostringstream out;
+  write_par(nl, out);
+  std::istringstream back(out.str());
+  EXPECT_EQ(read_par(back), (std::vector<std::string>{"sel0", "sel1"}));
+}
+
+TEST(Par, ApplyParamsRetagsInputs) {
+  const Netlist nl = apply_params(demo(), {"sel0", "sel1"});
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.params().size(), 2u);
+  EXPECT_EQ(nl.kind(*nl.find("sel0")), NodeKind::kParam);
+  EXPECT_EQ(nl.kind(*nl.find("a")), NodeKind::kInput);
+  // Logic untouched.
+  EXPECT_EQ(nl.num_logic_nodes(), 2u);
+  EXPECT_EQ(nl.depth(), 2);
+  nl.check();
+}
+
+TEST(Par, ApplyParamsIdempotent) {
+  Netlist once = apply_params(demo(), {"sel0"});
+  Netlist twice = apply_params(std::move(once), {"sel0"});
+  EXPECT_EQ(twice.params().size(), 1u);
+}
+
+TEST(Par, UnknownNameThrows) {
+  EXPECT_THROW(apply_params(demo(), {"nope"}), Error);
+}
+
+TEST(Par, NonInputThrows) {
+  EXPECT_THROW(apply_params(demo(), {"t"}), Error);
+}
+
+TEST(Par, ReadSkipsComments) {
+  std::istringstream in("# header\np0\n p1  p2 # inline\n\n");
+  EXPECT_EQ(read_par(in), (std::vector<std::string>{"p0", "p1", "p2"}));
+}
+
+TEST(Par, PreservesLatchesAndOutputs) {
+  std::istringstream in(R"(
+.model seq
+.inputs d p
+.outputs q_out
+.latch nxt q 0
+.names d p nxt
+11 1
+.names q q_out
+1 1
+.end
+)");
+  Netlist nl = read_blif(in, "seq.blif");
+  const Netlist out = apply_params(std::move(nl), {"p"});
+  ASSERT_EQ(out.latches().size(), 1u);
+  EXPECT_EQ(out.name(out.latches()[0].output), "q");
+  EXPECT_EQ(out.name(out.latches()[0].input), "nxt");
+  EXPECT_EQ(out.output_names()[0], "q_out");
+  out.check();
+}
+
+}  // namespace
+}  // namespace fpgadbg::netlist

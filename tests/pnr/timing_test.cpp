@@ -1,0 +1,74 @@
+#include "pnr/timing.h"
+
+#include <gtest/gtest.h>
+
+#include "debug/signal_param.h"
+#include "genbench/genbench.h"
+#include "map/mappers.h"
+
+namespace fpgadbg::pnr {
+namespace {
+
+CompiledDesign compiled(std::uint64_t seed, bool instrumented,
+                        bool param_aware) {
+  genbench::CircuitSpec spec{"t" + std::to_string(seed), 8, 6, 4, 40, 3, 5,
+                             seed};
+  auto nl = genbench::generate(spec);
+  if (!instrumented) {
+    auto mapping = map::abc_map(nl);
+    return compile(std::move(mapping.netlist), {}, CompileOptions{});
+  }
+  debug::InstrumentOptions opt;
+  opt.trace_width = 6;
+  const auto inst = debug::parameterize_signals(nl, opt);
+  auto mapping = param_aware ? map::tcon_map(inst.netlist)
+                             : map::abc_map(inst.netlist);
+  return compile(std::move(mapping.netlist), inst.trace_outputs,
+                 CompileOptions{});
+}
+
+TEST(Timing, PositiveCriticalPath) {
+  const auto design = compiled(1, false, false);
+  const TimingReport report = analyze_timing(design);
+  EXPECT_GT(report.critical_path_ns, 0.0);
+  EXPECT_GT(report.max_frequency_mhz, 0.0);
+  EXPECT_FALSE(report.critical_path.empty());
+}
+
+TEST(Timing, ArrivalIsMonotoneAlongPath) {
+  const auto design = compiled(2, false, false);
+  const TimingReport report = analyze_timing(design);
+  double last = -1.0;
+  for (const std::string& name : report.critical_path) {
+    const auto id = design.netlist.find(name);
+    ASSERT_TRUE(id.has_value()) << name;
+    EXPECT_GE(report.arrival_ns[*id], last);
+    last = report.arrival_ns[*id];
+  }
+}
+
+TEST(Timing, LongerLutDelayLengthensPath) {
+  const auto design = compiled(3, false, false);
+  DelayModel fast;
+  DelayModel slow;
+  slow.lut_ns = fast.lut_ns * 3;
+  EXPECT_GT(analyze_timing(design, slow).critical_path_ns,
+            analyze_timing(design, fast).critical_path_ns);
+}
+
+TEST(Timing, ProposedFlowPreservesCriticalPath) {
+  // Paper §V-B: "after adding the extra routing infrastructure, the
+  // critical path delay remains the same compared to the original circuit";
+  // the conventional mappers lengthen it (the mux LUT levels are on the
+  // path to the trace buffers).
+  const auto original = analyze_timing(compiled(4, false, false));
+  const auto proposed = analyze_timing(compiled(4, true, true));
+  const auto conventional = analyze_timing(compiled(4, true, false));
+  // Allow some placement noise on top of the original.
+  EXPECT_LE(proposed.critical_path_ns, original.critical_path_ns * 1.6);
+  EXPECT_GT(conventional.critical_path_ns, original.critical_path_ns);
+  EXPECT_LE(proposed.critical_path_ns, conventional.critical_path_ns);
+}
+
+}  // namespace
+}  // namespace fpgadbg::pnr

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "debug/flow.h"
+#include "genbench/genbench.h"
+#include "sim/mapped_simulator.h"
+#include "sim/trigger.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace fpgadbg::sim {
+namespace {
+
+BitVec sample(std::initializer_list<int> bits) {
+  BitVec v(bits.size());
+  std::size_t i = 0;
+  for (int b : bits) v.set(i++, b != 0);
+  return v;
+}
+
+TEST(TriggerSequence, FiresOnlyAfterAllStagesInOrder) {
+  TriggerSequence seq({"1x", "x1"}, 0);
+  EXPECT_TRUE(seq.observe(sample({0, 1})));  // stage 0 not matched yet
+  EXPECT_EQ(seq.current_stage(), 0u);
+  EXPECT_TRUE(seq.observe(sample({1, 0})));  // stage 0 fires, arm stage 1
+  EXPECT_EQ(seq.current_stage(), 1u);
+  EXPECT_FALSE(seq.fired());
+  seq.observe(sample({0, 1}));  // stage 1 fires -> sequence fired
+  EXPECT_TRUE(seq.fired());
+  EXPECT_EQ(seq.fire_cycle(), 2u);
+}
+
+TEST(TriggerSequence, OutOfOrderDoesNotFire) {
+  TriggerSequence seq({"1x", "x1"}, 0);
+  // Stage-1 pattern arrives before stage 0 matched: ignored.
+  seq.observe(sample({0, 1}));
+  seq.observe(sample({0, 1}));
+  EXPECT_FALSE(seq.fired());
+  EXPECT_EQ(seq.current_stage(), 0u);
+}
+
+TEST(TriggerSequence, SingleSampleCanAdvanceOneStageOnly) {
+  TriggerSequence seq({"1x", "1x"}, 0);
+  seq.observe(sample({1, 0}));  // matches stage 0; stage 1 armed NEXT cycle
+  EXPECT_FALSE(seq.fired());
+  seq.observe(sample({1, 0}));
+  EXPECT_TRUE(seq.fired());
+}
+
+TEST(TriggerSequence, PostTriggerWindow) {
+  TriggerSequence seq({"1"}, 2);
+  EXPECT_TRUE(seq.observe(sample({1})));   // fires, 2 post samples
+  EXPECT_TRUE(seq.observe(sample({0})));
+  EXPECT_FALSE(seq.observe(sample({0})));  // window exhausted
+}
+
+TEST(TriggerSequence, ResetRearmsAllStages) {
+  TriggerSequence seq({"1", "1"}, 0);
+  seq.observe(sample({1}));
+  seq.observe(sample({1}));
+  EXPECT_TRUE(seq.fired());
+  seq.reset();
+  EXPECT_FALSE(seq.fired());
+  EXPECT_EQ(seq.current_stage(), 0u);
+}
+
+TEST(TriggerSequence, EmptyRejected) {
+  EXPECT_THROW(TriggerSequence({}, 0), Error);
+}
+
+TEST(Snapshot, RestoreRewindsSequentialState) {
+  genbench::CircuitSpec spec{"snap", 8, 6, 6, 40, 3, 5, 77};
+  const auto nl = genbench::generate(spec);
+  debug::OfflineOptions options;
+  options.instrument.trace_width = 4;
+  const auto offline = debug::run_offline(nl, options);
+  MappedSimulator sim(offline.mapping.netlist);
+
+  Rng rng(7);
+  auto drive = [&](int cycles) {
+    std::vector<std::vector<bool>> outs;
+    for (int c = 0; c < cycles; ++c) {
+      for (auto in : offline.mapping.netlist.inputs()) {
+        sim.set_input(in, rng.next_bool());
+      }
+      sim.eval();
+      outs.push_back(sim.output_values());
+      sim.step();
+    }
+    return outs;
+  };
+
+  drive(10);
+  const auto snap = sim.snapshot();
+  EXPECT_EQ(snap.cycle, 10u);
+
+  Rng replay_rng = rng;  // copy: same future stimulus
+  const auto first = drive(5);
+
+  sim.restore(snap);
+  EXPECT_EQ(sim.cycle(), 10u);
+  rng = replay_rng;
+  const auto second = drive(5);
+  EXPECT_EQ(first, second) << "restore must reproduce the exact run";
+}
+
+TEST(Snapshot, RestoreRejectsWrongDesign) {
+  genbench::CircuitSpec spec{"snapA", 6, 4, 3, 20, 2, 4, 1};
+  const auto a = genbench::generate(spec);
+  spec.name = "snapB";
+  spec.num_latches = 5;
+  const auto b = genbench::generate(spec);
+  const auto ma = map::tcon_map(debug::parameterize_signals(a, {}).netlist);
+  const auto mb = map::tcon_map(debug::parameterize_signals(b, {}).netlist);
+  MappedSimulator sa(ma.netlist);
+  MappedSimulator sb(mb.netlist);
+  EXPECT_THROW(sb.restore(sa.snapshot()), Error);
+}
+
+}  // namespace
+}  // namespace fpgadbg::sim

@@ -1,0 +1,164 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "support/error.h"
+
+namespace fpgadbg::sim {
+namespace {
+
+using netlist::kNullNode;
+using netlist::Netlist;
+using netlist::NodeId;
+using logic::TruthTable;
+using logic::tt_and;
+using logic::tt_xor;
+
+Netlist counter2() {
+  // 2-bit counter: q0 toggles, q1 toggles when q0 is 1.
+  Netlist nl("counter2");
+  const NodeId q0 = nl.add_latch("q0", kNullNode, 0);
+  const NodeId q1 = nl.add_latch("q1", kNullNode, 0);
+  const NodeId n0 = nl.add_logic("n0", {q0}, ~TruthTable::var(1, 0));
+  const NodeId n1 = nl.add_logic("n1", {q1, q0}, tt_xor(2));
+  nl.set_latch_input(0, n0);
+  nl.set_latch_input(1, n1);
+  nl.add_output(q0, "b0");
+  nl.add_output(q1, "b1");
+  return nl;
+}
+
+TEST(NetlistSimulator, CombinationalEval) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId f = nl.add_logic("f", {a, b}, tt_and(2));
+  nl.add_output(f, "o");
+  NetlistSimulator sim(nl);
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      sim.set_input(a, av);
+      sim.set_input(b, bv);
+      sim.eval();
+      EXPECT_EQ(sim.output(0), av && bv);
+    }
+  }
+}
+
+TEST(NetlistSimulator, SequentialCounter) {
+  const Netlist nl = counter2();
+  NetlistSimulator sim(nl);
+  int expected = 0;
+  for (int t = 0; t < 10; ++t) {
+    sim.eval();
+    EXPECT_EQ(sim.output(0), (expected & 1) != 0) << t;
+    EXPECT_EQ(sim.output(1), (expected & 2) != 0) << t;
+    sim.step();
+    expected = (expected + 1) % 4;
+  }
+  EXPECT_EQ(sim.cycle(), 10u);
+}
+
+TEST(NetlistSimulator, ResetRestoresInitValues) {
+  Netlist nl("r");
+  const NodeId q = nl.add_latch("q", kNullNode, 1);
+  const NodeId n = nl.add_logic("n", {q}, ~TruthTable::var(1, 0));
+  nl.set_latch_input(0, n);
+  nl.add_output(q, "o");
+  NetlistSimulator sim(nl);
+  sim.eval();
+  EXPECT_TRUE(sim.output(0));
+  sim.step();
+  sim.eval();
+  EXPECT_FALSE(sim.output(0));
+  sim.reset();
+  sim.eval();
+  EXPECT_TRUE(sim.output(0));
+  EXPECT_EQ(sim.cycle(), 0u);
+}
+
+TEST(NetlistSimulator, StuckAtFaultOverridesValue) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId f = nl.add_logic("f", {a, b}, tt_and(2));
+  const NodeId g = nl.add_logic("g", {f}, ~TruthTable::var(1, 0));
+  nl.add_output(g, "o");
+  NetlistSimulator sim(nl);
+  sim.set_input(a, true);
+  sim.set_input(b, true);
+  sim.eval();
+  EXPECT_FALSE(sim.output(0));  // ~(1&1)
+  sim.inject_fault(Fault{f, FaultType::kStuckAt0, 0});
+  sim.eval();
+  // Fault propagates downstream: g sees 0 and outputs 1.
+  EXPECT_TRUE(sim.output(0));
+  EXPECT_FALSE(sim.value(f));
+  sim.clear_faults();
+  sim.eval();
+  EXPECT_FALSE(sim.output(0));
+}
+
+TEST(NetlistSimulator, InvertFault) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId f = nl.add_logic("f", {a}, TruthTable::var(1, 0));
+  nl.add_output(f, "o");
+  NetlistSimulator sim(nl);
+  sim.inject_fault(Fault{f, FaultType::kInvert, 0});
+  sim.set_input(a, true);
+  sim.eval();
+  EXPECT_FALSE(sim.output(0));
+  sim.set_input(a, false);
+  sim.eval();
+  EXPECT_TRUE(sim.output(0));
+}
+
+TEST(NetlistSimulator, FlipOnCycleIsTransient) {
+  const Netlist nl = counter2();
+  NetlistSimulator sim(nl);
+  sim.inject_fault(Fault{*nl.find("n0"), FaultType::kFlipOnCycle, 2});
+  // Cycles 0,1 normal; at cycle 2 the toggle input flips.
+  std::vector<int> seen;
+  for (int t = 0; t < 6; ++t) {
+    sim.eval();
+    seen.push_back(static_cast<int>(sim.output(0)) |
+                   (static_cast<int>(sim.output(1)) << 1));
+    sim.step();
+  }
+  EXPECT_EQ(seen[0], 0);
+  EXPECT_EQ(seen[1], 1);
+  EXPECT_EQ(seen[2], 2);
+  // After the transient at cycle 2, q0 failed to toggle: sequence diverges
+  // from the golden 3.
+  EXPECT_NE(seen[3], 3);
+}
+
+TEST(NetlistSimulator, ParamInputs) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId p = nl.add_param("p");
+  const NodeId f = nl.add_logic("f", {a, p}, tt_xor(2));
+  nl.add_output(f, "o");
+  NetlistSimulator sim(nl);
+  sim.set_input(a, true);
+  sim.set_param(p, false);
+  sim.eval();
+  EXPECT_TRUE(sim.output(0));
+  sim.set_params({true});
+  sim.eval();
+  EXPECT_FALSE(sim.output(0));
+  EXPECT_THROW(sim.set_input(p, true), Error);
+  EXPECT_THROW(sim.set_param(a, true), Error);
+}
+
+TEST(FaultToString, AllTypesNamed) {
+  EXPECT_EQ(to_string(FaultType::kStuckAt0), "stuck-at-0");
+  EXPECT_EQ(to_string(FaultType::kStuckAt1), "stuck-at-1");
+  EXPECT_EQ(to_string(FaultType::kInvert), "invert");
+  EXPECT_EQ(to_string(FaultType::kFlipOnCycle), "flip-on-cycle");
+}
+
+}  // namespace
+}  // namespace fpgadbg::sim

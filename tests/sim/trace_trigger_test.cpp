@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "sim/trace_buffer.h"
+#include "sim/trigger.h"
+#include "support/error.h"
+
+namespace fpgadbg::sim {
+namespace {
+
+BitVec sample(std::initializer_list<int> bits) {
+  BitVec v(bits.size());
+  std::size_t i = 0;
+  for (int b : bits) v.set(i++, b != 0);
+  return v;
+}
+
+TEST(TraceBuffer, CapturesAndReadsBack) {
+  TraceBuffer tb(4, 8);
+  EXPECT_EQ(tb.samples_stored(), 0u);
+  tb.capture(sample({1, 0, 0, 0}));
+  tb.capture(sample({0, 1, 0, 0}));
+  EXPECT_EQ(tb.samples_stored(), 2u);
+  EXPECT_TRUE(tb.sample_back(0).get(1));  // newest
+  EXPECT_TRUE(tb.sample_back(1).get(0));  // older
+}
+
+TEST(TraceBuffer, WrapsWhenFull) {
+  TraceBuffer tb(8, 4);
+  for (int i = 0; i < 10; ++i) {
+    BitVec v(8);
+    v.set(static_cast<std::size_t>(i % 8), true);
+    tb.capture(v);
+  }
+  EXPECT_EQ(tb.samples_stored(), 4u);
+  EXPECT_EQ(tb.total_captures(), 10u);
+  // Newest is capture #9 (bit 1), oldest stored is capture #6 (bit 6).
+  EXPECT_TRUE(tb.sample_back(0).get(1));
+  EXPECT_TRUE(tb.sample_back(3).get(6));
+  const auto window = tb.read_window();
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_TRUE(window.front().get(6));
+  EXPECT_TRUE(window.back().get(1));
+}
+
+TEST(TraceBuffer, ClearResets) {
+  TraceBuffer tb(2, 2);
+  tb.capture(sample({1, 1}));
+  tb.clear();
+  EXPECT_EQ(tb.samples_stored(), 0u);
+  EXPECT_EQ(tb.total_captures(), 0u);
+}
+
+TEST(TraceBuffer, RejectsWidthMismatch) {
+  TraceBuffer tb(4, 4);
+  EXPECT_THROW(tb.capture(sample({1, 0})), Error);
+  EXPECT_THROW(tb.sample_back(0), Error);
+}
+
+TEST(Trigger, LevelMatch) {
+  Trigger trig("1x0", 0);
+  EXPECT_TRUE(trig.observe(sample({0, 1, 0})));  // no match yet (bit0 must be 1)
+  EXPECT_FALSE(trig.fired());
+  trig.observe(sample({1, 1, 0}));  // matches
+  EXPECT_TRUE(trig.fired());
+  EXPECT_EQ(trig.fire_cycle(), 1u);
+}
+
+TEST(Trigger, PostTriggerWindow) {
+  Trigger trig("1", 3);
+  EXPECT_TRUE(trig.observe(sample({0})));
+  EXPECT_TRUE(trig.observe(sample({1})));  // fires; 3 post samples allowed
+  EXPECT_TRUE(trig.observe(sample({0})));
+  EXPECT_TRUE(trig.observe(sample({0})));
+  EXPECT_FALSE(trig.observe(sample({0})));  // post window exhausted
+}
+
+TEST(Trigger, RisingEdge) {
+  Trigger trig("r", 0);
+  trig.observe(sample({1}));  // no prev: cannot be a rising edge
+  EXPECT_FALSE(trig.fired());
+  trig.observe(sample({0}));
+  EXPECT_FALSE(trig.fired());
+  trig.observe(sample({1}));
+  EXPECT_TRUE(trig.fired());
+  EXPECT_EQ(trig.fire_cycle(), 2u);
+}
+
+TEST(Trigger, FallingEdge) {
+  Trigger trig("f", 0);
+  trig.observe(sample({1}));
+  trig.observe(sample({0}));
+  EXPECT_TRUE(trig.fired());
+}
+
+TEST(Trigger, ResetRearms) {
+  Trigger trig("1", 0);
+  trig.observe(sample({1}));
+  EXPECT_TRUE(trig.fired());
+  trig.reset();
+  EXPECT_FALSE(trig.fired());
+  trig.observe(sample({0}));
+  EXPECT_FALSE(trig.fired());
+  trig.observe(sample({1}));
+  EXPECT_TRUE(trig.fired());
+}
+
+TEST(Trigger, RejectsBadCondition) {
+  EXPECT_THROW(Trigger("1q0", 0), Error);
+  EXPECT_THROW(Trigger("", 0), Error);
+}
+
+TEST(Trigger, WidthMismatchRejected) {
+  Trigger trig("11", 0);
+  EXPECT_THROW(trig.observe(sample({1})), Error);
+}
+
+}  // namespace
+}  // namespace fpgadbg::sim

@@ -1,0 +1,145 @@
+#include "support/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace fpgadbg {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, ConstructedWithValue) {
+  BitVec v(130, true);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 130u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_TRUE(v.get(i));
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(100);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.flip(0);
+  EXPECT_FALSE(v.get(0));
+  v.flip(1);
+  EXPECT_TRUE(v.get(1));
+  EXPECT_EQ(v.count(), 4u);
+}
+
+TEST(BitVec, ResizeGrowWithOnes) {
+  BitVec v(10, false);
+  v.set(3, true);
+  v.resize(70, true);
+  EXPECT_TRUE(v.get(3));
+  EXPECT_FALSE(v.get(4));
+  for (std::size_t i = 10; i < 70; ++i) EXPECT_TRUE(v.get(i)) << i;
+  EXPECT_EQ(v.count(), 61u);
+}
+
+TEST(BitVec, ResizeShrinkMasksTail) {
+  BitVec v(128, true);
+  v.resize(65);
+  EXPECT_EQ(v.count(), 65u);
+  v.resize(128, false);
+  EXPECT_EQ(v.count(), 65u);
+}
+
+TEST(BitVec, InvertRespectsTail) {
+  BitVec v(70, false);
+  v.invert();
+  EXPECT_EQ(v.count(), 70u);
+  v.invert();
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, BitwiseOps) {
+  BitVec a(67), b(67);
+  a.set(1, true);
+  a.set(66, true);
+  b.set(1, true);
+  b.set(2, true);
+  BitVec and_v = a;
+  and_v &= b;
+  EXPECT_EQ(and_v.count(), 1u);
+  EXPECT_TRUE(and_v.get(1));
+  BitVec or_v = a;
+  or_v |= b;
+  EXPECT_EQ(or_v.count(), 3u);
+  BitVec xor_v = a;
+  xor_v ^= b;
+  EXPECT_EQ(xor_v.count(), 2u);
+  EXPECT_TRUE(xor_v.get(2));
+  EXPECT_TRUE(xor_v.get(66));
+}
+
+TEST(BitVec, HammingDistance) {
+  BitVec a(200), b(200);
+  a.set(0, true);
+  a.set(100, true);
+  b.set(100, true);
+  b.set(199, true);
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(BitVec, FindFirstNext) {
+  BitVec v(150);
+  EXPECT_EQ(v.find_first(), 150u);
+  v.set(5, true);
+  v.set(64, true);
+  v.set(149, true);
+  EXPECT_EQ(v.find_first(), 5u);
+  EXPECT_EQ(v.find_next(6), 64u);
+  EXPECT_EQ(v.find_next(65), 149u);
+  EXPECT_EQ(v.find_next(150), 150u);
+}
+
+TEST(BitVec, FindIterationVisitsAllSetBits) {
+  Rng rng(42);
+  BitVec v(333);
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (rng.next_bool(0.3)) {
+      v.set(i, true);
+      expected.push_back(i);
+    }
+  }
+  std::vector<std::size_t> seen;
+  for (std::size_t i = v.find_first(); i < v.size(); i = v.find_next(i + 1)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitVec, WordAccessMasksTail) {
+  BitVec v(65);
+  v.set_word(1, ~0ULL);
+  EXPECT_EQ(v.word(1), 1ULL);
+  EXPECT_EQ(v.count(), 1u);
+}
+
+TEST(BitVec, EqualityIsValueBased) {
+  BitVec a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.set(10, true);
+  EXPECT_NE(a, b);
+  b.set(10, true);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fpgadbg

@@ -1,0 +1,52 @@
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace fpgadbg {
+namespace {
+
+TEST(Strings, SplitWs) {
+  EXPECT_EQ(split_ws("  a\tbb   c "),
+            (std::vector<std::string>{"a", "bb", "c"}));
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t ").empty());
+}
+
+TEST(Strings, SplitOnPreservesEmpty) {
+  EXPECT_EQ(split_on("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_on(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split_on("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  ab "), "ab");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with(".names a b", ".names"));
+  EXPECT_FALSE(starts_with(".name", ".names"));
+}
+
+TEST(Strings, ParseSize) {
+  EXPECT_EQ(parse_size("42", "n"), 42u);
+  EXPECT_EQ(parse_size("0", "n"), 0u);
+  EXPECT_THROW(parse_size("4x", "n"), Error);
+  EXPECT_THROW(parse_size("", "n"), Error);
+  EXPECT_THROW(parse_size("-1", "n"), Error);
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(12345678), "12,345,678");
+}
+
+}  // namespace
+}  // namespace fpgadbg

@@ -1,0 +1,118 @@
+#include "synth/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "genbench/genbench.h"
+#include "sim/equivalence.h"
+#include "support/rng.h"
+
+namespace fpgadbg::synth {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+using logic::TruthTable;
+using logic::tt_and;
+using logic::tt_or;
+using logic::tt_xor;
+
+TEST(Sweep, RemovesDeadLogic) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId keep = nl.add_logic("keep", {a, b}, tt_and(2));
+  nl.add_logic("dead", {a, b}, tt_or(2));
+  nl.add_output(keep, "o");
+  SweepStats stats;
+  const Netlist out = sweep(nl, &stats);
+  EXPECT_EQ(out.num_logic_nodes(), 1u);
+  EXPECT_EQ(stats.dead_removed, 1u);
+}
+
+TEST(Sweep, FoldsConstantInputs) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId zero = nl.add_const0("zero");
+  const NodeId f = nl.add_logic("f", {a, zero}, tt_and(2));  // a & 0 == 0
+  nl.add_output(f, "o");
+  SweepStats stats;
+  const Netlist out = sweep(nl, &stats);
+  EXPECT_GE(stats.const_folded, 1u);
+  // Output driven by a constant-0 node now.
+  const NodeId o = out.outputs()[0];
+  EXPECT_TRUE(out.kind(o) == netlist::NodeKind::kConst0 ||
+              out.function(o).is_const0());
+}
+
+TEST(Sweep, PrunesIrrelevantFanins) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  // Function over (a, b) that ignores b.
+  const NodeId f =
+      nl.add_logic("f", {a, b}, TruthTable::var(2, 0));
+  nl.add_output(f, "o");
+  SweepStats stats;
+  const Netlist out = sweep(nl, &stats);
+  EXPECT_EQ(stats.fanins_pruned + stats.buffers_collapsed, 2u);
+  // f collapses to a buffer of a, which then forwards to the output.
+  EXPECT_EQ(out.outputs()[0], *out.find("a"));
+}
+
+TEST(Sweep, CollapsesBufferChains) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_logic("g", {a, b}, tt_xor(2));
+  NodeId prev = g;
+  for (int i = 0; i < 4; ++i) {
+    prev = nl.add_logic("buf" + std::to_string(i), {prev},
+                        TruthTable::var(1, 0));
+  }
+  nl.add_output(prev, "o");
+  SweepStats stats;
+  const Netlist out = sweep(nl, &stats);
+  EXPECT_EQ(stats.buffers_collapsed, 4u);
+  EXPECT_EQ(out.num_logic_nodes(), 1u);
+  EXPECT_EQ(out.outputs()[0], *out.find("g"));
+}
+
+TEST(Sweep, PreservesLatchStructure) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_latch("q", netlist::kNullNode, 1);
+  const NodeId f = nl.add_logic("f", {a, q}, tt_xor(2));
+  nl.set_latch_input(0, f);
+  nl.add_output(q, "o");
+  const Netlist out = sweep(nl);
+  ASSERT_EQ(out.latches().size(), 1u);
+  EXPECT_EQ(out.latches()[0].init_value, 1);
+  EXPECT_EQ(out.name(out.latches()[0].input), "f");
+}
+
+TEST(Sweep, EquivalentOnGeneratedCircuits) {
+  Rng rng(77);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    genbench::CircuitSpec spec{"s" + std::to_string(seed), 10, 8, 4, 60, 4, 5,
+                               seed};
+    const Netlist nl = genbench::generate(spec);
+    const Netlist swept = sweep(nl);
+    const auto report = sim::check_equivalence(nl, swept, 300, rng);
+    EXPECT_TRUE(report.equivalent) << report.first_mismatch;
+  }
+}
+
+TEST(Sweep, IsIdempotent) {
+  genbench::CircuitSpec spec{"s", 10, 8, 4, 60, 4, 5, 9};
+  const Netlist nl = genbench::generate(spec);
+  SweepStats s1, s2;
+  const Netlist once = sweep(nl, &s1);
+  const Netlist twice = sweep(once, &s2);
+  EXPECT_EQ(once.num_logic_nodes(), twice.num_logic_nodes());
+  EXPECT_EQ(s2.const_folded, 0u);
+  EXPECT_EQ(s2.buffers_collapsed, 0u);
+  EXPECT_EQ(s2.dead_removed, 0u);
+}
+
+}  // namespace
+}  // namespace fpgadbg::synth

@@ -1,0 +1,109 @@
+// End-to-end tests of the fpgadbg command-line tool (via subprocess).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef FPGADBG_CLI_PATH
+#error "FPGADBG_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code;
+  std::string output;
+};
+
+RunResult run(const std::string& args) {
+  const std::string cmd = std::string(FPGADBG_CLI_PATH) + " " + args +
+                          " > /tmp/fpgadbg_cli_out.txt 2>&1; echo $? > "
+                          "/tmp/fpgadbg_cli_code.txt";
+  std::system(cmd.c_str());
+  RunResult result;
+  {
+    std::ifstream in("/tmp/fpgadbg_cli_code.txt");
+    in >> result.exit_code;
+  }
+  {
+    std::ifstream in("/tmp/fpgadbg_cli_out.txt");
+    std::ostringstream os;
+    os << in.rdbuf();
+    result.output = os.str();
+  }
+  return result;
+}
+
+TEST(Cli, NoArgsShowsUsage) {
+  EXPECT_EQ(run("").exit_code, 2);
+}
+
+TEST(Cli, GenListShowsBenchmarks) {
+  const auto r = run("gen list");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("stereov"), std::string::npos);
+  EXPECT_NE(r.output.find("s38584"), std::string::npos);
+}
+
+TEST(Cli, GenStatsInstrumentMapPipeline) {
+  ASSERT_EQ(run("gen stereov /tmp/fpgadbg_cli_c.blif").exit_code, 0);
+
+  const auto stats = run("stats /tmp/fpgadbg_cli_c.blif");
+  EXPECT_EQ(stats.exit_code, 0);
+  EXPECT_NE(stats.output.find("pi=32"), std::string::npos);
+  EXPECT_NE(stats.output.find("latch=8"), std::string::npos);
+
+  const auto inst = run(
+      "instrument /tmp/fpgadbg_cli_c.blif /tmp/fpgadbg_cli_i.blif "
+      "/tmp/fpgadbg_cli_i.par --width 16");
+  EXPECT_EQ(inst.exit_code, 0);
+  EXPECT_NE(inst.output.find("parameters"), std::string::npos);
+
+  const auto mapped = run(
+      "map /tmp/fpgadbg_cli_i.blif --par /tmp/fpgadbg_cli_i.par "
+      "--mapper tcon");
+  EXPECT_EQ(mapped.exit_code, 0);
+  EXPECT_NE(mapped.output.find("TCONs"), std::string::npos);
+
+  const auto conv = run(
+      "map /tmp/fpgadbg_cli_i.blif --par /tmp/fpgadbg_cli_i.par "
+      "--mapper abc");
+  EXPECT_EQ(conv.exit_code, 0);
+  EXPECT_NE(conv.output.find("0 TCONs"), std::string::npos);
+}
+
+TEST(Cli, InstrumentWithSelection) {
+  ASSERT_EQ(run("gen stereov /tmp/fpgadbg_cli_s.blif").exit_code, 0);
+  const auto r = run(
+      "instrument /tmp/fpgadbg_cli_s.blif /tmp/fpgadbg_cli_si.blif "
+      "/tmp/fpgadbg_cli_si.par --width 8 --select 20");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("critical signal selection"), std::string::npos);
+}
+
+TEST(Cli, ExportWritesVerilog) {
+  ASSERT_EQ(run("gen stereov /tmp/fpgadbg_cli_v.blif").exit_code, 0);
+  const auto r = run("export /tmp/fpgadbg_cli_v.blif /tmp/fpgadbg_cli_v.v");
+  EXPECT_EQ(r.exit_code, 0);
+  std::ifstream v("/tmp/fpgadbg_cli_v.v");
+  std::ostringstream os;
+  os << v.rdbuf();
+  EXPECT_NE(os.str().find("module"), std::string::npos);
+  EXPECT_NE(os.str().find("endmodule"), std::string::npos);
+}
+
+TEST(Cli, BadFileFailsCleanly) {
+  const auto r = run("stats /nonexistent.blif");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("fpgadbg:"), std::string::npos);
+}
+
+TEST(Cli, UnknownMapperRejected) {
+  ASSERT_EQ(run("gen stereov /tmp/fpgadbg_cli_m.blif").exit_code, 0);
+  EXPECT_EQ(run("map /tmp/fpgadbg_cli_m.blif --mapper bogus").exit_code, 2);
+}
+
+}  // namespace
