@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mux_arity"
+  "../bench/bench_ablation_mux_arity.pdb"
+  "CMakeFiles/bench_ablation_mux_arity.dir/bench_ablation_mux_arity.cpp.o"
+  "CMakeFiles/bench_ablation_mux_arity.dir/bench_ablation_mux_arity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mux_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

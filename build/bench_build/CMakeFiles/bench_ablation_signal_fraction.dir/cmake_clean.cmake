@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_signal_fraction"
+  "../bench/bench_ablation_signal_fraction.pdb"
+  "CMakeFiles/bench_ablation_signal_fraction.dir/bench_ablation_signal_fraction.cpp.o"
+  "CMakeFiles/bench_ablation_signal_fraction.dir/bench_ablation_signal_fraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_signal_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

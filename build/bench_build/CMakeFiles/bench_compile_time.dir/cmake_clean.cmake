@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_compile_time"
+  "../bench/bench_compile_time.pdb"
+  "CMakeFiles/bench_compile_time.dir/bench_compile_time.cpp.o"
+  "CMakeFiles/bench_compile_time.dir/bench_compile_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_critical_path"
+  "../bench/bench_critical_path.pdb"
+  "CMakeFiles/bench_critical_path.dir/bench_critical_path.cpp.o"
+  "CMakeFiles/bench_critical_path.dir/bench_critical_path.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_critical_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

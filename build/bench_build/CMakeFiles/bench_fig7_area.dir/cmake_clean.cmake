@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_area"
+  "../bench/bench_fig7_area.pdb"
+  "CMakeFiles/bench_fig7_area.dir/bench_fig7_area.cpp.o"
+  "CMakeFiles/bench_fig7_area.dir/bench_fig7_area.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_depth"
+  "../bench/bench_table2_depth.pdb"
+  "CMakeFiles/bench_table2_depth.dir/bench_table2_depth.cpp.o"
+  "CMakeFiles/bench_table2_depth.dir/bench_table2_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

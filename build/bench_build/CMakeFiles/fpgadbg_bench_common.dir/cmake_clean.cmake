@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_bench_common.dir/common.cpp.o"
+  "CMakeFiles/fpgadbg_bench_common.dir/common.cpp.o.d"
+  "libfpgadbg_bench_common.a"
+  "libfpgadbg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfpgadbg_bench_common.a"
+)

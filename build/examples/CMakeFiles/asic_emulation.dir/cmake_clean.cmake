@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asic_emulation.dir/asic_emulation.cpp.o"
+  "CMakeFiles/asic_emulation.dir/asic_emulation.cpp.o.d"
+  "asic_emulation"
+  "asic_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asic_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

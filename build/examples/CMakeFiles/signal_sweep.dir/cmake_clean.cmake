@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_sweep.dir/signal_sweep.cpp.o"
+  "CMakeFiles/signal_sweep.dir/signal_sweep.cpp.o.d"
+  "signal_sweep"
+  "signal_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

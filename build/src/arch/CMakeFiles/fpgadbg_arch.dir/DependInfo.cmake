@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/device.cpp" "src/arch/CMakeFiles/fpgadbg_arch.dir/device.cpp.o" "gcc" "src/arch/CMakeFiles/fpgadbg_arch.dir/device.cpp.o.d"
+  "/root/repo/src/arch/frames.cpp" "src/arch/CMakeFiles/fpgadbg_arch.dir/frames.cpp.o" "gcc" "src/arch/CMakeFiles/fpgadbg_arch.dir/frames.cpp.o.d"
+  "/root/repo/src/arch/rr_graph.cpp" "src/arch/CMakeFiles/fpgadbg_arch.dir/rr_graph.cpp.o" "gcc" "src/arch/CMakeFiles/fpgadbg_arch.dir/rr_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fpgadbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_arch.dir/device.cpp.o"
+  "CMakeFiles/fpgadbg_arch.dir/device.cpp.o.d"
+  "CMakeFiles/fpgadbg_arch.dir/frames.cpp.o"
+  "CMakeFiles/fpgadbg_arch.dir/frames.cpp.o.d"
+  "CMakeFiles/fpgadbg_arch.dir/rr_graph.cpp.o"
+  "CMakeFiles/fpgadbg_arch.dir/rr_graph.cpp.o.d"
+  "libfpgadbg_arch.a"
+  "libfpgadbg_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

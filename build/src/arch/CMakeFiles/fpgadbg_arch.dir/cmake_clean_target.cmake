@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfpgadbg_arch.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/builder.cpp" "src/bitstream/CMakeFiles/fpgadbg_bitstream.dir/builder.cpp.o" "gcc" "src/bitstream/CMakeFiles/fpgadbg_bitstream.dir/builder.cpp.o.d"
+  "/root/repo/src/bitstream/config_memory.cpp" "src/bitstream/CMakeFiles/fpgadbg_bitstream.dir/config_memory.cpp.o" "gcc" "src/bitstream/CMakeFiles/fpgadbg_bitstream.dir/config_memory.cpp.o.d"
+  "/root/repo/src/bitstream/icap.cpp" "src/bitstream/CMakeFiles/fpgadbg_bitstream.dir/icap.cpp.o" "gcc" "src/bitstream/CMakeFiles/fpgadbg_bitstream.dir/icap.cpp.o.d"
+  "/root/repo/src/bitstream/io.cpp" "src/bitstream/CMakeFiles/fpgadbg_bitstream.dir/io.cpp.o" "gcc" "src/bitstream/CMakeFiles/fpgadbg_bitstream.dir/io.cpp.o.d"
+  "/root/repo/src/bitstream/pconf.cpp" "src/bitstream/CMakeFiles/fpgadbg_bitstream.dir/pconf.cpp.o" "gcc" "src/bitstream/CMakeFiles/fpgadbg_bitstream.dir/pconf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pnr/CMakeFiles/fpgadbg_pnr.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/fpgadbg_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/fpgadbg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/fpgadbg_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fpgadbg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fpgadbg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpgadbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

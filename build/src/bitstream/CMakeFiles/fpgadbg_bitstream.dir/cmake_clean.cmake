@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_bitstream.dir/builder.cpp.o"
+  "CMakeFiles/fpgadbg_bitstream.dir/builder.cpp.o.d"
+  "CMakeFiles/fpgadbg_bitstream.dir/config_memory.cpp.o"
+  "CMakeFiles/fpgadbg_bitstream.dir/config_memory.cpp.o.d"
+  "CMakeFiles/fpgadbg_bitstream.dir/icap.cpp.o"
+  "CMakeFiles/fpgadbg_bitstream.dir/icap.cpp.o.d"
+  "CMakeFiles/fpgadbg_bitstream.dir/io.cpp.o"
+  "CMakeFiles/fpgadbg_bitstream.dir/io.cpp.o.d"
+  "CMakeFiles/fpgadbg_bitstream.dir/pconf.cpp.o"
+  "CMakeFiles/fpgadbg_bitstream.dir/pconf.cpp.o.d"
+  "libfpgadbg_bitstream.a"
+  "libfpgadbg_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

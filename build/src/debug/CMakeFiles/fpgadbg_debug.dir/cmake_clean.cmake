@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_debug.dir/flow.cpp.o"
+  "CMakeFiles/fpgadbg_debug.dir/flow.cpp.o.d"
+  "CMakeFiles/fpgadbg_debug.dir/session.cpp.o"
+  "CMakeFiles/fpgadbg_debug.dir/session.cpp.o.d"
+  "CMakeFiles/fpgadbg_debug.dir/signal_param.cpp.o"
+  "CMakeFiles/fpgadbg_debug.dir/signal_param.cpp.o.d"
+  "CMakeFiles/fpgadbg_debug.dir/signal_select.cpp.o"
+  "CMakeFiles/fpgadbg_debug.dir/signal_select.cpp.o.d"
+  "libfpgadbg_debug.a"
+  "libfpgadbg_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_genbench.dir/genbench.cpp.o"
+  "CMakeFiles/fpgadbg_genbench.dir/genbench.cpp.o.d"
+  "CMakeFiles/fpgadbg_genbench.dir/paper_table.cpp.o"
+  "CMakeFiles/fpgadbg_genbench.dir/paper_table.cpp.o.d"
+  "libfpgadbg_genbench.a"
+  "libfpgadbg_genbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_genbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/bdd.cpp" "src/logic/CMakeFiles/fpgadbg_logic.dir/bdd.cpp.o" "gcc" "src/logic/CMakeFiles/fpgadbg_logic.dir/bdd.cpp.o.d"
+  "/root/repo/src/logic/sop.cpp" "src/logic/CMakeFiles/fpgadbg_logic.dir/sop.cpp.o" "gcc" "src/logic/CMakeFiles/fpgadbg_logic.dir/sop.cpp.o.d"
+  "/root/repo/src/logic/truth_table.cpp" "src/logic/CMakeFiles/fpgadbg_logic.dir/truth_table.cpp.o" "gcc" "src/logic/CMakeFiles/fpgadbg_logic.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fpgadbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_logic.dir/bdd.cpp.o"
+  "CMakeFiles/fpgadbg_logic.dir/bdd.cpp.o.d"
+  "CMakeFiles/fpgadbg_logic.dir/sop.cpp.o"
+  "CMakeFiles/fpgadbg_logic.dir/sop.cpp.o.d"
+  "CMakeFiles/fpgadbg_logic.dir/truth_table.cpp.o"
+  "CMakeFiles/fpgadbg_logic.dir/truth_table.cpp.o.d"
+  "libfpgadbg_logic.a"
+  "libfpgadbg_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/abc_map.cpp" "src/map/CMakeFiles/fpgadbg_map.dir/abc_map.cpp.o" "gcc" "src/map/CMakeFiles/fpgadbg_map.dir/abc_map.cpp.o.d"
+  "/root/repo/src/map/cover.cpp" "src/map/CMakeFiles/fpgadbg_map.dir/cover.cpp.o" "gcc" "src/map/CMakeFiles/fpgadbg_map.dir/cover.cpp.o.d"
+  "/root/repo/src/map/cuts.cpp" "src/map/CMakeFiles/fpgadbg_map.dir/cuts.cpp.o" "gcc" "src/map/CMakeFiles/fpgadbg_map.dir/cuts.cpp.o.d"
+  "/root/repo/src/map/mapped_netlist.cpp" "src/map/CMakeFiles/fpgadbg_map.dir/mapped_netlist.cpp.o" "gcc" "src/map/CMakeFiles/fpgadbg_map.dir/mapped_netlist.cpp.o.d"
+  "/root/repo/src/map/simple_map.cpp" "src/map/CMakeFiles/fpgadbg_map.dir/simple_map.cpp.o" "gcc" "src/map/CMakeFiles/fpgadbg_map.dir/simple_map.cpp.o.d"
+  "/root/repo/src/map/tcon_map.cpp" "src/map/CMakeFiles/fpgadbg_map.dir/tcon_map.cpp.o" "gcc" "src/map/CMakeFiles/fpgadbg_map.dir/tcon_map.cpp.o.d"
+  "/root/repo/src/map/verilog.cpp" "src/map/CMakeFiles/fpgadbg_map.dir/verilog.cpp.o" "gcc" "src/map/CMakeFiles/fpgadbg_map.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/fpgadbg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fpgadbg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/fpgadbg_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpgadbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

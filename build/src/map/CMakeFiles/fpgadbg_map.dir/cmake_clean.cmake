@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_map.dir/abc_map.cpp.o"
+  "CMakeFiles/fpgadbg_map.dir/abc_map.cpp.o.d"
+  "CMakeFiles/fpgadbg_map.dir/cover.cpp.o"
+  "CMakeFiles/fpgadbg_map.dir/cover.cpp.o.d"
+  "CMakeFiles/fpgadbg_map.dir/cuts.cpp.o"
+  "CMakeFiles/fpgadbg_map.dir/cuts.cpp.o.d"
+  "CMakeFiles/fpgadbg_map.dir/mapped_netlist.cpp.o"
+  "CMakeFiles/fpgadbg_map.dir/mapped_netlist.cpp.o.d"
+  "CMakeFiles/fpgadbg_map.dir/simple_map.cpp.o"
+  "CMakeFiles/fpgadbg_map.dir/simple_map.cpp.o.d"
+  "CMakeFiles/fpgadbg_map.dir/tcon_map.cpp.o"
+  "CMakeFiles/fpgadbg_map.dir/tcon_map.cpp.o.d"
+  "CMakeFiles/fpgadbg_map.dir/verilog.cpp.o"
+  "CMakeFiles/fpgadbg_map.dir/verilog.cpp.o.d"
+  "libfpgadbg_map.a"
+  "libfpgadbg_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

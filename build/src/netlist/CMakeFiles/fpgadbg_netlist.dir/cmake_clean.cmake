@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_netlist.dir/blif.cpp.o"
+  "CMakeFiles/fpgadbg_netlist.dir/blif.cpp.o.d"
+  "CMakeFiles/fpgadbg_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/fpgadbg_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/fpgadbg_netlist.dir/par.cpp.o"
+  "CMakeFiles/fpgadbg_netlist.dir/par.cpp.o.d"
+  "CMakeFiles/fpgadbg_netlist.dir/stats.cpp.o"
+  "CMakeFiles/fpgadbg_netlist.dir/stats.cpp.o.d"
+  "libfpgadbg_netlist.a"
+  "libfpgadbg_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

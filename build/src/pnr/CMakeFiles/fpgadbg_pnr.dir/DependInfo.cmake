@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pnr/flow.cpp" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/flow.cpp.o" "gcc" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/flow.cpp.o.d"
+  "/root/repo/src/pnr/nets.cpp" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/nets.cpp.o" "gcc" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/nets.cpp.o.d"
+  "/root/repo/src/pnr/pack.cpp" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/pack.cpp.o" "gcc" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/pack.cpp.o.d"
+  "/root/repo/src/pnr/place.cpp" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/place.cpp.o" "gcc" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/place.cpp.o.d"
+  "/root/repo/src/pnr/route.cpp" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/route.cpp.o" "gcc" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/route.cpp.o.d"
+  "/root/repo/src/pnr/timing.cpp" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/timing.cpp.o" "gcc" "src/pnr/CMakeFiles/fpgadbg_pnr.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/fpgadbg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/fpgadbg_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fpgadbg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fpgadbg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/fpgadbg_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpgadbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_pnr.dir/flow.cpp.o"
+  "CMakeFiles/fpgadbg_pnr.dir/flow.cpp.o.d"
+  "CMakeFiles/fpgadbg_pnr.dir/nets.cpp.o"
+  "CMakeFiles/fpgadbg_pnr.dir/nets.cpp.o.d"
+  "CMakeFiles/fpgadbg_pnr.dir/pack.cpp.o"
+  "CMakeFiles/fpgadbg_pnr.dir/pack.cpp.o.d"
+  "CMakeFiles/fpgadbg_pnr.dir/place.cpp.o"
+  "CMakeFiles/fpgadbg_pnr.dir/place.cpp.o.d"
+  "CMakeFiles/fpgadbg_pnr.dir/route.cpp.o"
+  "CMakeFiles/fpgadbg_pnr.dir/route.cpp.o.d"
+  "CMakeFiles/fpgadbg_pnr.dir/timing.cpp.o"
+  "CMakeFiles/fpgadbg_pnr.dir/timing.cpp.o.d"
+  "libfpgadbg_pnr.a"
+  "libfpgadbg_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

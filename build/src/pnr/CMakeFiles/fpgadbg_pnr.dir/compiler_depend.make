@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fpgadbg_pnr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/equivalence.cpp" "src/sim/CMakeFiles/fpgadbg_sim.dir/equivalence.cpp.o" "gcc" "src/sim/CMakeFiles/fpgadbg_sim.dir/equivalence.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/fpgadbg_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/fpgadbg_sim.dir/fault.cpp.o.d"
+  "/root/repo/src/sim/mapped_simulator.cpp" "src/sim/CMakeFiles/fpgadbg_sim.dir/mapped_simulator.cpp.o" "gcc" "src/sim/CMakeFiles/fpgadbg_sim.dir/mapped_simulator.cpp.o.d"
+  "/root/repo/src/sim/parallel_simulator.cpp" "src/sim/CMakeFiles/fpgadbg_sim.dir/parallel_simulator.cpp.o" "gcc" "src/sim/CMakeFiles/fpgadbg_sim.dir/parallel_simulator.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/fpgadbg_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/fpgadbg_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace_buffer.cpp" "src/sim/CMakeFiles/fpgadbg_sim.dir/trace_buffer.cpp.o" "gcc" "src/sim/CMakeFiles/fpgadbg_sim.dir/trace_buffer.cpp.o.d"
+  "/root/repo/src/sim/trigger.cpp" "src/sim/CMakeFiles/fpgadbg_sim.dir/trigger.cpp.o" "gcc" "src/sim/CMakeFiles/fpgadbg_sim.dir/trigger.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/fpgadbg_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/fpgadbg_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/map/CMakeFiles/fpgadbg_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fpgadbg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fpgadbg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/fpgadbg_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpgadbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

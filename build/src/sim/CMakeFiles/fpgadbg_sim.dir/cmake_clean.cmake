@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_sim.dir/equivalence.cpp.o"
+  "CMakeFiles/fpgadbg_sim.dir/equivalence.cpp.o.d"
+  "CMakeFiles/fpgadbg_sim.dir/fault.cpp.o"
+  "CMakeFiles/fpgadbg_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/fpgadbg_sim.dir/mapped_simulator.cpp.o"
+  "CMakeFiles/fpgadbg_sim.dir/mapped_simulator.cpp.o.d"
+  "CMakeFiles/fpgadbg_sim.dir/parallel_simulator.cpp.o"
+  "CMakeFiles/fpgadbg_sim.dir/parallel_simulator.cpp.o.d"
+  "CMakeFiles/fpgadbg_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fpgadbg_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/fpgadbg_sim.dir/trace_buffer.cpp.o"
+  "CMakeFiles/fpgadbg_sim.dir/trace_buffer.cpp.o.d"
+  "CMakeFiles/fpgadbg_sim.dir/trigger.cpp.o"
+  "CMakeFiles/fpgadbg_sim.dir/trigger.cpp.o.d"
+  "CMakeFiles/fpgadbg_sim.dir/vcd.cpp.o"
+  "CMakeFiles/fpgadbg_sim.dir/vcd.cpp.o.d"
+  "libfpgadbg_sim.a"
+  "libfpgadbg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

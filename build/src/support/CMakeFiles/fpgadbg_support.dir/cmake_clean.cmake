@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_support.dir/bitvec.cpp.o"
+  "CMakeFiles/fpgadbg_support.dir/bitvec.cpp.o.d"
+  "CMakeFiles/fpgadbg_support.dir/error.cpp.o"
+  "CMakeFiles/fpgadbg_support.dir/error.cpp.o.d"
+  "CMakeFiles/fpgadbg_support.dir/log.cpp.o"
+  "CMakeFiles/fpgadbg_support.dir/log.cpp.o.d"
+  "CMakeFiles/fpgadbg_support.dir/rng.cpp.o"
+  "CMakeFiles/fpgadbg_support.dir/rng.cpp.o.d"
+  "CMakeFiles/fpgadbg_support.dir/strings.cpp.o"
+  "CMakeFiles/fpgadbg_support.dir/strings.cpp.o.d"
+  "CMakeFiles/fpgadbg_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/fpgadbg_support.dir/thread_pool.cpp.o.d"
+  "libfpgadbg_support.a"
+  "libfpgadbg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/decompose.cpp" "src/synth/CMakeFiles/fpgadbg_synth.dir/decompose.cpp.o" "gcc" "src/synth/CMakeFiles/fpgadbg_synth.dir/decompose.cpp.o.d"
+  "/root/repo/src/synth/sweep.cpp" "src/synth/CMakeFiles/fpgadbg_synth.dir/sweep.cpp.o" "gcc" "src/synth/CMakeFiles/fpgadbg_synth.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fpgadbg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/fpgadbg_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpgadbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

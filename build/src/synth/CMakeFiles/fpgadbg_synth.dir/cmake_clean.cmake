@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg_synth.dir/decompose.cpp.o"
+  "CMakeFiles/fpgadbg_synth.dir/decompose.cpp.o.d"
+  "CMakeFiles/fpgadbg_synth.dir/sweep.cpp.o"
+  "CMakeFiles/fpgadbg_synth.dir/sweep.cpp.o.d"
+  "libfpgadbg_synth.a"
+  "libfpgadbg_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

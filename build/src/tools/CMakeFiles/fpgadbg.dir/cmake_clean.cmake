@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgadbg.dir/fpgadbg_cli.cpp.o"
+  "CMakeFiles/fpgadbg.dir/fpgadbg_cli.cpp.o.d"
+  "fpgadbg"
+  "fpgadbg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgadbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_debug.dir/debug/flow_test.cpp.o"
+  "CMakeFiles/test_debug.dir/debug/flow_test.cpp.o.d"
+  "CMakeFiles/test_debug.dir/debug/signal_param_test.cpp.o"
+  "CMakeFiles/test_debug.dir/debug/signal_param_test.cpp.o.d"
+  "CMakeFiles/test_debug.dir/debug/signal_select_test.cpp.o"
+  "CMakeFiles/test_debug.dir/debug/signal_select_test.cpp.o.d"
+  "test_debug"
+  "test_debug.pdb"
+  "test_debug[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

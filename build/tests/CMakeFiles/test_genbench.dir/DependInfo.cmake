@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/genbench/genbench_test.cpp" "tests/CMakeFiles/test_genbench.dir/genbench/genbench_test.cpp.o" "gcc" "tests/CMakeFiles/test_genbench.dir/genbench/genbench_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genbench/CMakeFiles/fpgadbg_genbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fpgadbg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fpgadbg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/fpgadbg_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpgadbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genbench.dir/genbench/genbench_test.cpp.o"
+  "CMakeFiles/test_genbench.dir/genbench/genbench_test.cpp.o.d"
+  "test_genbench"
+  "test_genbench.pdb"
+  "test_genbench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

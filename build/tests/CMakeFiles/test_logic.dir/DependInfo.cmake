@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/logic/bdd_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/bdd_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/bdd_test.cpp.o.d"
+  "/root/repo/tests/logic/sop_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/sop_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/sop_test.cpp.o.d"
+  "/root/repo/tests/logic/truth_table_test.cpp" "tests/CMakeFiles/test_logic.dir/logic/truth_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_logic.dir/logic/truth_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/fpgadbg_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpgadbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

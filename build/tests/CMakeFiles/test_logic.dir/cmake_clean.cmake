@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic.dir/logic/bdd_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/bdd_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/sop_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/sop_test.cpp.o.d"
+  "CMakeFiles/test_logic.dir/logic/truth_table_test.cpp.o"
+  "CMakeFiles/test_logic.dir/logic/truth_table_test.cpp.o.d"
+  "test_logic"
+  "test_logic.pdb"
+  "test_logic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

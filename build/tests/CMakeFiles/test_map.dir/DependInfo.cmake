@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/map/cuts_test.cpp" "tests/CMakeFiles/test_map.dir/map/cuts_test.cpp.o" "gcc" "tests/CMakeFiles/test_map.dir/map/cuts_test.cpp.o.d"
+  "/root/repo/tests/map/mapped_netlist_test.cpp" "tests/CMakeFiles/test_map.dir/map/mapped_netlist_test.cpp.o" "gcc" "tests/CMakeFiles/test_map.dir/map/mapped_netlist_test.cpp.o.d"
+  "/root/repo/tests/map/mappers_test.cpp" "tests/CMakeFiles/test_map.dir/map/mappers_test.cpp.o" "gcc" "tests/CMakeFiles/test_map.dir/map/mappers_test.cpp.o.d"
+  "/root/repo/tests/map/verilog_test.cpp" "tests/CMakeFiles/test_map.dir/map/verilog_test.cpp.o" "gcc" "tests/CMakeFiles/test_map.dir/map/verilog_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/map/CMakeFiles/fpgadbg_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fpgadbg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/debug/CMakeFiles/fpgadbg_debug.dir/DependInfo.cmake"
+  "/root/repo/build/src/genbench/CMakeFiles/fpgadbg_genbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/fpgadbg_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/pnr/CMakeFiles/fpgadbg_pnr.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fpgadbg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/fpgadbg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fpgadbg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/fpgadbg_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fpgadbg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_map.dir/map/cuts_test.cpp.o"
+  "CMakeFiles/test_map.dir/map/cuts_test.cpp.o.d"
+  "CMakeFiles/test_map.dir/map/mapped_netlist_test.cpp.o"
+  "CMakeFiles/test_map.dir/map/mapped_netlist_test.cpp.o.d"
+  "CMakeFiles/test_map.dir/map/mappers_test.cpp.o"
+  "CMakeFiles/test_map.dir/map/mappers_test.cpp.o.d"
+  "CMakeFiles/test_map.dir/map/verilog_test.cpp.o"
+  "CMakeFiles/test_map.dir/map/verilog_test.cpp.o.d"
+  "test_map"
+  "test_map.pdb"
+  "test_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
