@@ -9,6 +9,7 @@
 #include "logic/bdd.h"
 #include "logic/sop.h"
 #include "logic/truth_table.h"
+#include "sim/compiled_simulator.h"
 #include "sim/parallel_simulator.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
@@ -149,6 +150,47 @@ void BM_ParallelSimulatorStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelSimulatorStep)->Arg(100)->Arg(1000);
 
+// Same circuit and stimulus cadence as BM_ParallelSimulatorStep, so the two
+// counters compare directly: the compiled engine replaces the interpreter's
+// per-node minterm scan with branch-free Shannon kernels over packed masks.
+void BM_CompiledSimulatorStep(benchmark::State& state) {
+  genbench::CircuitSpec spec{"parstep", 12, 8, 8,
+                             static_cast<std::size_t>(state.range(0)), 5, 6,
+                             504};
+  const auto nl = genbench::generate(spec);
+  sim::CompiledSimulator simulator(nl);
+  Rng rng(8);
+  for (auto _ : state) {
+    for (auto in : nl.inputs()) simulator.set_input_word(in, rng.next_u64());
+    simulator.step();
+  }
+  // 64 vectors per step.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 64);
+}
+BENCHMARK(BM_CompiledSimulatorStep)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Event-driven variant: only a handful of inputs toggle per step, the rest
+// of the design is skipped level by level.
+void BM_CompiledSimulatorStepEventDriven(benchmark::State& state) {
+  genbench::CircuitSpec spec{"parstep", 12, 8, 8,
+                             static_cast<std::size_t>(state.range(0)), 5, 6,
+                             504};
+  const auto nl = genbench::generate(spec);
+  sim::CompiledSimulator simulator(nl,
+                                   sim::CompiledSimOptions{.event_driven = true});
+  Rng rng(8);
+  for (auto _ : state) {
+    // Toggle one input per step (typical idle-logic workload).
+    const auto in = nl.inputs()[rng.next_u64() % nl.inputs().size()];
+    simulator.set_input_word(in, rng.next_u64());
+    simulator.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 64);
+}
+BENCHMARK(BM_CompiledSimulatorStepEventDriven)->Arg(1000)->Arg(10000);
+
 void BM_ScgSpecializeIncremental(benchmark::State& state) {
   auto& offline = OfflineFixture::get().offline;
   const auto& inst = offline.instrumented;
@@ -164,6 +206,27 @@ void BM_ScgSpecializeIncremental(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScgSpecializeIncremental);
+
+// Word-parallel SCG: one memoized BDD walk serves 64 assignments.  Compare
+// per-specialization cost against BM_ScgSpecialize.
+void BM_ScgSpecializeBatch(benchmark::State& state) {
+  auto& offline = OfflineFixture::get().offline;
+  const auto& inst = offline.instrumented;
+  std::vector<std::unordered_map<std::string, bool>> assignments;
+  Rng rng(17);
+  for (int k = 0; k < 64; ++k) {
+    const auto& lane = inst.lane_signals[rng.next_u64() % inst.lane_signals.size()];
+    assignments.push_back(
+        inst.select_signals({lane[rng.next_u64() % lane.size()]}));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(offline.pconf->specialize_batch(assignments));
+  }
+  // Specializations produced per unit time (the scalar bench produces 1 per
+  // iteration).
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ScgSpecializeBatch);
 
 void BM_TconMapSmall(benchmark::State& state) {
   genbench::CircuitSpec spec{"mapbench", 10, 8, 4, 60, 4, 5, 503};

@@ -78,6 +78,44 @@ PConf::Specialization PConf::specialize(
   return result;
 }
 
+std::vector<PConf::Specialization> PConf::specialize_batch(
+    const std::vector<std::unordered_map<std::string, bool>>& assignments)
+    const {
+  FPGADBG_REQUIRE(assignments.size() <= 64,
+                  "specialize_batch handles at most 64 assignments");
+  Stopwatch timer;
+  const std::size_t batch = assignments.size();
+  // Transpose the assignments: bit k of var_words[v] = value of parameter v
+  // under assignments[k].
+  std::vector<std::uint64_t> var_words(param_names_.size(), 0);
+  for (std::size_t k = 0; k < batch; ++k) {
+    for (const auto& [name, value] : assignments[k]) {
+      const auto it = param_index_.find(name);
+      FPGADBG_REQUIRE(it != param_index_.end(), "unknown parameter: " + name);
+      if (value) {
+        var_words[static_cast<std::size_t>(it->second)] |= 1ULL << k;
+      }
+    }
+  }
+
+  std::vector<Specialization> results(batch);
+  for (auto& r : results) r.memory = constant_;
+  // One memo across every parameterized bit: the SCG's functions share BDD
+  // structure heavily, so most walks hit the cache.
+  std::unordered_map<logic::BddRef, std::uint64_t> memo;
+  for (const auto& [bit, f] : functions_) {
+    const std::uint64_t word = bdd_.evaluate_word(f, var_words, memo);
+    for (std::size_t k = 0; k < batch; ++k) {
+      results[k].memory.set(bit, (word >> k) & 1);
+      ++results[k].bits_evaluated;
+    }
+  }
+  const double per_spec =
+      batch == 0 ? 0.0 : timer.elapsed_seconds() / static_cast<double>(batch);
+  for (auto& r : results) r.eval_seconds = per_spec;
+  return results;
+}
+
 const std::vector<std::vector<std::size_t>>& PConf::bits_by_param() const {
   if (!index_built_) {
     bits_by_param_.assign(param_names_.size(), {});

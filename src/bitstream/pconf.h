@@ -60,6 +60,16 @@ class PConf {
   Specialization specialize(
       const std::unordered_map<std::string, bool>& assignment) const;
 
+  /// Word-parallel SCG: specialize up to 64 assignments in one pass.  Lane
+  /// k of every Boolean evaluation corresponds to assignments[k], so each
+  /// parameterized bit costs ONE memoized BDD walk for the whole batch
+  /// instead of one walk per assignment.  Results are bit-identical to
+  /// calling specialize() per assignment; eval_seconds reports the
+  /// amortized (total / batch) cost per specialization.
+  std::vector<Specialization> specialize_batch(
+      const std::vector<std::unordered_map<std::string, bool>>& assignments)
+      const;
+
   /// Incremental SCG: given the previous specialization and its assignment,
   /// re-evaluate ONLY the bits whose functions depend on a changed
   /// parameter.  The embedded-processor optimization behind the paper's

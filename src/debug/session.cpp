@@ -10,10 +10,11 @@ using map::CellId;
 using map::MappedNetlist;
 
 DebugSession::DebugSession(const OfflineResult& offline,
-                           bitstream::IcapModel icap, std::size_t trace_depth)
+                           bitstream::IcapModel icap, std::size_t trace_depth,
+                           sim::SimBackend backend)
     : offline_(offline),
       icap_(icap),
-      sim_(offline.mapping.netlist),
+      sim_(offline.mapping.netlist, backend),
       lanes_(offline.instrumented.trace_outputs.size()),
       trace_(lanes_, trace_depth),
       last_sample_(lanes_) {

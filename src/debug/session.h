@@ -17,6 +17,7 @@
 #include "bitstream/icap.h"
 #include "debug/flow.h"
 #include "sim/mapped_simulator.h"
+#include "sim/sim_backend.h"
 #include "sim/trace_buffer.h"
 #include "sim/trigger.h"
 
@@ -43,10 +44,12 @@ struct SessionSummary {
 
 class DebugSession {
  public:
-  /// `offline` must outlive the session.
+  /// `offline` must outlive the session.  `backend` selects the emulation
+  /// engine behind the DUT (compiled levelized program by default).
   DebugSession(const OfflineResult& offline,
                bitstream::IcapModel icap = {},
-               std::size_t trace_depth = 1024);
+               std::size_t trace_depth = 1024,
+               sim::SimBackend backend = sim::default_sim_backend());
 
   std::size_t num_lanes() const { return lanes_; }
   const sim::TraceBuffer& trace() const { return trace_; }

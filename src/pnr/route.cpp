@@ -142,6 +142,11 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
   std::vector<RREdgeId> prev_edge(rr.num_nodes());
   std::vector<std::uint32_t> stamp(rr.num_nodes(), 0);
   std::uint32_t now = 0;
+  // Stamped membership of the net currently being routed: tree_stamp[id] ==
+  // tree_token iff id is in net_nodes[n].  Replaces a linear scan per
+  // walk-back node that made rerouting high-fanout nets O(|tree|^2).
+  std::vector<std::uint64_t> tree_stamp(rr.num_nodes(), 0);
+  std::uint64_t tree_token = 0;
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     result.iterations = iter;
@@ -156,6 +161,8 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
       std::vector<RRNodeId> tree{terms[n].source};
       occ[terms[n].source].add(group_at(n, terms[n].source));
       net_nodes[n].push_back(terms[n].source);
+      ++tree_token;
+      tree_stamp[terms[n].source] = tree_token;
 
       for (RRNodeId target : terms[n].sinks) {
         ++now;
@@ -203,8 +210,8 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
         while (prev_edge[cur] != static_cast<RREdgeId>(-1)) {
           const RREdgeId e = prev_edge[cur];
           result.routes[n].push_back(e);
-          if (std::find(net_nodes[n].begin(), net_nodes[n].end(), cur) ==
-              net_nodes[n].end()) {
+          if (tree_stamp[cur] != tree_token) {
+            tree_stamp[cur] = tree_token;
             occ[cur].add(group_at(n, cur));
             net_nodes[n].push_back(cur);
           }

@@ -1,0 +1,288 @@
+#include "sim/compiled_simulator.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace fpgadbg::sim {
+
+namespace {
+
+/// Word-parallel Shannon evaluation of a LUT mask over K fanin lane words.
+/// Fully unrolled at compile time: ~4 register ops per reachable mask bit,
+/// no branches, no memory traffic beyond the K fanin loads done by the
+/// caller.  K == 1 collapses the bottom mux level into a 2-bit select among
+/// {0, ~0, w, ~w}.
+template <int K>
+inline std::uint64_t shannon(std::uint64_t mask, const std::uint64_t* w) {
+  if constexpr (K == 0) {
+    return static_cast<std::uint64_t>(-static_cast<std::int64_t>(mask & 1));
+  } else if constexpr (K == 1) {
+    const std::uint64_t b0 = mask & 1;
+    const std::uint64_t b1 = (mask >> 1) & 1;
+    return static_cast<std::uint64_t>(-static_cast<std::int64_t>(b0)) ^
+           (static_cast<std::uint64_t>(-static_cast<std::int64_t>(b0 ^ b1)) &
+            w[0]);
+  } else {
+    const std::uint64_t s = w[K - 1];
+    const std::uint64_t lo = shannon<K - 1>(mask, w);
+    const std::uint64_t hi =
+        shannon<K - 1>(mask >> (std::size_t{1} << (K - 1)), w);
+    return lo ^ ((lo ^ hi) & s);
+  }
+}
+
+inline std::uint64_t eval_op_word(std::uint64_t mask, std::uint32_t arity,
+                                  const std::uint64_t* w) {
+  switch (arity) {
+    case 0: return shannon<0>(mask, w);
+    case 1: return shannon<1>(mask, w);
+    case 2: return shannon<2>(mask, w);
+    case 3: return shannon<3>(mask, w);
+    case 4: return shannon<4>(mask, w);
+    case 5: return shannon<5>(mask, w);
+    default: return shannon<6>(mask, w);
+  }
+}
+
+inline std::uint64_t apply_fault_word(const Fault& f, std::uint64_t value,
+                                      std::uint64_t now) {
+  switch (f.type) {
+    case FaultType::kStuckAt0: return 0;
+    case FaultType::kStuckAt1: return ~0ULL;
+    case FaultType::kInvert: return ~value;
+    case FaultType::kFlipOnCycle: return f.cycle == now ? ~value : value;
+  }
+  return value;
+}
+
+inline std::uint64_t broadcast(bool value) { return value ? ~0ULL : 0ULL; }
+
+}  // namespace
+
+CompiledSimulator::CompiledSimulator(const netlist::Netlist& nl,
+                                     CompiledSimOptions options)
+    : prog_(lower_program(nl)), opts_(options) {
+  init();
+}
+
+CompiledSimulator::CompiledSimulator(const map::MappedNetlist& mn,
+                                     CompiledSimOptions options)
+    : prog_(lower_program(mn)), opts_(options) {
+  init();
+}
+
+void CompiledSimulator::init() {
+  if (opts_.num_threads == 0) {
+    pool_ = &ThreadPool::global();
+  } else if (opts_.num_threads > 1) {
+    own_pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+    pool_ = own_pool_.get();
+  }
+  if (pool_ && pool_->size() <= 1) pool_ = nullptr;
+  values_.assign(prog_.num_slots, 0);
+  latch_words_.resize(prog_.latches.size());
+  if (opts_.event_driven) dirty_.assign(prog_.num_slots, 0);
+  op_has_fault_.assign(prog_.ops.size(), 0);
+  reset();
+}
+
+void CompiledSimulator::reset() {
+  cycle_ = 0;
+  for (std::size_t i = 0; i < prog_.latches.size(); ++i) {
+    latch_words_[i] = broadcast(prog_.latches[i].init != 0);
+    values_[prog_.latches[i].out_slot] = latch_words_[i];
+  }
+  full_eval_pending_ = true;
+}
+
+void CompiledSimulator::set_source_word(std::uint32_t slot,
+                                        std::uint64_t word) {
+  if (word != 0 && word != ~0ULL) uniform_ = false;
+  if (opts_.event_driven && values_[slot] != word) dirty_[slot] = 1;
+  values_[slot] = word;
+}
+
+void CompiledSimulator::set_input(std::uint32_t id, bool value) {
+  set_input_word(id, broadcast(value));
+}
+
+void CompiledSimulator::set_inputs(const std::vector<bool>& values) {
+  FPGADBG_REQUIRE(values.size() == prog_.inputs.size(),
+                  "set_inputs size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    set_source_word(prog_.inputs[i], broadcast(values[i]));
+  }
+}
+
+void CompiledSimulator::set_param(std::uint32_t id, bool value) {
+  set_param_word(id, broadcast(value));
+}
+
+void CompiledSimulator::set_params(const std::vector<bool>& values) {
+  FPGADBG_REQUIRE(values.size() == prog_.params.size(),
+                  "set_params size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    set_source_word(prog_.params[i], broadcast(values[i]));
+  }
+}
+
+void CompiledSimulator::set_input_word(std::uint32_t id, std::uint64_t word) {
+  FPGADBG_REQUIRE(id < prog_.num_design_nodes &&
+                      prog_.node_kind[id] == SimProgram::SlotKind::kInput,
+                  "set_input target is not an input");
+  set_source_word(id, word);
+}
+
+void CompiledSimulator::set_param_word(std::uint32_t id, std::uint64_t word) {
+  FPGADBG_REQUIRE(id < prog_.num_design_nodes &&
+                      prog_.node_kind[id] == SimProgram::SlotKind::kParam,
+                  "set_param target is not a parameter");
+  set_source_word(id, word);
+}
+
+void CompiledSimulator::run_ops(std::size_t begin, std::size_t end,
+                                bool full) {
+  const SimOp* ops = prog_.ops.data();
+  const std::uint32_t* arena = prog_.fanins.data();
+  std::uint64_t* vals = values_.data();
+  const bool event = opts_.event_driven;
+  const bool uniform = uniform_;
+  std::uint8_t* dirty = event ? dirty_.data() : nullptr;
+  const std::uint8_t* op_fault = op_has_fault_.data();
+  const bool have_faults = !faults_by_op_.empty();
+  for (std::size_t i = begin; i < end; ++i) {
+    const SimOp& op = ops[i];
+    const std::uint32_t* f = arena + op.fanin_begin;
+    const std::uint32_t k = op.fanin_count;
+    const bool faulted = have_faults && op_fault[i];
+    if (event && !full && !faulted) {
+      std::uint8_t any = 0;
+      for (std::uint32_t j = 0; j < k; ++j) any |= dirty[f[j]];
+      if (!any) {
+        dirty[op.out] = 0;
+        continue;
+      }
+    }
+    std::uint64_t r;
+    if (uniform) {
+      // Broadcast fast path: every lane agrees, so one mask lookup via the
+      // fanin bit pattern replaces the full Shannon walk (the scalar
+      // debug-session workload never leaves this path).
+      std::uint32_t idx = 0;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        idx |= static_cast<std::uint32_t>(vals[f[j]] & 1) << j;
+      }
+      r = broadcast((op.mask >> idx) & 1);
+    } else {
+      std::uint64_t w[SimProgram::kMaxOpArity];
+      for (std::uint32_t j = 0; j < k; ++j) w[j] = vals[f[j]];
+      r = eval_op_word(op.mask, k, w);
+    }
+    if (faulted) {
+      for (const Fault& fl : faults_by_op_.find(static_cast<std::uint32_t>(i))
+                                 ->second) {
+        r = apply_fault_word(fl, r, cycle_);
+      }
+    }
+    if (event) {
+      dirty[op.out] = vals[op.out] != r;
+      vals[op.out] = r;
+    } else {
+      vals[op.out] = r;
+    }
+  }
+}
+
+void CompiledSimulator::sweep_level(std::size_t begin, std::size_t end,
+                                    bool full) {
+  const std::size_t width = end - begin;
+  if (pool_ != nullptr && width >= opts_.parallel_min_level_width) {
+    // Chunked dispatch: ops only read slots written by strictly lower
+    // levels plus their own output slot, so chunks never race.
+    const std::size_t chunks = std::min(width, pool_->size() * 4);
+    const std::size_t chunk = (width + chunks - 1) / chunks;
+    pool_->parallel_for(chunks, [&](std::size_t c) {
+      const std::size_t b = begin + c * chunk;
+      run_ops(b, std::min(end, b + chunk), full);
+    });
+  } else {
+    run_ops(begin, end, full);
+  }
+}
+
+void CompiledSimulator::eval() {
+  const bool event = opts_.event_driven;
+  const bool full = full_eval_pending_ || !event;
+  for (std::size_t i = 0; i < prog_.latches.size(); ++i) {
+    set_source_word(prog_.latches[i].out_slot, latch_words_[i]);
+  }
+  for (std::size_t l = 0; l + 1 < prog_.level_begin.size(); ++l) {
+    sweep_level(prog_.level_begin[l], prog_.level_begin[l + 1], full);
+  }
+  if (event) {
+    for (std::uint32_t id : prog_.inputs) dirty_[id] = 0;
+    for (std::uint32_t id : prog_.params) dirty_[id] = 0;
+    for (const SimLatch& latch : prog_.latches) dirty_[latch.out_slot] = 0;
+  }
+  full_eval_pending_ = false;
+}
+
+void CompiledSimulator::step() {
+  eval();
+  for (std::size_t i = 0; i < prog_.latches.size(); ++i) {
+    latch_words_[i] = values_[prog_.latches[i].in_slot];
+  }
+  ++cycle_;
+}
+
+bool CompiledSimulator::output(std::size_t index) const {
+  FPGADBG_REQUIRE(index < prog_.outputs.size(), "output index out of range");
+  return values_[prog_.outputs[index]] & 1;
+}
+
+std::uint64_t CompiledSimulator::output_word(std::size_t index) const {
+  FPGADBG_REQUIRE(index < prog_.outputs.size(), "output index out of range");
+  return values_[prog_.outputs[index]];
+}
+
+std::vector<bool> CompiledSimulator::output_values() const {
+  std::vector<bool> out;
+  out.reserve(prog_.outputs.size());
+  for (std::uint32_t id : prog_.outputs) out.push_back(values_[id] & 1);
+  return out;
+}
+
+void CompiledSimulator::inject_fault(const Fault& fault) {
+  FPGADBG_REQUIRE(fault.node < prog_.num_design_nodes,
+                  "fault node out of range");
+  faults_.push_back(fault);
+  const std::uint32_t op = prog_.op_of_node[fault.node];
+  if (op != kNoOp) {
+    faults_by_op_[op].push_back(fault);
+    op_has_fault_[op] = 1;
+  }
+  full_eval_pending_ = true;
+}
+
+void CompiledSimulator::clear_faults() {
+  faults_.clear();
+  faults_by_op_.clear();
+  std::fill(op_has_fault_.begin(), op_has_fault_.end(), 0);
+  full_eval_pending_ = true;
+}
+
+void CompiledSimulator::restore(const Snapshot& snapshot) {
+  FPGADBG_REQUIRE(snapshot.latch_words.size() == latch_words_.size(),
+                  "snapshot is for a different design");
+  latch_words_ = snapshot.latch_words;
+  cycle_ = snapshot.cycle;
+  for (std::size_t i = 0; i < prog_.latches.size(); ++i) {
+    const std::uint64_t w = latch_words_[i];
+    if (w != 0 && w != ~0ULL) uniform_ = false;
+    values_[prog_.latches[i].out_slot] = w;
+  }
+  full_eval_pending_ = true;
+}
+
+}  // namespace fpgadbg::sim

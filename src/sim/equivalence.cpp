@@ -1,7 +1,9 @@
 #include "sim/equivalence.h"
 
+#include <bit>
 #include <sstream>
 
+#include "sim/compiled_simulator.h"
 #include "sim/mapped_simulator.h"
 #include "sim/simulator.h"
 #include "support/error.h"
@@ -53,6 +55,54 @@ EquivalenceReport run_lockstep(SimA& sa, SimB& sb, const NamesA& input_names,
   return report;
 }
 
+/// Word-parallel lockstep on the compiled engine: 64 independent sequential
+/// streams advance per step, so the requested vector count costs
+/// ceil(vectors / 64) evaluation sweeps on each side.
+template <typename DrvA, typename DrvB>
+EquivalenceReport run_lockstep_words(DrvA& sa, DrvB& sb,
+                                     const std::vector<std::string>& input_names,
+                                     const std::vector<std::string>& param_names,
+                                     const std::vector<std::string>& out_names,
+                                     std::uint64_t vectors, Rng& rng) {
+  EquivalenceReport report;
+  const std::uint64_t steps = (vectors + 63) / 64;
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    // Parameters are quasi-static per stream; re-randomize them every 16
+    // steps (the scalar path's every-16-vectors cadence, per lane).
+    if (s % 16 == 0) {
+      for (const auto& name : param_names) {
+        const std::uint64_t word = rng.next_u64();
+        sa.set_param_word_by_name(name, word);
+        sb.set_param_word_by_name(name, word);
+      }
+    }
+    for (const auto& name : input_names) {
+      const std::uint64_t word = rng.next_u64();
+      sa.set_input_word_by_name(name, word);
+      sb.set_input_word_by_name(name, word);
+    }
+    sa.sim.step();
+    sb.sim.step();
+    for (std::size_t i = 0; i < out_names.size(); ++i) {
+      const std::uint64_t wa = sa.sim.output_word(i);
+      const std::uint64_t wb = sb.sim.output_word(i);
+      if (wa != wb) {
+        const int lane = std::countr_zero(wa ^ wb);
+        report.equivalent = false;
+        std::ostringstream os;
+        os << "output '" << out_names[i] << "' differs at step " << s
+           << " lane " << lane << ": " << ((wa >> lane) & 1) << " vs "
+           << ((wb >> lane) & 1);
+        report.first_mismatch = os.str();
+        report.vectors_checked = s * 64 + 64;
+        return report;
+      }
+    }
+  }
+  report.vectors_checked = steps * 64;
+  return report;
+}
+
 struct NetlistDriver {
   explicit NetlistDriver(const netlist::Netlist& nl) : sim(nl) {}
   void set_input_by_name(const std::string& name, bool v) {
@@ -67,7 +117,8 @@ struct NetlistDriver {
 };
 
 struct MappedDriver {
-  explicit MappedDriver(const map::MappedNetlist& mn) : sim(mn) {}
+  explicit MappedDriver(const map::MappedNetlist& mn)
+      : sim(mn, SimBackend::kInterpreted) {}
   void set_input_by_name(const std::string& name, bool v) {
     sim.set_input(name, v);
   }
@@ -77,6 +128,40 @@ struct MappedDriver {
     sim.set_param(*id, v);
   }
   MappedSimulator sim;
+};
+
+struct CompiledNetlistDriver {
+  explicit CompiledNetlistDriver(const netlist::Netlist& netlist)
+      : nl(&netlist), sim(netlist) {}
+  void set_input_word_by_name(const std::string& name, std::uint64_t w) {
+    const auto id = nl->find(name);
+    FPGADBG_REQUIRE(id.has_value(), "unknown input: " + name);
+    sim.set_input_word(*id, w);
+  }
+  void set_param_word_by_name(const std::string& name, std::uint64_t w) {
+    const auto id = nl->find(name);
+    FPGADBG_REQUIRE(id.has_value(), "unknown param: " + name);
+    sim.set_param_word(*id, w);
+  }
+  const netlist::Netlist* nl;
+  CompiledSimulator sim;
+};
+
+struct CompiledMappedDriver {
+  explicit CompiledMappedDriver(const map::MappedNetlist& mapped)
+      : mn(&mapped), sim(mapped) {}
+  void set_input_word_by_name(const std::string& name, std::uint64_t w) {
+    const auto id = mn->find(name);
+    FPGADBG_REQUIRE(id.has_value(), "unknown input: " + name);
+    sim.set_input_word(*id, w);
+  }
+  void set_param_word_by_name(const std::string& name, std::uint64_t w) {
+    const auto id = mn->find(name);
+    FPGADBG_REQUIRE(id.has_value(), "unknown param: " + name);
+    sim.set_param_word(*id, w);
+  }
+  const map::MappedNetlist* mn;
+  CompiledSimulator sim;
 };
 
 std::vector<std::string> names_of(const netlist::Netlist& nl,
@@ -91,9 +176,17 @@ std::vector<std::string> names_of(const netlist::Netlist& nl,
 
 EquivalenceReport check_equivalence(const netlist::Netlist& a,
                                     const netlist::Netlist& b,
-                                    std::uint64_t vectors, Rng& rng) {
+                                    std::uint64_t vectors, Rng& rng,
+                                    SimBackend backend) {
   FPGADBG_REQUIRE(a.outputs().size() == b.outputs().size(),
                   "output count mismatch");
+  if (backend == SimBackend::kCompiled) {
+    CompiledNetlistDriver da(a);
+    CompiledNetlistDriver db(b);
+    return run_lockstep_words(da, db, names_of(a, a.inputs()),
+                              names_of(a, a.params()), a.output_names(),
+                              vectors, rng);
+  }
   NetlistDriver da(a);
   NetlistDriver db(b);
   return run_lockstep(da, db, names_of(a, a.inputs()), names_of(a, a.params()),
@@ -102,9 +195,17 @@ EquivalenceReport check_equivalence(const netlist::Netlist& a,
 
 EquivalenceReport check_equivalence(const netlist::Netlist& a,
                                     const map::MappedNetlist& b,
-                                    std::uint64_t vectors, Rng& rng) {
+                                    std::uint64_t vectors, Rng& rng,
+                                    SimBackend backend) {
   FPGADBG_REQUIRE(a.outputs().size() == b.outputs().size(),
                   "output count mismatch");
+  if (backend == SimBackend::kCompiled) {
+    CompiledNetlistDriver da(a);
+    CompiledMappedDriver db(b);
+    return run_lockstep_words(da, db, names_of(a, a.inputs()),
+                              names_of(a, a.params()), a.output_names(),
+                              vectors, rng);
+  }
   NetlistDriver da(a);
   MappedDriver db(b);
   return run_lockstep(da, db, names_of(a, a.inputs()), names_of(a, a.params()),

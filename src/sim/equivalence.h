@@ -5,12 +5,19 @@
 // primary outputs cycle by cycle.  Signals are matched by name, so the
 // netlists must share input/param/output naming (all our passes preserve
 // names).
+//
+// Backend selection: with SimBackend::kCompiled (the default) both designs
+// run on the compiled engine in word-parallel mode — 64 independent
+// sequential stimulus streams advance per step, so `vectors` random vectors
+// cost ceil(vectors / 64) evaluation sweeps.  kInterpreted retains the
+// original one-vector-at-a-time interpreters as the oracle path.
 #pragma once
 
 #include <string>
 
 #include "map/mapped_netlist.h"
 #include "netlist/netlist.h"
+#include "sim/sim_backend.h"
 #include "support/rng.h"
 
 namespace fpgadbg::sim {
@@ -21,15 +28,29 @@ struct EquivalenceReport {
   std::string first_mismatch;  ///< human-readable description, if any
 };
 
-/// Compare two netlists over `vectors` random stimulus steps (sequential:
-/// latches are clocked between vectors).
+/// Compare two netlists over at least `vectors` random stimulus steps
+/// (sequential: latches are clocked between vectors).
 EquivalenceReport check_equivalence(const netlist::Netlist& a,
                                     const netlist::Netlist& b,
-                                    std::uint64_t vectors, Rng& rng);
+                                    std::uint64_t vectors, Rng& rng,
+                                    SimBackend backend);
 
 /// Compare a netlist against its technology-mapped form.
 EquivalenceReport check_equivalence(const netlist::Netlist& a,
                                     const map::MappedNetlist& b,
-                                    std::uint64_t vectors, Rng& rng);
+                                    std::uint64_t vectors, Rng& rng,
+                                    SimBackend backend);
+
+inline EquivalenceReport check_equivalence(const netlist::Netlist& a,
+                                           const netlist::Netlist& b,
+                                           std::uint64_t vectors, Rng& rng) {
+  return check_equivalence(a, b, vectors, rng, default_sim_backend());
+}
+
+inline EquivalenceReport check_equivalence(const netlist::Netlist& a,
+                                           const map::MappedNetlist& b,
+                                           std::uint64_t vectors, Rng& rng) {
+  return check_equivalence(a, b, vectors, rng, default_sim_backend());
+}
 
 }  // namespace fpgadbg::sim

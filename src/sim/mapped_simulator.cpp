@@ -8,13 +8,23 @@ using map::CellId;
 using map::MappedNetlist;
 using map::MKind;
 
-MappedSimulator::MappedSimulator(const MappedNetlist& mn)
-    : mn_(mn), topo_(mn.topo_order()), values_(mn.num_cells(), 0) {
+MappedSimulator::MappedSimulator(const MappedNetlist& mn, SimBackend backend)
+    : mn_(mn), backend_(backend) {
+  if (backend_ == SimBackend::kCompiled) {
+    engine_.emplace(mn);
+    return;
+  }
+  topo_ = mn.topo_order();
+  values_.assign(mn.num_cells(), 0);
   latch_state_.resize(mn.latches().size(), 0);
   reset();
 }
 
 void MappedSimulator::reset() {
+  if (engine_) {
+    engine_->reset();
+    return;
+  }
   cycle_ = 0;
   for (std::size_t i = 0; i < mn_.latches().size(); ++i) {
     latch_state_[i] = mn_.latches()[i].init_value == 1 ? 1 : 0;
@@ -25,7 +35,11 @@ void MappedSimulator::reset() {
 void MappedSimulator::set_input(CellId id, bool value) {
   FPGADBG_REQUIRE(mn_.cell(id).kind == MKind::kInput,
                   "set_input target is not an input");
-  values_[id] = value ? 1 : 0;
+  if (engine_) {
+    engine_->set_input(id, value);
+  } else {
+    values_[id] = value ? 1 : 0;
+  }
 }
 
 void MappedSimulator::set_input(const std::string& name, bool value) {
@@ -37,6 +51,10 @@ void MappedSimulator::set_input(const std::string& name, bool value) {
 void MappedSimulator::set_inputs(const std::vector<bool>& values) {
   FPGADBG_REQUIRE(values.size() == mn_.inputs().size(),
                   "set_inputs size mismatch");
+  if (engine_) {
+    engine_->set_inputs(values);
+    return;
+  }
   for (std::size_t i = 0; i < values.size(); ++i) {
     values_[mn_.inputs()[i]] = values[i] ? 1 : 0;
   }
@@ -45,18 +63,30 @@ void MappedSimulator::set_inputs(const std::vector<bool>& values) {
 void MappedSimulator::set_param(CellId id, bool value) {
   FPGADBG_REQUIRE(mn_.cell(id).kind == MKind::kParam,
                   "set_param target is not a parameter");
-  values_[id] = value ? 1 : 0;
+  if (engine_) {
+    engine_->set_param(id, value);
+  } else {
+    values_[id] = value ? 1 : 0;
+  }
 }
 
 void MappedSimulator::set_params(const std::vector<bool>& values) {
   FPGADBG_REQUIRE(values.size() == mn_.params().size(),
                   "set_params size mismatch");
+  if (engine_) {
+    engine_->set_params(values);
+    return;
+  }
   for (std::size_t i = 0; i < values.size(); ++i) {
     values_[mn_.params()[i]] = values[i] ? 1 : 0;
   }
 }
 
 void MappedSimulator::eval() {
+  if (engine_) {
+    engine_->eval();
+    return;
+  }
   for (std::size_t i = 0; i < mn_.latches().size(); ++i) {
     values_[mn_.latches()[i].output] = latch_state_[i];
   }
@@ -77,6 +107,10 @@ void MappedSimulator::eval() {
 }
 
 void MappedSimulator::step() {
+  if (engine_) {
+    engine_->step();
+    return;
+  }
   eval();
   for (std::size_t i = 0; i < mn_.latches().size(); ++i) {
     latch_state_[i] = values_[mn_.latches()[i].input];
@@ -86,24 +120,45 @@ void MappedSimulator::step() {
 
 bool MappedSimulator::output(std::size_t index) const {
   FPGADBG_REQUIRE(index < mn_.outputs().size(), "output index out of range");
-  return values_[mn_.outputs()[index]] != 0;
+  return engine_ ? engine_->output(index)
+                 : values_[mn_.outputs()[index]] != 0;
 }
 
 MappedSimulator::Snapshot MappedSimulator::snapshot() const {
-  return Snapshot{latch_state_, cycle_};
+  if (!engine_) return Snapshot{latch_state_, cycle_};
+  const auto snap = engine_->snapshot();
+  Snapshot out;
+  out.cycle = snap.cycle;
+  out.latch_state.reserve(snap.latch_words.size());
+  // Scalar stimulus broadcasts across all lanes, so lane 0 carries the state.
+  for (std::uint64_t w : snap.latch_words) {
+    out.latch_state.push_back(static_cast<std::uint8_t>(w & 1));
+  }
+  return out;
 }
 
 void MappedSimulator::restore(const Snapshot& snap) {
-  FPGADBG_REQUIRE(snap.latch_state.size() == latch_state_.size(),
-                  "snapshot is for a different design");
-  latch_state_ = snap.latch_state;
-  cycle_ = snap.cycle;
-  for (std::size_t i = 0; i < mn_.latches().size(); ++i) {
-    values_[mn_.latches()[i].output] = latch_state_[i];
+  if (!engine_) {
+    FPGADBG_REQUIRE(snap.latch_state.size() == latch_state_.size(),
+                    "snapshot is for a different design");
+    latch_state_ = snap.latch_state;
+    cycle_ = snap.cycle;
+    for (std::size_t i = 0; i < mn_.latches().size(); ++i) {
+      values_[mn_.latches()[i].output] = latch_state_[i];
+    }
+    return;
   }
+  CompiledSimulator::Snapshot full;
+  full.cycle = snap.cycle;
+  full.latch_words.reserve(snap.latch_state.size());
+  for (std::uint8_t b : snap.latch_state) {
+    full.latch_words.push_back(b ? ~0ULL : 0ULL);
+  }
+  engine_->restore(full);
 }
 
 std::vector<bool> MappedSimulator::output_values() const {
+  if (engine_) return engine_->output_values();
   std::vector<bool> out;
   out.reserve(mn_.outputs().size());
   for (CellId id : mn_.outputs()) out.push_back(values_[id] != 0);

@@ -3,21 +3,31 @@
 // Evaluates LUTs, TLUTs and TCONs exactly as configured hardware would:
 // parameter inputs are quasi-static values that change only between
 // debugging turns, data inputs toggle every cycle.
+//
+// Two engines sit behind the same API, selected by SimBackend: the original
+// per-cell interpreter (the oracle) and the compiled levelized engine
+// (CompiledSimulator), which lowers the mapped netlist once at construction
+// and is the default.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "map/mapped_netlist.h"
+#include "sim/compiled_simulator.h"
+#include "sim/sim_backend.h"
 
 namespace fpgadbg::sim {
 
 class MappedSimulator {
  public:
-  explicit MappedSimulator(const map::MappedNetlist& mn);
+  explicit MappedSimulator(const map::MappedNetlist& mn,
+                           SimBackend backend = default_sim_backend());
 
   const map::MappedNetlist& netlist() const { return mn_; }
+  SimBackend backend() const { return backend_; }
 
   void reset();
   void set_input(map::CellId id, bool value);
@@ -29,11 +39,13 @@ class MappedSimulator {
   void eval();
   void step();
 
-  bool value(map::CellId id) const { return values_[id] != 0; }
+  bool value(map::CellId id) const {
+    return engine_ ? engine_->value(id) : values_[id] != 0;
+  }
   bool output(std::size_t index) const;
   std::vector<bool> output_values() const;
 
-  std::uint64_t cycle() const { return cycle_; }
+  std::uint64_t cycle() const { return engine_ ? engine_->cycle() : cycle_; }
 
   /// Sequential state snapshot (latch contents + cycle counter).  Emulators
   /// support state readback/restore so a debug run can rewind to just before
@@ -47,6 +59,10 @@ class MappedSimulator {
 
  private:
   const map::MappedNetlist& mn_;
+  SimBackend backend_;
+  /// Compiled path (engaged when backend_ == kCompiled).
+  std::optional<CompiledSimulator> engine_;
+  /// Interpreter path state (kInterpreted only).
   std::vector<map::CellId> topo_;
   std::vector<std::uint8_t> values_;
   std::vector<std::uint8_t> latch_state_;

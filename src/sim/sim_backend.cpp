@@ -1,0 +1,32 @@
+#include "sim/sim_backend.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace fpgadbg::sim {
+
+std::string to_string(SimBackend backend) {
+  switch (backend) {
+    case SimBackend::kInterpreted:
+      return "interpreted";
+    case SimBackend::kCompiled:
+      return "compiled";
+  }
+  return "unknown";
+}
+
+SimBackend parse_sim_backend(const std::string& name) {
+  if (name == "interpreted") return SimBackend::kInterpreted;
+  if (name == "compiled") return SimBackend::kCompiled;
+  throw Error("unknown simulation backend: " + name);
+}
+
+SimBackend default_sim_backend() {
+  if (const char* env = std::getenv("FPGADBG_SIM_BACKEND")) {
+    return parse_sim_backend(env);
+  }
+  return SimBackend::kCompiled;
+}
+
+}  // namespace fpgadbg::sim

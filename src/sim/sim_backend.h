@@ -1,0 +1,28 @@
+// Simulation backend selection.
+//
+// Every consumer of functional simulation (equivalence checking, the debug
+// session's emulated DUT, the benches) picks its engine through this enum:
+// the per-node truth-table interpreters stay available as the oracle, while
+// the compiled levelized engine is the default fast path.  The process-wide
+// default can be overridden with FPGADBG_SIM_BACKEND=interpreted|compiled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpgadbg::sim {
+
+enum class SimBackend : std::uint8_t {
+  kInterpreted,  ///< walk the netlist per node (NetlistSimulator-style oracle)
+  kCompiled,     ///< lowered levelized LUT6 program (CompiledSimulator)
+};
+
+std::string to_string(SimBackend backend);
+
+/// Parses "interpreted" or "compiled"; throws fpgadbg::Error otherwise.
+SimBackend parse_sim_backend(const std::string& name);
+
+/// kCompiled unless the FPGADBG_SIM_BACKEND environment variable overrides.
+SimBackend default_sim_backend();
+
+}  // namespace fpgadbg::sim

@@ -1,0 +1,74 @@
+// Lowered simulation programs.
+//
+// A SimProgram is the compiled form of a Netlist or MappedNetlist: every
+// combinational node becomes one or more flat LUT ops — a packed 64-bit mask
+// over at most six fanins — stored in one contiguous arena and bucketed by
+// logic level.  Functions wider than six inputs are Shannon-split into a
+// LUT6 cascade (cofactor subtrees joined by 2:1 mux ops) at lowering time,
+// so the evaluator never sees an op it cannot execute branch-free.
+//
+// Slots [0, num_design_nodes) mirror the source design's node/cell ids
+// one-to-one; cascade temporaries occupy the slots above.  Ops within one
+// level never read each other's outputs, which is what lets the evaluator
+// sweep a level with ThreadPool::parallel_for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "map/mapped_netlist.h"
+#include "netlist/netlist.h"
+
+namespace fpgadbg::sim {
+
+inline constexpr std::uint32_t kNoOp = 0xffffffffu;
+
+/// One flat LUT evaluation: out <- mask(fanins[fanin_begin .. +fanin_count)).
+struct SimOp {
+  std::uint64_t mask = 0;         ///< truth table, low 2^fanin_count bits
+  std::uint32_t out = 0;          ///< destination value slot
+  std::uint32_t fanin_begin = 0;  ///< index into SimProgram::fanins
+  std::uint32_t fanin_count = 0;  ///< at most kMaxOpArity
+};
+
+struct SimLatch {
+  std::uint32_t in_slot = 0;   ///< combinational driver (D pin)
+  std::uint32_t out_slot = 0;  ///< sequential source (Q pin)
+  std::uint8_t init = 0;       ///< reset value (unknown/don't-care reset to 0)
+};
+
+struct SimProgram {
+  static constexpr std::uint32_t kMaxOpArity = 6;
+
+  enum class SlotKind : std::uint8_t {
+    kConst0,
+    kInput,
+    kParam,
+    kLatchOut,
+    kLogic,
+  };
+
+  std::vector<SimOp> ops;                  ///< bucketed by level, ascending
+  std::vector<std::uint32_t> fanins;       ///< flat fanin arena (slot ids)
+  std::vector<std::uint32_t> level_begin;  ///< ops of level l:
+                                           ///< [level_begin[l], level_begin[l+1])
+  std::size_t num_slots = 0;         ///< design slots + cascade temporaries
+  std::size_t num_design_nodes = 0;  ///< slots [0, n) == design node ids
+
+  std::vector<SlotKind> node_kind;        ///< per design node id
+  std::vector<std::uint32_t> op_of_node;  ///< design id -> op computing it
+                                          ///< (kNoOp for sources)
+  std::vector<std::uint32_t> inputs;      ///< design ids, declaration order
+  std::vector<std::uint32_t> params;
+  std::vector<std::uint32_t> outputs;
+  std::vector<SimLatch> latches;
+
+  std::size_t num_levels() const {
+    return level_begin.empty() ? 0 : level_begin.size() - 1;
+  }
+};
+
+SimProgram lower_program(const netlist::Netlist& nl);
+SimProgram lower_program(const map::MappedNetlist& mn);
+
+}  // namespace fpgadbg::sim

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "support/error.h"
 
 namespace fpgadbg::sim {
@@ -11,6 +13,7 @@ using netlist::NodeKind;
 NetlistSimulator::NetlistSimulator(const Netlist& nl)
     : nl_(nl), topo_(nl.topo_order()), values_(nl.num_nodes(), 0) {
   latch_state_.resize(nl.latches().size(), 0);
+  fault_mask_.resize(nl.num_nodes(), 0);
   reset();
 }
 
@@ -62,6 +65,7 @@ void NetlistSimulator::eval() {
   for (std::size_t i = 0; i < nl_.latches().size(); ++i) {
     values_[nl_.latches()[i].output] = latch_state_[i];
   }
+  const bool have_faults = !faults_.empty();
   for (NodeId id : topo_) {
     const auto& node = nl_.node(id);
     std::uint64_t assignment = 0;
@@ -70,9 +74,10 @@ void NetlistSimulator::eval() {
     }
     values_[id] = node.function.evaluate(assignment) ? 1 : 0;
     // Faults override computed values in place so downstream logic sees the
-    // faulty net, as real silicon would.
-    for (const Fault& f : faults_) {
-      if (f.node == id) {
+    // faulty net, as real silicon would.  The per-node index keeps the scan
+    // off the hot path: nodes without faults pay a single flag test.
+    if (have_faults && fault_mask_[id]) {
+      for (const Fault& f : faults_by_node_.find(id)->second) {
         values_[id] = f.apply(values_[id] != 0, cycle_) ? 1 : 0;
       }
     }
@@ -102,8 +107,14 @@ std::vector<bool> NetlistSimulator::output_values() const {
 void NetlistSimulator::inject_fault(const Fault& fault) {
   FPGADBG_REQUIRE(fault.node < nl_.num_nodes(), "fault node out of range");
   faults_.push_back(fault);
+  faults_by_node_[fault.node].push_back(fault);
+  fault_mask_[fault.node] = 1;
 }
 
-void NetlistSimulator::clear_faults() { faults_.clear(); }
+void NetlistSimulator::clear_faults() {
+  faults_.clear();
+  faults_by_node_.clear();
+  std::fill(fault_mask_.begin(), fault_mask_.end(), 0);
+}
 
 }  // namespace fpgadbg::sim

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "netlist/netlist.h"
@@ -50,13 +51,15 @@ class NetlistSimulator {
   std::uint64_t cycle() const { return cycle_; }
 
  private:
-  void apply_faults();
-
   const netlist::Netlist& nl_;
   std::vector<netlist::NodeId> topo_;
   std::vector<std::uint8_t> values_;
   std::vector<std::uint8_t> latch_state_;
   std::vector<Fault> faults_;
+  /// Per-node fault index, rebuilt at injection time: eval() touches the
+  /// fault machinery only on nodes that actually carry a fault.
+  std::vector<std::uint8_t> fault_mask_;
+  std::unordered_map<netlist::NodeId, std::vector<Fault>> faults_by_node_;
   std::uint64_t cycle_ = 0;
 };
 

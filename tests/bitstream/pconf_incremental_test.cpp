@@ -3,6 +3,7 @@
 #include "bitstream/pconf.h"
 #include "debug/flow.h"
 #include "genbench/genbench.h"
+#include "support/error.h"
 #include "support/rng.h"
 
 namespace fpgadbg::bitstream {
@@ -56,6 +57,46 @@ TEST(PConfIncremental, OnlyAffectedBitsEvaluated) {
   const auto incr = pconf.specialize_incremental(base, a, b);
   EXPECT_EQ(incr.bits_evaluated, 10u);  // only the q-dependent bits
   EXPECT_EQ(incr.memory, pconf.specialize(b).memory);
+}
+
+TEST(PConfBatch, MatchesPerAssignmentSpecialization) {
+  PConf pconf(kFrameBits * 2, {"a", "b", "c", "d", "e"});
+  auto& bdd = pconf.bdd();
+  Rng rng(31);
+  for (std::size_t bit = 0; bit < 400; ++bit) {
+    const int v1 = static_cast<int>(rng.next_below(5));
+    const int v2 = static_cast<int>(rng.next_below(5));
+    const int v3 = static_cast<int>(rng.next_below(5));
+    pconf.set_function(
+        bit, bdd.bdd_ite(bdd.var(v1), bdd.var(v2), bdd.bdd_not(bdd.var(v3))));
+  }
+
+  std::vector<std::unordered_map<std::string, bool>> assignments;
+  for (int k = 0; k < 64; ++k) {
+    auto& asg = assignments.emplace_back();
+    for (const char* p : {"a", "b", "c", "d", "e"}) asg[p] = rng.next_bool();
+  }
+  const auto batch = pconf.specialize_batch(assignments);
+  ASSERT_EQ(batch.size(), assignments.size());
+  for (std::size_t k = 0; k < assignments.size(); ++k) {
+    const auto single = pconf.specialize(assignments[k]);
+    EXPECT_EQ(batch[k].memory, single.memory) << "assignment " << k;
+    EXPECT_EQ(batch[k].bits_evaluated, single.bits_evaluated);
+  }
+}
+
+TEST(PConfBatch, HandlesEmptyAndPartialBatches) {
+  PConf pconf(kFrameBits, {"p", "q"});
+  pconf.set_function(0, pconf.bdd().bdd_and(pconf.bdd().var(0),
+                                            pconf.bdd().var(1)));
+  EXPECT_TRUE(pconf.specialize_batch({}).empty());
+  const auto batch = pconf.specialize_batch(
+      {{{"p", true}, {"q", true}}, {{"p", true}, {"q", false}}});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batch[0].memory.get(0));
+  EXPECT_FALSE(batch[1].memory.get(0));
+  std::vector<std::unordered_map<std::string, bool>> too_many(65);
+  EXPECT_THROW(pconf.specialize_batch(too_many), Error);
 }
 
 TEST(PConfIncremental, RealFlowTurnByTurn) {

@@ -1,0 +1,350 @@
+// Randomized differential tests pinning the compiled engine to the two
+// reference simulators: for every random netlist, stimulus stream, latch
+// init and injected fault, CompiledSimulator must agree bit-for-bit with
+// NetlistSimulator (scalar oracle) and ParallelSimulator (word oracle),
+// in both full-sweep and event-driven mode.
+#include "sim/compiled_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "genbench/genbench.h"
+#include "map/mappers.h"
+#include "sim/equivalence.h"
+#include "sim/mapped_simulator.h"
+#include "sim/parallel_simulator.h"
+#include "sim/simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace fpgadbg::sim {
+namespace {
+
+using netlist::kNullNode;
+using netlist::Netlist;
+using netlist::NodeId;
+
+/// Runs `cycles` random-stimulus cycles comparing every output of the
+/// compiled engine (scalar broadcast mode) against the interpreter.
+void expect_matches_scalar(const Netlist& nl, CompiledSimulator& comp,
+                           NetlistSimulator& ref, int cycles,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    if (cycle % 8 == 0) {
+      for (NodeId p : nl.params()) {
+        const bool bit = rng.next_bool();
+        comp.set_param(p, bit);
+        ref.set_param(p, bit);
+      }
+    }
+    for (NodeId in : nl.inputs()) {
+      const bool bit = rng.next_bool();
+      comp.set_input(in, bit);
+      ref.set_input(in, bit);
+    }
+    comp.eval();
+    ref.eval();
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      ASSERT_EQ(comp.output(o), ref.output(o))
+          << "cycle " << cycle << " output " << o;
+    }
+    comp.step();
+    ref.step();
+  }
+}
+
+TEST(CompiledSimulator, MatchesInterpreterOnRandomNetlists) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    genbench::CircuitSpec spec{"cmp", 10, 8, 7, 120, 6, 5, seed * 97};
+    const Netlist nl = genbench::generate(spec);
+    NetlistSimulator ref(nl);
+    CompiledSimulator comp(nl);
+    expect_matches_scalar(nl, comp, ref, 40, seed);
+  }
+}
+
+TEST(CompiledSimulator, EventDrivenMatchesFullSweep) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    genbench::CircuitSpec spec{"evt", 12, 8, 9, 150, 6, 6, seed * 131};
+    const Netlist nl = genbench::generate(spec);
+    NetlistSimulator ref(nl);
+    CompiledSimulator comp(nl, CompiledSimOptions{.event_driven = true});
+    expect_matches_scalar(nl, comp, ref, 50, seed + 7);
+  }
+}
+
+TEST(CompiledSimulator, EventDrivenSkipsStableCones) {
+  // Re-evaluating without input changes must still produce correct values.
+  genbench::CircuitSpec spec{"stable", 8, 6, 5, 80, 5, 4, 17};
+  const Netlist nl = genbench::generate(spec);
+  NetlistSimulator ref(nl);
+  CompiledSimulator comp(nl, CompiledSimOptions{.event_driven = true});
+  Rng rng(3);
+  for (NodeId in : nl.inputs()) {
+    const bool bit = rng.next_bool();
+    comp.set_input(in, bit);
+    ref.set_input(in, bit);
+  }
+  comp.eval();
+  ref.eval();
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    comp.eval();  // nothing dirty: pure skip sweep
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      EXPECT_EQ(comp.output(o), ref.output(o)) << "repeat " << repeat;
+    }
+  }
+  // Toggle a single input; only its cone re-evaluates, results still match.
+  const NodeId first = nl.inputs().front();
+  comp.set_input(first, !comp.value(first));
+  ref.set_input(first, !ref.value(first));
+  comp.eval();
+  ref.eval();
+  for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+    EXPECT_EQ(comp.output(o), ref.output(o));
+  }
+}
+
+TEST(CompiledSimulator, WordModeMatchesParallelSimulator) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    genbench::CircuitSpec spec{"word", 10, 8, 6, 120, 6, 5, seed * 211};
+    const Netlist nl = genbench::generate(spec);
+    ParallelSimulator par(nl);
+    CompiledSimulator comp(nl);
+    Rng rng(seed);
+    for (int cycle = 0; cycle < 25; ++cycle) {
+      for (NodeId p : nl.params()) {
+        const std::uint64_t w = rng.next_u64();
+        par.set_param_word(p, w);
+        comp.set_param_word(p, w);
+      }
+      for (NodeId in : nl.inputs()) {
+        const std::uint64_t w = rng.next_u64();
+        par.set_input_word(in, w);
+        comp.set_input_word(in, w);
+      }
+      par.eval();
+      comp.eval();
+      for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+        ASSERT_EQ(comp.output_word(o), par.output_word(o))
+            << "cycle " << cycle << " output " << o;
+      }
+      par.step();
+      comp.step();
+    }
+  }
+}
+
+TEST(CompiledSimulator, WideFaninLowersToCascade) {
+  // 8- and 10-input functions exceed the 6-bit mask words and must be
+  // Shannon-split into LUT6 cascades; parity is the worst case (no don't
+  // cares anywhere).
+  for (int arity : {7, 8, 10}) {
+    Netlist nl;
+    std::vector<NodeId> ins;
+    for (int i = 0; i < arity; ++i) {
+      ins.push_back(nl.add_input("i" + std::to_string(i)));
+    }
+    const NodeId x = nl.add_logic("x", ins, logic::tt_xor(arity));
+    nl.add_output(x, "o");
+    CompiledSimulator comp(nl);
+    EXPECT_GT(comp.program().ops.size(), 1u) << "arity " << arity;
+    NetlistSimulator ref(nl);
+    expect_matches_scalar(nl, comp, ref, 30, static_cast<std::uint64_t>(arity));
+  }
+}
+
+TEST(CompiledSimulator, LatchInitValues) {
+  // init 0 => 0, init 1 => 1, init 2/3 (don't care / unknown) reset to 0,
+  // matching NetlistSimulator::reset().
+  Netlist nl;
+  std::vector<NodeId> qs;
+  for (int init = 0; init < 4; ++init) {
+    const NodeId q =
+        nl.add_latch("q" + std::to_string(init), kNullNode, init);
+    qs.push_back(q);
+    nl.add_output(q, "o" + std::to_string(init));
+  }
+  for (int i = 0; i < 4; ++i) nl.set_latch_input(i, qs[i]);  // hold
+  NetlistSimulator ref(nl);
+  CompiledSimulator comp(nl);
+  ref.eval();
+  comp.eval();
+  for (std::size_t o = 0; o < 4; ++o) {
+    EXPECT_EQ(comp.output(o), ref.output(o)) << "init " << o;
+    EXPECT_EQ(comp.output_word(o), comp.output(o) ? ~0ULL : 0ULL);
+  }
+}
+
+TEST(CompiledSimulator, FaultDifferential) {
+  genbench::CircuitSpec spec{"flt", 10, 8, 6, 100, 5, 5, 404};
+  const Netlist nl = genbench::generate(spec);
+  Rng pick(9);
+  const auto& logic_nodes = nl.topo_order();
+  for (FaultType type : {FaultType::kStuckAt0, FaultType::kStuckAt1,
+                         FaultType::kInvert, FaultType::kFlipOnCycle}) {
+    const NodeId victim =
+        logic_nodes[pick.next_u64() % logic_nodes.size()];
+    Fault fault{victim, type, /*cycle=*/5};
+    NetlistSimulator ref(nl);
+    CompiledSimulator comp(nl);
+    ref.inject_fault(fault);
+    comp.inject_fault(fault);
+    // 12 cycles crosses the kFlipOnCycle trigger cycle on both sides.
+    expect_matches_scalar(nl, comp, ref, 12,
+                          static_cast<std::uint64_t>(type) + 21);
+    ref.clear_faults();
+    comp.clear_faults();
+    expect_matches_scalar(nl, comp, ref, 6,
+                          static_cast<std::uint64_t>(type) + 50);
+  }
+}
+
+TEST(CompiledSimulator, FaultDifferentialEventDriven) {
+  // Event-driven mode must keep re-evaluating faulted cones even when their
+  // fanins are stable (a kFlipOnCycle changes value with no input edge).
+  genbench::CircuitSpec spec{"fltev", 8, 6, 5, 80, 5, 4, 505};
+  const Netlist nl = genbench::generate(spec);
+  const NodeId victim = nl.topo_order()[nl.topo_order().size() / 2];
+  for (FaultType type : {FaultType::kInvert, FaultType::kFlipOnCycle}) {
+    Fault fault{victim, type, /*cycle=*/3};
+    NetlistSimulator ref(nl);
+    CompiledSimulator comp(nl, CompiledSimOptions{.event_driven = true});
+    ref.inject_fault(fault);
+    comp.inject_fault(fault);
+    expect_matches_scalar(nl, comp, ref, 10,
+                          static_cast<std::uint64_t>(type) + 77);
+  }
+}
+
+TEST(CompiledSimulator, SnapshotRestoreReplays) {
+  genbench::CircuitSpec spec{"snap", 8, 6, 8, 90, 5, 4, 606};
+  const Netlist nl = genbench::generate(spec);
+  CompiledSimulator comp(nl);
+  Rng rng(11);
+  std::vector<std::vector<std::uint64_t>> stimulus;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    auto& words = stimulus.emplace_back();
+    for (NodeId in : nl.inputs()) {
+      words.push_back(rng.next_u64());
+      comp.set_input_word(in, words.back());
+    }
+    comp.step();
+  }
+  const auto snap = comp.snapshot();
+  EXPECT_EQ(snap.cycle, 10u);
+  // Run ahead, recording outputs.
+  std::vector<std::uint64_t> ahead;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      comp.set_input_word(nl.inputs()[i], stimulus[static_cast<std::size_t>(
+                                              cycle) % stimulus.size()][i]);
+    }
+    comp.eval();
+    ahead.push_back(comp.output_word(0));
+    comp.step();
+  }
+  // Rewind and replay: identical trajectory.
+  comp.restore(snap);
+  EXPECT_EQ(comp.cycle(), 10u);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      comp.set_input_word(nl.inputs()[i], stimulus[static_cast<std::size_t>(
+                                              cycle) % stimulus.size()][i]);
+    }
+    comp.eval();
+    EXPECT_EQ(comp.output_word(0), ahead[static_cast<std::size_t>(cycle)]);
+    comp.step();
+  }
+}
+
+TEST(CompiledSimulator, MappedBackendsAgree) {
+  genbench::CircuitSpec spec{"mapdiff", 10, 8, 6, 110, 6, 5, 707};
+  const Netlist nl = genbench::generate(spec);
+  const auto mapped = map::simple_map(nl, 4).netlist;
+  MappedSimulator interp(mapped, SimBackend::kInterpreted);
+  MappedSimulator comp(mapped, SimBackend::kCompiled);
+  Rng rng(13);
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    if (cycle % 8 == 0) {
+      for (map::CellId p : mapped.params()) {
+        const bool bit = rng.next_bool();
+        interp.set_param(p, bit);
+        comp.set_param(p, bit);
+      }
+    }
+    for (map::CellId in : mapped.inputs()) {
+      const bool bit = rng.next_bool();
+      interp.set_input(in, bit);
+      comp.set_input(in, bit);
+    }
+    interp.eval();
+    comp.eval();
+    for (std::size_t o = 0; o < mapped.outputs().size(); ++o) {
+      ASSERT_EQ(comp.output(o), interp.output(o))
+          << "cycle " << cycle << " output " << o;
+    }
+    interp.step();
+    comp.step();
+  }
+  // Snapshots transfer between backends (both store per-latch booleans).
+  const auto snap = comp.snapshot();
+  interp.restore(snap);
+  interp.eval();
+  comp.eval();
+  for (std::size_t o = 0; o < mapped.outputs().size(); ++o) {
+    EXPECT_EQ(comp.output(o), interp.output(o));
+  }
+}
+
+TEST(CompiledSimulator, EquivalenceBackendsAgree) {
+  genbench::CircuitSpec spec{"eqv", 10, 8, 6, 100, 6, 5, 808};
+  const Netlist nl = genbench::generate(spec);
+  const auto mapped = map::simple_map(nl, 4).netlist;
+  Rng r1(21), r2(21);
+  const auto compiled =
+      check_equivalence(nl, mapped, 256, r1, SimBackend::kCompiled);
+  const auto interp =
+      check_equivalence(nl, mapped, 256, r2, SimBackend::kInterpreted);
+  EXPECT_TRUE(compiled.equivalent) << compiled.first_mismatch;
+  EXPECT_TRUE(interp.equivalent) << interp.first_mismatch;
+  EXPECT_GE(compiled.vectors_checked, 256u);
+}
+
+TEST(CompiledSimulator, FaultOnSourceIsNoOp) {
+  // The oracle only applies faults while walking logic nodes, so a fault on
+  // an input is silently inert; the compiled engine mirrors that contract.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId f = nl.add_logic("f", {a, b}, logic::tt_xor(2));
+  nl.add_output(f, "o");
+  NetlistSimulator ref(nl);
+  CompiledSimulator comp(nl);
+  ref.inject_fault({a, FaultType::kStuckAt1, 0});
+  comp.inject_fault({a, FaultType::kStuckAt1, 0});
+  for (bool va : {false, true}) {
+    for (bool vb : {false, true}) {
+      ref.set_input(a, va);
+      ref.set_input(b, vb);
+      comp.set_input(a, va);
+      comp.set_input(b, vb);
+      ref.eval();
+      comp.eval();
+      EXPECT_EQ(comp.output(0), ref.output(0)) << va << vb;
+      EXPECT_EQ(comp.output(0), va != vb);
+    }
+  }
+}
+
+TEST(CompiledSimulator, RejectsOutOfRangeFault) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.add_output(a, "o");
+  CompiledSimulator comp(nl);
+  EXPECT_THROW(comp.inject_fault({static_cast<NodeId>(1000),
+                                  FaultType::kInvert, 0}),
+               Error);
+}
+
+}  // namespace
+}  // namespace fpgadbg::sim
