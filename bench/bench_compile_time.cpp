@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common.h"
 #include "debug/signal_param.h"
 #include "genbench/genbench.h"
 #include "map/mappers.h"
@@ -84,5 +85,6 @@ int main() {
               std::pow(clb_ratio, 1.0 / n));
   std::printf("geomean P&R runtime ratio (conv/prop): %.2fx (paper: up to 3x faster)\n",
               std::pow(time_ratio, 1.0 / n));
+  fpgadbg::bench::dump_metrics("compile_time");
   return 0;
 }

@@ -46,5 +46,6 @@ int main() {
   }
   std::printf("\nexpected shape (paper): SimpleMap/ABC bars several times the "
               "initial bar; proposed bar at or below initial-size.\n");
+  fpgadbg::bench::dump_results("fig7_area", runs);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bitstream/icap.h"
+#include "common.h"
 #include "debug/session.h"
 #include "genbench/genbench.h"
 #include "support/rng.h"
@@ -116,5 +117,6 @@ int main() {
 
   std::printf("\nfor larger designs, the overhead becomes smaller relative to "
               "the debugging turn (paper conclusion).\n");
+  fpgadbg::bench::dump_metrics("runtime_overhead");
   return 0;
 }

@@ -49,5 +49,6 @@ int main() {
   std::printf("geomean proposed/initial area ratio:   %.2fx (paper ~1.0x: "
               "debugging almost for free)\n",
               vs_initial);
+  fpgadbg::bench::dump_results("table1_area", runs);
   return 0;
 }

@@ -30,5 +30,6 @@ int main() {
               preserved, runs.size());
   std::printf("conventional mappers add levels on every benchmark where the "
               "mux network sits on the critical path\n");
+  fpgadbg::bench::dump_results("table2_depth", runs);
   return 0;
 }

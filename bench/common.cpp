@@ -3,11 +3,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "debug/signal_param.h"
 #include "genbench/genbench.h"
 #include "map/mappers.h"
 #include "support/stopwatch.h"
+#include "support/telemetry.h"
 
 namespace fpgadbg::bench {
 
@@ -37,6 +39,58 @@ std::vector<BenchmarkRun> run_mapping_experiment() {
     runs.push_back(std::move(run));
   }
   return runs;
+}
+
+namespace {
+
+void write_stats(std::ofstream& out, const char* key,
+                 const map::MapStats& s) {
+  out << "\"" << key << "\": {\"luts\": " << s.num_luts
+      << ", \"tluts\": " << s.num_tluts << ", \"tcons\": " << s.num_tcons
+      << ", \"lut_area\": " << s.lut_area << ", \"depth\": " << s.depth
+      << ", \"runtime_seconds\": " << s.runtime_seconds << "}";
+}
+
+}  // namespace
+
+std::string dump_results(const std::string& name,
+                         const std::vector<BenchmarkRun>& runs) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "{\n  \"benchmark\": \"" << name << "\",\n  \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const BenchmarkRun& r = runs[i];
+    out << (i ? ",\n    " : "\n    ");
+    out << "{\"name\": \"" << r.name << "\", \"gates\": " << r.gates
+        << ", \"seconds\": " << r.seconds << ",\n     ";
+    write_stats(out, "initial", r.initial);
+    out << ",\n     ";
+    write_stats(out, "simplemap", r.simplemap);
+    out << ",\n     ";
+    write_stats(out, "abc", r.abc);
+    out << ",\n     ";
+    write_stats(out, "proposed", r.proposed);
+    out << "}";
+  }
+  out << (runs.empty() ? "" : "\n  ") << "],\n  \"metrics\": ";
+  telemetry::metrics().write_json(out);
+  out << "}\n";
+  if (!out) return "";
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return path;
+}
+
+std::string dump_metrics(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "{\n  \"benchmark\": \"" << name << "\",\n  \"metrics\": ";
+  telemetry::metrics().write_json(out);
+  out << "}\n";
+  if (!out) return "";
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return path;
 }
 
 double geomean(const std::vector<BenchmarkRun>& runs,

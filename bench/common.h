@@ -34,4 +34,14 @@ std::vector<BenchmarkRun> run_mapping_experiment();
 double geomean(const std::vector<BenchmarkRun>& runs,
                double (*ratio)(const BenchmarkRun&));
 
+/// Writes BENCH_<name>.json in the working directory: the per-benchmark rows
+/// plus the full telemetry metrics-registry snapshot, so a harness run leaves
+/// a machine-readable artifact next to its human-readable table.  Returns
+/// the path written, or "" on IO failure.
+std::string dump_results(const std::string& name,
+                         const std::vector<BenchmarkRun>& runs);
+
+/// Metrics-only variant for harnesses that don't produce BenchmarkRun rows.
+std::string dump_metrics(const std::string& name);
+
 }  // namespace fpgadbg::bench

@@ -1,7 +1,32 @@
 #include "bitstream/icap.h"
 
-// IcapModel and RuntimeOverheadModel are header-only value types; this
-// translation unit only anchors the library target.
+#include "arch/frames.h"
+#include "support/telemetry.h"
+
 namespace fpgadbg::bitstream {
+
 static_assert(IcapModel{}.reference_frames > 0);
+
+namespace {
+
+void record_transfer(const char* kind, std::size_t frames) {
+  telemetry::MetricsRegistry& m = telemetry::metrics();
+  m.counter(kind).add(1);
+  m.counter("icap.frames_transferred").add(frames);
+  m.counter("icap.bytes_transferred")
+      .add(frames * (arch::FrameGeometry::kFrameBits / 8));
+}
+
+}  // namespace
+
+double IcapModel::partial_seconds(std::size_t frames) const {
+  record_transfer("icap.partial_reconfigs", frames);
+  return setup_seconds + static_cast<double>(frames) * frame_seconds();
+}
+
+double IcapModel::full_seconds(std::size_t device_frames) const {
+  record_transfer("icap.full_reconfigs", device_frames);
+  return setup_seconds + static_cast<double>(device_frames) * frame_seconds();
+}
+
 }  // namespace fpgadbg::bitstream

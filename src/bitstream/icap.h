@@ -25,15 +25,12 @@ struct IcapModel {
     return reference_full_seconds / static_cast<double>(reference_frames);
   }
 
-  /// Partial reconfiguration of `frames` frames.
-  double partial_seconds(std::size_t frames) const {
-    return setup_seconds + static_cast<double>(frames) * frame_seconds();
-  }
+  /// Partial reconfiguration of `frames` frames.  Charging the model counts
+  /// the transfer in the telemetry registry (icap.* counters).
+  double partial_seconds(std::size_t frames) const;
 
   /// Full reconfiguration of a device with `device_frames` frames.
-  double full_seconds(std::size_t device_frames) const {
-    return setup_seconds + static_cast<double>(device_frames) * frame_seconds();
-  }
+  double full_seconds(std::size_t device_frames) const;
 };
 
 /// The paper's run-time overhead accounting (§V-C2): emulation runs at

@@ -4,8 +4,24 @@
 
 #include "support/error.h"
 #include "support/stopwatch.h"
+#include "support/telemetry.h"
 
 namespace fpgadbg::bitstream {
+
+namespace {
+
+/// One batched registry update per SCG invocation (the per-bit loops stay
+/// free of atomics).
+void record_scg(const char* path, std::size_t bits_evaluated,
+                std::size_t bdd_nodes_visited, double eval_seconds) {
+  telemetry::MetricsRegistry& m = telemetry::metrics();
+  m.counter(path).add(1);
+  m.counter("scg.bits_reevaluated").add(bits_evaluated);
+  m.counter("scg.bdd_nodes_visited").add(bdd_nodes_visited);
+  m.histogram("scg.eval_seconds").observe(eval_seconds);
+}
+
+}  // namespace
 
 PConf::PConf(std::size_t total_bits, std::vector<std::string> param_names)
     : constant_(total_bits),
@@ -66,15 +82,19 @@ BitVec PConf::values_from(
 
 PConf::Specialization PConf::specialize(
     const std::unordered_map<std::string, bool>& assignment) const {
+  telemetry::TraceScope span("scg.specialize_full", "scg");
   Specialization result;
   Stopwatch timer;
   const BitVec values = values_from(assignment);
   result.memory = constant_;
+  std::size_t visited = 0;
   for (const auto& [bit, f] : functions_) {
-    result.memory.set(bit, bdd_.evaluate(f, values));
+    result.memory.set(bit, bdd_.evaluate(f, values, &visited));
     ++result.bits_evaluated;
   }
   result.eval_seconds = timer.elapsed_seconds();
+  record_scg("scg.full_specializations", result.bits_evaluated, visited,
+             result.eval_seconds);
   return result;
 }
 
@@ -83,6 +103,7 @@ std::vector<PConf::Specialization> PConf::specialize_batch(
     const {
   FPGADBG_REQUIRE(assignments.size() <= 64,
                   "specialize_batch handles at most 64 assignments");
+  telemetry::TraceScope span("scg.specialize_batch", "scg");
   Stopwatch timer;
   const std::size_t batch = assignments.size();
   // Transpose the assignments: bit k of var_words[v] = value of parameter v
@@ -113,6 +134,10 @@ std::vector<PConf::Specialization> PConf::specialize_batch(
   const double per_spec =
       batch == 0 ? 0.0 : timer.elapsed_seconds() / static_cast<double>(batch);
   for (auto& r : results) r.eval_seconds = per_spec;
+  if (batch != 0) {
+    record_scg("scg.batch_specializations", functions_.size() * batch,
+               /*bdd_nodes_visited=*/0, timer.elapsed_seconds());
+  }
   return results;
 }
 
@@ -135,6 +160,7 @@ PConf::Specialization PConf::specialize_incremental(
     const std::unordered_map<std::string, bool>& assignment) const {
   FPGADBG_REQUIRE(previous.memory.total_bits() == total_bits(),
                   "previous specialization has the wrong geometry");
+  telemetry::TraceScope span("scg.specialize_incremental", "scg");
   Specialization result;
   Stopwatch timer;
   const BitVec old_values = values_from(previous_assignment);
@@ -153,11 +179,15 @@ PConf::Specialization PConf::specialize_incremental(
   }
   std::sort(dirty.begin(), dirty.end());
   dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  std::size_t visited = 0;
   for (std::size_t bit : dirty) {
-    result.memory.set(bit, bdd_.evaluate(functions_.at(bit), new_values));
+    result.memory.set(bit,
+                      bdd_.evaluate(functions_.at(bit), new_values, &visited));
     ++result.bits_evaluated;
   }
   result.eval_seconds = timer.elapsed_seconds();
+  record_scg("scg.incremental_specializations", result.bits_evaluated, visited,
+             result.eval_seconds);
   return result;
 }
 

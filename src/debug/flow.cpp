@@ -2,26 +2,44 @@
 
 #include "support/log.h"
 #include "support/stopwatch.h"
+#include "support/telemetry.h"
 
 namespace fpgadbg::debug {
 
 OfflineResult run_offline(const netlist::Netlist& user,
                           const OfflineOptions& options) {
+  telemetry::MetricsRegistry& m = telemetry::metrics();
+  telemetry::TraceScope offline_span("debug.offline");
   OfflineResult result;
   Stopwatch total;
   Stopwatch stage;
 
-  result.instrumented = parameterize_signals(user, options.instrument);
-  result.instrument_seconds = stage.elapsed_seconds();
+  {
+    telemetry::TraceScope span("offline.instrument");
+    result.instrumented = parameterize_signals(user, options.instrument);
+  }
+  // Stage wall-clock goes through the registry; the report fields carry the
+  // exact observed values so the two always agree.
+  result.instrument_seconds =
+      m.histogram("offline.instrument_seconds").observe(stage.elapsed_seconds());
+  m.counter("instrument.observable_signals")
+      .add(result.instrumented.num_observable());
+  m.counter("instrument.lanes").add(result.instrumented.lane_signals.size());
+  m.counter("instrument.parameters")
+      .add(result.instrumented.netlist.params().size());
   LOG_INFO << "offline: instrumented " << result.instrumented.num_observable()
            << " signals over " << result.instrumented.lane_signals.size()
            << " lanes, " << result.instrumented.netlist.params().size()
            << " parameters";
 
   stage.restart();
-  result.mapping = map::tcon_map(result.instrumented.netlist,
-                                 options.lut_size, options.max_param_leaves);
-  result.map_seconds = stage.elapsed_seconds();
+  {
+    telemetry::TraceScope span("offline.map");
+    result.mapping = map::tcon_map(result.instrumented.netlist,
+                                   options.lut_size, options.max_param_leaves);
+  }
+  result.map_seconds =
+      m.histogram("offline.map_seconds").observe(stage.elapsed_seconds());
   LOG_INFO << "offline: mapped to " << result.mapping.stats.num_luts
            << " LUTs + " << result.mapping.stats.num_tluts << " TLUTs + "
            << result.mapping.stats.num_tcons << " TCONs, depth "
@@ -29,23 +47,33 @@ OfflineResult run_offline(const netlist::Netlist& user,
 
   if (options.run_pnr) {
     stage.restart();
-    result.compiled = std::make_unique<pnr::CompiledDesign>(
-        pnr::compile(result.mapping.netlist,
-                     result.instrumented.trace_outputs, options.compile));
-    result.pnr_seconds = stage.elapsed_seconds();
+    {
+      telemetry::TraceScope span("offline.pnr");
+      result.compiled = std::make_unique<pnr::CompiledDesign>(
+          pnr::compile(result.mapping.netlist,
+                       result.instrumented.trace_outputs, options.compile));
+    }
+    result.pnr_seconds =
+        m.histogram("offline.pnr_seconds").observe(stage.elapsed_seconds());
 
     stage.restart();
-    result.pconf = std::make_unique<bitstream::PConf>(
-        bitstream::build_pconf(*result.compiled, &result.pconf_stats));
-    // Index for the incremental SCG belongs to the offline budget.
-    result.pconf->prepare_incremental();
-    result.bitstream_seconds = stage.elapsed_seconds();
+    {
+      telemetry::TraceScope span("offline.bitstream");
+      result.pconf = std::make_unique<bitstream::PConf>(
+          bitstream::build_pconf(*result.compiled, &result.pconf_stats));
+      // Index for the incremental SCG belongs to the offline budget.
+      result.pconf->prepare_incremental();
+    }
+    result.bitstream_seconds =
+        m.histogram("offline.bitstream_seconds")
+            .observe(stage.elapsed_seconds());
     LOG_INFO << "offline: generalized bitstream has "
              << result.pconf->num_parameterized_bits()
              << " parameterized bits across "
              << result.pconf->parameterized_frames().size() << " frames";
   }
-  result.total_seconds = total.elapsed_seconds();
+  result.total_seconds =
+      m.histogram("offline.total_seconds").observe(total.elapsed_seconds());
   return result;
 }
 

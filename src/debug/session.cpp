@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "support/error.h"
+#include "support/log.h"
+#include "support/telemetry.h"
 
 namespace fpgadbg::debug {
 
@@ -33,6 +35,8 @@ DebugSession::DebugSession(const OfflineResult& offline,
 }
 
 TurnReport DebugSession::observe(const std::vector<std::string>& signals) {
+  telemetry::MetricsRegistry& m = telemetry::metrics();
+  telemetry::TraceScope turn_span("debug.turn");
   TurnReport report;
   const auto assignment = offline_.instrumented.select_signals(signals);
   report.observed = offline_.instrumented.observed_under(assignment);
@@ -40,26 +44,48 @@ TurnReport DebugSession::observe(const std::vector<std::string>& signals) {
   if (offline_.pconf) {
     if (current_spec_) {
       // Incremental SCG: re-evaluate only the bits whose parameters changed.
-      auto spec = offline_.pconf->specialize_incremental(
-          *current_spec_, current_assignment_, assignment);
+      auto spec = [&] {
+        telemetry::TraceScope scg_span("debug.scg");
+        return offline_.pconf->specialize_incremental(
+            *current_spec_, current_assignment_, assignment);
+      }();
       report.scg_eval_seconds = spec.eval_seconds;
       const auto frames = current_spec_->memory.changed_frames(spec.memory);
       report.frames_reconfigured = frames.size();
       report.bits_changed = current_spec_->memory.bit_distance(spec.memory);
-      report.reconfig_seconds = icap_.partial_seconds(frames.size());
+      {
+        telemetry::TraceScope dpr_span("debug.dpr");
+        report.reconfig_seconds = icap_.partial_seconds(frames.size());
+      }
       current_spec_ = std::move(spec);
     } else {
       // First load: full evaluation + full configuration.
-      auto spec = offline_.pconf->specialize(assignment);
+      auto spec = [&] {
+        telemetry::TraceScope scg_span("debug.scg");
+        return offline_.pconf->specialize(assignment);
+      }();
       report.scg_eval_seconds = spec.eval_seconds;
       report.frames_reconfigured = spec.memory.num_frames();
       report.bits_changed = spec.memory.bits().count();
-      report.reconfig_seconds = icap_.full_seconds(spec.memory.num_frames());
+      {
+        telemetry::TraceScope dpr_span("debug.dpr");
+        report.reconfig_seconds = icap_.full_seconds(spec.memory.num_frames());
+      }
       current_spec_ = std::move(spec);
     }
     current_assignment_ = assignment;
+    m.counter("debug.bits_changed").add(report.bits_changed);
+    m.histogram("debug.reconfig_seconds").observe(report.reconfig_seconds);
   }
-  report.turn_seconds = report.scg_eval_seconds + report.reconfig_seconds;
+  m.counter("debug.turns").add(1);
+  report.turn_seconds =
+      m.histogram("debug.turn_seconds")
+          .observe(report.scg_eval_seconds + report.reconfig_seconds);
+  LOG_INFO << "debug turn " << summary_.turns + 1 << ": "
+           << report.bits_changed << " bits over "
+           << report.frames_reconfigured << " frames, SCG "
+           << report.scg_eval_seconds * 1e6 << " us, reconfig "
+           << report.reconfig_seconds * 1e6 << " us";
 
   // Apply the parameters to the emulated DUT (the effect the partial
   // reconfiguration has on real hardware).
@@ -93,6 +119,9 @@ const BitVec& DebugSession::step(const std::vector<bool>& inputs) {
   trace_.capture(last_sample_);
   sim_.step();
   ++summary_.cycles_emulated;
+  static telemetry::Counter& cycles =
+      telemetry::metrics().counter("debug.cycles_emulated");
+  cycles.add(1);
   return last_sample_;
 }
 

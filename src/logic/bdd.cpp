@@ -95,13 +95,17 @@ BddRef BddManager::restrict_var(BddRef f, int v, bool value) {
   return make_node(n.var, lo, hi);
 }
 
-bool BddManager::evaluate(BddRef f, const BitVec& assignment) const {
+bool BddManager::evaluate(BddRef f, const BitVec& assignment,
+                          std::size_t* visited) const {
+  std::size_t steps = 0;
   while (!is_const(f)) {
     const Node& n = nodes_[f];
     FPGADBG_ASSERT(n.var < assignment.size(),
                    "BDD evaluation assignment too short");
     f = assignment.get(n.var) ? n.high : n.low;
+    ++steps;
   }
+  if (visited) *visited += steps;
   return f == 1;
 }
 

@@ -50,8 +50,10 @@ class BddManager {
   bool const_value(BddRef f) const { return f == 1; }
 
   /// Evaluate under a full assignment (bit v of `assignment` = value of
-  /// variable v).
-  bool evaluate(BddRef f, const BitVec& assignment) const;
+  /// variable v).  When `visited` is non-null it is incremented once per
+  /// decision node walked (SCG telemetry).
+  bool evaluate(BddRef f, const BitVec& assignment,
+                std::size_t* visited = nullptr) const;
 
   /// Word-parallel evaluation: lane k of the result is evaluate(f) under
   /// the assignment whose variable v has the value in bit k of

@@ -6,6 +6,7 @@
 
 #include "support/error.h"
 #include "support/stopwatch.h"
+#include "support/telemetry.h"
 #include "synth/decompose.h"
 #include "synth/sweep.h"
 
@@ -295,18 +296,27 @@ class CoverEngine {
 
 MapResult cover_network(const Netlist& nl, const MapOptions& options,
                         const std::string& mapper_name) {
+  telemetry::TraceScope span("map.cover", "map");
   Stopwatch timer;
   MapResult result;
   result.stats.mapper = mapper_name;
   if (options.run_synthesis) {
-    const Netlist prepared = synth::synthesize(nl);
+    const Netlist prepared = [&] {
+      telemetry::TraceScope synth_span("map.synthesize", "map");
+      return synth::synthesize(nl);
+    }();
     CoverEngine engine(prepared, options);
     result.netlist = engine.run(&result.stats);
   } else {
     CoverEngine engine(nl, options);
     result.netlist = engine.run(&result.stats);
   }
-  result.stats.runtime_seconds = timer.elapsed_seconds();
+  telemetry::MetricsRegistry& m = telemetry::metrics();
+  m.counter("map.cells.lut").add(result.stats.num_luts);
+  m.counter("map.cells.tlut").add(result.stats.num_tluts);
+  m.counter("map.cells.tcon").add(result.stats.num_tcons);
+  result.stats.runtime_seconds =
+      m.histogram("map.runtime_seconds").observe(timer.elapsed_seconds());
   return result;
 }
 

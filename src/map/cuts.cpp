@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.h"
+#include "support/telemetry.h"
 
 namespace fpgadbg::map {
 
@@ -96,7 +97,16 @@ CutEnumerator::CutEnumerator(const Netlist& nl, const CutConfig& config)
                   "max_total_vars exceeds truth-table limit");
   cuts_.resize(nl.num_nodes());
   est_arrival_.assign(nl.num_nodes(), 0);
-  for (NodeId id : nl.topo_order()) enumerate(id);
+  telemetry::TraceScope span("map.cut_enumeration", "map");
+  std::size_t kept = 0;
+  for (NodeId id : nl.topo_order()) {
+    enumerate(id);
+    kept += cuts_[id].size();
+  }
+  telemetry::MetricsRegistry& m = telemetry::metrics();
+  m.counter("map.cuts_enumerated").add(generated_cuts_);
+  m.counter("map.cuts_kept").add(kept);
+  m.counter("map.nodes_enumerated").add(nl.topo_order().size());
 }
 
 int CutEnumerator::cut_arrival(const Cut& cut) const {
@@ -205,6 +215,8 @@ void CutEnumerator::enumerate(NodeId node) {
       }
     }
   }
+
+  generated_cuts_ += result.size();
 
   // Dominance pruning: remove any cut whose leaves are a superset of
   // another's.

@@ -67,6 +67,7 @@ class CutEnumerator {
   CutConfig config_;
   std::vector<std::vector<Cut>> cuts_;
   std::vector<int> est_arrival_;
+  std::size_t generated_cuts_ = 0;  ///< pre-prune total (telemetry)
 };
 
 /// True iff `f` (over nd data vars then np param vars) reduces, for every

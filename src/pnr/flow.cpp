@@ -6,6 +6,7 @@
 #include "support/error.h"
 #include "support/log.h"
 #include "support/stopwatch.h"
+#include "support/telemetry.h"
 
 namespace fpgadbg::pnr {
 
@@ -16,11 +17,16 @@ CompiledDesign compile(map::MappedNetlist mn,
   design.netlist = std::move(mn);
   const map::MappedNetlist& net = design.netlist;
 
+  telemetry::MetricsRegistry& m = telemetry::metrics();
   Stopwatch total_timer;
   Stopwatch stage_timer;
 
-  design.packing = pack(net, options.arch);
-  design.report.pack_seconds = stage_timer.elapsed_seconds();
+  {
+    telemetry::TraceScope span("pnr.pack");
+    design.packing = pack(net, options.arch);
+  }
+  design.report.pack_seconds =
+      m.histogram("pnr.pack_seconds").observe(stage_timer.elapsed_seconds());
 
   const std::size_t min_clbs = std::max<std::size_t>(
       4, static_cast<std::size_t>(
@@ -36,14 +42,22 @@ CompiledDesign compile(map::MappedNetlist mn,
   design.nets = extract_nets(net, trace_output_names);
 
   stage_timer.restart();
-  design.placement = place(net, design.packing, design.nets, *design.device,
-                           options.place);
-  design.report.place_seconds = stage_timer.elapsed_seconds();
+  {
+    telemetry::TraceScope span("pnr.place");
+    design.placement = place(net, design.packing, design.nets, *design.device,
+                             options.place);
+  }
+  design.report.place_seconds =
+      m.histogram("pnr.place_seconds").observe(stage_timer.elapsed_seconds());
 
   stage_timer.restart();
-  design.routing = route(*design.rr, net, design.packing, design.nets,
-                         design.placement, options.route);
-  design.report.route_seconds = stage_timer.elapsed_seconds();
+  {
+    telemetry::TraceScope span("pnr.route");
+    design.routing = route(*design.rr, net, design.packing, design.nets,
+                           design.placement, options.route);
+  }
+  design.report.route_seconds =
+      m.histogram("pnr.route_seconds").observe(stage_timer.elapsed_seconds());
 
   design.report.device = design.device->describe();
   design.report.clbs_used = design.packing.num_clusters();

@@ -5,7 +5,9 @@
 #include <unordered_set>
 
 #include "support/error.h"
+#include "support/log.h"
 #include "support/stopwatch.h"
+#include "support/telemetry.h"
 
 namespace fpgadbg::pnr {
 
@@ -148,7 +150,17 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
   std::vector<std::uint64_t> tree_stamp(rr.num_nodes(), 0);
   std::uint64_t tree_token = 0;
 
+  static telemetry::Counter& iter_counter =
+      telemetry::metrics().counter("pnr.route.iterations");
+  static telemetry::Gauge& overuse_gauge =
+      telemetry::metrics().gauge("pnr.route.overused_nodes");
+  static telemetry::Histogram& iter_hist =
+      telemetry::metrics().histogram("pnr.route.iteration_seconds");
+
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    telemetry::TraceScope iter_span("pnr.route.iteration");
+    Stopwatch iter_timer;
+    iter_counter.add(1);
     result.iterations = iter;
     bool any_overuse = false;
 
@@ -222,13 +234,21 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
     }
 
     // Overuse check + history update.
+    std::size_t overused_nodes = 0;
     for (RRNodeId id = 0; id < rr.num_nodes(); ++id) {
       const int over = occ[id].occupancy() - rr.node(id).capacity;
       if (over > 0) {
         any_overuse = true;
+        ++overused_nodes;
         history[id] += options.hist_fac * over;
       }
     }
+    // Congestion trajectory: the negotiation is converging when this gauge
+    // falls iteration over iteration.
+    overuse_gauge.set(static_cast<double>(overused_nodes));
+    iter_hist.observe(iter_timer.elapsed_seconds());
+    LOG_DEBUG << "pathfinder iteration " << iter << ": " << overused_nodes
+              << " overused nodes, pres_fac " << pres_fac;
     if (!any_overuse) {
       result.success = true;
       break;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.h"
+#include "support/telemetry.h"
 
 namespace fpgadbg::sim {
 
@@ -151,6 +152,7 @@ void CompiledSimulator::run_ops(std::size_t begin, std::size_t end,
   std::uint8_t* dirty = event ? dirty_.data() : nullptr;
   const std::uint8_t* op_fault = op_has_fault_.data();
   const bool have_faults = !faults_by_op_.empty();
+  std::uint64_t skipped = 0;
   for (std::size_t i = begin; i < end; ++i) {
     const SimOp& op = ops[i];
     const std::uint32_t* f = arena + op.fanin_begin;
@@ -161,6 +163,7 @@ void CompiledSimulator::run_ops(std::size_t begin, std::size_t end,
       for (std::uint32_t j = 0; j < k; ++j) any |= dirty[f[j]];
       if (!any) {
         dirty[op.out] = 0;
+        ++skipped;
         continue;
       }
     }
@@ -192,12 +195,22 @@ void CompiledSimulator::run_ops(std::size_t begin, std::size_t end,
       vals[op.out] = r;
     }
   }
+  if (skipped != 0) {
+    // One relaxed add per chunk; the per-op loop stays atomic-free.
+    static telemetry::Counter& skip_counter =
+        telemetry::metrics().counter("sim.ops_skipped");
+    skip_counter.add(skipped);
+  }
 }
 
 void CompiledSimulator::sweep_level(std::size_t begin, std::size_t end,
                                     bool full) {
+  telemetry::TraceScope span("sim.level_sweep", "sim");
   const std::size_t width = end - begin;
   if (pool_ != nullptr && width >= opts_.parallel_min_level_width) {
+    static telemetry::Counter& parallel_sweeps =
+        telemetry::metrics().counter("sim.parallel_sweeps");
+    parallel_sweeps.add(1);
     // Chunked dispatch: ops only read slots written by strictly lower
     // levels plus their own output slot, so chunks never race.
     const std::size_t chunks = std::min(width, pool_->size() * 4);
@@ -212,6 +225,9 @@ void CompiledSimulator::sweep_level(std::size_t begin, std::size_t end,
 }
 
 void CompiledSimulator::eval() {
+  telemetry::TraceScope span("sim.eval", "sim");
+  static telemetry::Counter& evals = telemetry::metrics().counter("sim.evals");
+  evals.add(1);
   const bool event = opts_.event_driven;
   const bool full = full_eval_pending_ || !event;
   for (std::size_t i = 0; i < prog_.latches.size(); ++i) {

@@ -1,0 +1,419 @@
+#include "support/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace fpgadbg::telemetry {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+int Histogram::bucket_of(double value) {
+  if (!(value > 0.0)) return 0;
+  // log2(value) * kBucketsPerOctave, offset so kOctaveMin maps to bucket 0.
+  const double pos =
+      (std::log2(value) - static_cast<double>(kOctaveMin)) * kBucketsPerOctave;
+  const int b = static_cast<int>(std::floor(pos));
+  return std::clamp(b, 0, kNumBuckets - 1);
+}
+
+double Histogram::bucket_mid(int bucket) {
+  // Geometric midpoint of the bucket's [lo, hi) bounds.
+  const double lo_exp =
+      static_cast<double>(kOctaveMin) +
+      static_cast<double>(bucket) / kBucketsPerOctave;
+  return std::exp2(lo_exp + 0.5 / kBucketsPerOctave);
+}
+
+double Histogram::observe(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  if (!has_extrema_.exchange(true, std::memory_order_relaxed)) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    double cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+  return value;
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  std::uint64_t counts[kNumBuckets];
+  std::uint64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  s.count = total;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  if (total == 0) return s;
+
+  const auto percentile = [&](double q) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      seen += counts[b];
+      if (seen >= std::max<std::uint64_t>(rank, 1)) {
+        // Clamp the bucket estimate to the observed extrema so percentiles
+        // never fall outside [min, max].
+        return std::clamp(bucket_mid(b), s.min, s.max);
+      }
+    }
+    return s.max;
+  };
+  s.p50 = percentile(0.50);
+  s.p90 = percentile(0.90);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_extrema_.store(false, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Seq>
+auto find_named(const Seq& seq, const std::string& name)
+    -> const typename Seq::value_type* {
+  for (const auto& entry : seq) {
+    if (entry.first == name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto* e = find_named(counters, name);
+  return e ? e->second : 0;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  const auto* e = find_named(gauges, name);
+  return e ? e->second : 0.0;
+}
+
+HistogramSummary MetricsSnapshot::histogram(const std::string& name) const {
+  const auto* e = find_named(histograms, name);
+  return e ? e->second : HistogramSummary{};
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // std::map keeps export deterministic (sorted by name) and never moves
+  // values, so handed-out references stay valid.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, c] : impl_->counters) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    snap.histograms.emplace_back(name, h->summary());
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+namespace {
+
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const MetricsSnapshot snap = snapshot();
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ");
+    write_json_string(os, snap.counters[i].first);
+    os << ": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ");
+    write_json_string(os, snap.gauges[i].first);
+    os << ": ";
+    write_json_number(os, snap.gauges[i].second);
+  }
+  os << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    os << (i ? ",\n    " : "\n    ");
+    write_json_string(os, name);
+    os << ": {\"count\": " << h.count << ", \"sum\": ";
+    write_json_number(os, h.sum);
+    os << ", \"min\": ";
+    write_json_number(os, h.min);
+    os << ", \"max\": ";
+    write_json_number(os, h.max);
+    os << ", \"p50\": ";
+    write_json_number(os, h.p50);
+    os << ", \"p90\": ";
+    write_json_number(os, h.p90);
+    os << ", \"p99\": ";
+    write_json_number(os, h.p99);
+    os << "}";
+  }
+  os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  const char* category;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+/// Per-thread span buffer.  Appends come only from the owning thread; the
+/// mutex serializes them against cross-thread export/clear.  Buffers are
+/// kept alive by the global list even after their thread exits.
+struct ThreadTraceBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::mutex mutex;  ///< guards buffers list + next_tid
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+TraceState& trace_state() {
+  static TraceState* state = new TraceState;  // leaked: survives exit races
+  return *state;
+}
+
+ThreadTraceBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadTraceBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadTraceBuffer>();
+    TraceState& st = trace_state();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    b->tid = st.next_tid++;
+    st.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_state().epoch)
+          .count());
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return trace_state().enabled.load(std::memory_order_relaxed);
+}
+
+void start_tracing() {
+  clear_trace();
+  trace_state().enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() {
+  trace_state().enabled.store(false, std::memory_order_relaxed);
+}
+
+void clear_trace() {
+  TraceState& st = trace_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  for (auto& b : st.buffers) {
+    std::lock_guard<std::mutex> blk(b->mutex);
+    b->events.clear();
+  }
+}
+
+std::size_t trace_event_count() {
+  TraceState& st = trace_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  std::size_t n = 0;
+  for (auto& b : st.buffers) {
+    std::lock_guard<std::mutex> blk(b->mutex);
+    n += b->events.size();
+  }
+  return n;
+}
+
+TraceScope::TraceScope(const char* name, const char* category)
+    : name_(name), category_(category), start_ns_(0), active_(false) {
+  if (!tracing_enabled()) return;
+  active_ = true;
+  start_ns_ = now_ns();
+}
+
+TraceScope::~TraceScope() {
+  if (!active_) return;
+  const std::uint64_t end_ns = now_ns();
+  ThreadTraceBuffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(
+      TraceEvent{name_, category_, start_ns_, end_ns - start_ns_});
+}
+
+void write_chrome_trace(std::ostream& os) {
+  TraceState& st = trace_state();
+  // Copy out under the locks, then format without holding anything.
+  std::vector<std::pair<std::uint32_t, TraceEvent>> events;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    for (auto& b : st.buffers) {
+      std::lock_guard<std::mutex> blk(b->mutex);
+      for (const TraceEvent& e : b->events) events.emplace_back(b->tid, e);
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    return a.second.start_ns < b.second.start_ns;
+  });
+  os << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& [tid, e] = events[i];
+    os << (i ? ",\n  " : "\n  ");
+    os << "{\"name\": ";
+    write_json_string(os, e.name);
+    os << ", \"cat\": ";
+    write_json_string(os, e.category);
+    os << ", \"ph\": \"X\", \"ts\": ";
+    write_json_number(os, static_cast<double>(e.start_ns) / 1e3);
+    os << ", \"dur\": ";
+    write_json_number(os, static_cast<double>(e.dur_ns) / 1e3);
+    os << ", \"pid\": 1, \"tid\": " << tid << "}";
+  }
+  os << (events.empty() ? "" : "\n") << "]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace fpgadbg::telemetry

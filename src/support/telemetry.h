@@ -1,0 +1,195 @@
+// Telemetry: a process-wide metrics registry plus a scoped-span tracer.
+//
+// The paper's value proposition is quantitative (SCG evaluation in
+// microseconds, DPR turns replacing recompiles, ~3.5x area ratios), so every
+// pipeline stage reports what it actually did through this subsystem instead
+// of ad-hoc stopwatches:
+//
+//   * Metrics — named Counter / Gauge / Histogram instruments owned by a
+//     thread-safe MetricsRegistry.  Counters and gauges are single relaxed
+//     atomics; histograms bucket observations on a log scale (4 buckets per
+//     octave, ~9% relative error) and derive percentile summaries from the
+//     buckets.  Snapshots and JSON export never block writers.
+//   * Tracing — TraceScope RAII spans collected into per-thread buffers and
+//     exported as Chrome-trace / Perfetto JSON ("chrome://tracing" format).
+//     While no sink is installed (start_tracing() not called) a TraceScope
+//     is one relaxed atomic load and two dead stores; span names must be
+//     string literals (they are kept by pointer until export).
+//
+// Call sites on hot paths should cache the instrument reference:
+//
+//   static telemetry::Counter& c = telemetry::metrics().counter("x.y");
+//   c.add(n);
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fpgadbg::telemetry {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Monotonic event count.  add() is a single relaxed fetch_add, safe from any
+/// thread, including ThreadPool workers.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value instrument (queue depths, sizes).  set() wins races; no
+/// aggregation.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Log-bucketed distribution over positive values (seconds, counts, bytes).
+/// Observation is wait-free: one bucket fetch_add plus sum/min/max updates.
+/// Percentiles are reconstructed from bucket boundaries, accurate to the
+/// bucket's relative width (~9%); min/max/sum/count are exact.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerOctave = 4;
+  /// Buckets span [2^-34, 2^30) ~ [6e-11, 1e9) with kBucketsPerOctave
+  /// subdivisions; values outside clamp to the edge buckets.
+  static constexpr int kOctaveMin = -34;
+  static constexpr int kOctaveMax = 30;
+  static constexpr int kNumBuckets =
+      (kOctaveMax - kOctaveMin) * kBucketsPerOctave;
+
+  /// Records `value` and returns it (so call sites can record and assign in
+  /// one expression, keeping report structs and registry in exact agreement).
+  double observe(double value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  HistogramSummary summary() const;
+  void reset();
+
+ private:
+  static int bucket_of(double value);
+  static double bucket_mid(int bucket);
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> has_extrema_{false};
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+  /// Lookup helpers (return 0-value defaults for absent names).
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  HistogramSummary histogram(const std::string& name) const;
+};
+
+/// Owns all instruments.  Lookup by name is mutex-guarded (cache the
+/// reference on hot paths); the returned references stay valid for the
+/// registry's lifetime.  Requesting the same name twice returns the same
+/// instrument; a name may hold only one instrument kind.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Consistent-enough snapshot of every instrument, names sorted.
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every instrument (registrations survive).
+  void reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// min, max, p50, p90, p99}}}
+  void write_json(std::ostream& os) const;
+  /// Writes write_json() output to `path`; returns false on IO failure.
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-wide registry every pipeline stage reports into.
+MetricsRegistry& metrics();
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+/// True between start_tracing() and stop_tracing().
+bool tracing_enabled();
+/// Installs the trace sink and discards previously collected events.
+void start_tracing();
+/// Uninstalls the sink; collected events stay exportable.
+void stop_tracing();
+/// Discards all collected events.
+void clear_trace();
+/// Events collected so far (all threads).
+std::size_t trace_event_count();
+
+/// Chrome-trace JSON ({"traceEvents": [...]} with "X" complete events, ts and
+/// dur in microseconds).  Loadable in chrome://tracing and Perfetto.
+void write_chrome_trace(std::ostream& os);
+bool write_chrome_trace_file(const std::string& path);
+
+/// RAII span.  `name` and `category` MUST be string literals (or otherwise
+/// outlive the trace export) — they are stored by pointer.  Nesting is
+/// expressed naturally: spans on one thread that overlap in time render as a
+/// flame graph in the trace viewer.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, const char* category = "flow");
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_ns_;
+  bool active_;
+};
+
+}  // namespace fpgadbg::telemetry

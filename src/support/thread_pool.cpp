@@ -4,6 +4,8 @@
 #include <exception>
 #include <memory>
 
+#include "support/telemetry.h"
+
 namespace fpgadbg {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -92,6 +94,9 @@ void ThreadPool::parallel_for(std::size_t count,
     for (std::size_t j = 0; j + 1 < jobs; ++j) {
       queue_.push([state] { state->drain(); });
     }
+    static telemetry::Gauge& queue_depth =
+        telemetry::metrics().gauge("threadpool.queue_depth");
+    queue_depth.set(static_cast<double>(queue_.size()));
   }
   cv_.notify_all();
   state->drain();  // caller participates

@@ -11,11 +11,24 @@
 //       technology-map and print area/depth (paper Tables I/II metrics)
 //   fpgadbg flow <design.blif> [--width N]
 //       full offline stage + a sample online debugging turn, with timing
+//   fpgadbg profile <design.blif> [--width N] [--turns T] [--cycles C]
+//       run the offline stage plus T debugging turns of C emulated cycles
+//       each, then print a stage-time / metric table from the telemetry
+//       registry (combine with --trace/--metrics for machine-readable output)
 //   fpgadbg gen <benchname|list> [<out.blif>]
 //       emit one of the paper's synthetic benchmark circuits
 //   fpgadbg export <design.blif> <out.v> [--par f.par] [--mapper sm|abc|tcon]
 //       technology-map and write structural Verilog
+//
+// Global options (valid with every subcommand, --flag value or --flag=value):
+//   --trace <file.json>    collect TraceScope spans and write a Chrome-trace
+//                          JSON timeline (chrome://tracing, Perfetto)
+//   --metrics <file.json>  write the metrics registry snapshot as JSON
+//   --log-level <level>    debug|info|warn|error|off (default: warn, or the
+//                          FPGADBG_LOG_LEVEL environment variable)
+//   --log-format <fmt>     text|json (JSON-lines structured logging)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,8 +45,10 @@
 #include "netlist/par.h"
 #include "netlist/stats.h"
 #include "support/error.h"
-#include "support/strings.h"
 #include "support/log.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/telemetry.h"
 
 using namespace fpgadbg;
 
@@ -41,16 +56,26 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fpgadbg <stats|instrument|map|flow|gen> ...\n"
+               "usage: fpgadbg <stats|instrument|map|flow|profile|gen|export>"
+               " ...\n"
                "  stats <design.blif>\n"
                "  instrument <design.blif> <out.blif> <out.par> [--width N]"
                " [--radix R] [--replication R] [--select K]\n"
                "  map <design.blif> [--par f.par] [--mapper sm|abc|tcon]"
                " [-k K]\n"
                "  flow <design.blif> [--width N]\n"
+               "  profile <design.blif> [--width N] [--turns T] [--cycles C]\n"
                "  gen <benchname|list> [<out.blif>]\n"
                "  export <design.blif> <out.v> [--par f.par]"
-               " [--mapper sm|abc|tcon]\n");
+               " [--mapper sm|abc|tcon]\n"
+               "global options (any command):\n"
+               "  --trace <file.json>    write Chrome-trace/Perfetto span"
+               " timeline\n"
+               "  --metrics <file.json>  write metrics registry snapshot as"
+               " JSON\n"
+               "  --log-level <level>    debug|info|warn|error|off (default"
+               " warn; FPGADBG_LOG_LEVEL env var also honored)\n"
+               "  --log-format <fmt>     text|json (JSON-lines logging)\n");
   return 2;
 }
 
@@ -65,13 +90,13 @@ struct Args {
   std::vector<std::string> raw;
 };
 
-Args parse(int argc, char** argv, int skip) {
+Args parse(const std::vector<std::string>& tokens, std::size_t skip) {
   Args args;
-  for (int i = skip; i < argc; ++i) {
-    args.raw.emplace_back(argv[i]);
+  for (std::size_t i = skip; i < tokens.size(); ++i) {
+    args.raw.push_back(tokens[i]);
   }
   for (std::size_t i = 0; i < args.raw.size(); ++i) {
-    if (args.raw[i].rfind("--", 0) == 0 || args.raw[i].rfind("-", 0) == 0) {
+    if (args.raw[i].rfind("-", 0) == 0) {
       ++i;  // skip option value
     } else {
       args.positional.push_back(args.raw[i]);
@@ -192,6 +217,85 @@ int cmd_flow(const Args& args) {
   return 0;
 }
 
+int cmd_profile(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto nl = netlist::read_blif_file(args.positional[0]);
+  debug::OfflineOptions options;
+  if (auto w = args.option("--width")) {
+    options.instrument.trace_width = to_count(*w, "--width");
+  }
+  std::size_t turns = 4;
+  if (auto t = args.option("--turns")) turns = to_count(*t, "--turns");
+  std::size_t cycles = 256;
+  if (auto c = args.option("--cycles")) cycles = to_count(*c, "--cycles");
+
+  const auto offline = debug::run_offline(nl, options);
+  debug::DebugSession session(offline);
+
+  // Exercise the online stage: rotate the observed signal through the lane-0
+  // candidates (every turn is a real SCG + DPR charge) and emulate cycles
+  // with deterministic random stimuli.
+  const auto& lanes = offline.instrumented.lane_signals;
+  Rng rng(0xfdb6);
+  for (std::size_t turn = 0; turn < turns && !lanes.empty(); ++turn) {
+    const auto& lane = lanes[turn % lanes.size()];
+    session.observe({lane[turn % lane.size()]});
+    for (std::size_t c = 0; c < cycles; ++c) {
+      std::vector<bool> inputs;
+      inputs.reserve(nl.inputs().size());
+      for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        inputs.push_back(rng.next_bool());
+      }
+      session.step(inputs);
+    }
+  }
+
+  const telemetry::MetricsSnapshot snap = telemetry::metrics().snapshot();
+  auto row_s = [](const char* name, double seconds) {
+    std::printf("  %-28s %12.6f s\n", name, seconds);
+  };
+  auto row_h = [&](const char* name) {
+    const auto h = snap.histogram(name);
+    if (h.count == 0) return;
+    std::printf("  %-28s %12.6f s  (n=%llu, p50 %.1f us, p99 %.1f us)\n",
+                name, h.sum, static_cast<unsigned long long>(h.count),
+                h.p50 * 1e6, h.p99 * 1e6);
+  };
+  auto row_c = [&](const char* name) {
+    std::printf("  %-28s %12llu\n", name,
+                static_cast<unsigned long long>(snap.counter(name)));
+  };
+
+  std::printf("offline stage times:\n");
+  row_s("instrument", snap.histogram("offline.instrument_seconds").sum);
+  row_s("map", snap.histogram("offline.map_seconds").sum);
+  row_s("pnr", snap.histogram("offline.pnr_seconds").sum);
+  row_s("bitstream", snap.histogram("offline.bitstream_seconds").sum);
+  row_s("total", snap.histogram("offline.total_seconds").sum);
+
+  std::printf("online stage (%zu turns, %zu cycles/turn):\n", turns, cycles);
+  row_h("scg.eval_seconds");
+  row_h("debug.reconfig_seconds");
+  row_h("debug.turn_seconds");
+  row_h("pnr.route.iteration_seconds");
+
+  std::printf("counters:\n");
+  row_c("map.cuts_enumerated");
+  row_c("map.cells.lut");
+  row_c("map.cells.tlut");
+  row_c("map.cells.tcon");
+  row_c("pnr.route.iterations");
+  row_c("scg.bits_reevaluated");
+  row_c("scg.bdd_nodes_visited");
+  row_c("scg.incremental_specializations");
+  row_c("icap.frames_transferred");
+  row_c("icap.bytes_transferred");
+  row_c("debug.cycles_emulated");
+  row_c("sim.evals");
+  row_c("sim.ops_skipped");
+  return 0;
+}
+
 int cmd_export(const Args& args) {
   if (args.positional.size() < 2) return usage();
   auto nl = netlist::read_blif_file(args.positional[0]);
@@ -243,20 +347,116 @@ int cmd_gen(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  set_log_level(LogLevel::kWarn);
-  const std::string command = argv[1];
-  const Args args = parse(argc, argv, 2);
+  // Tokenize, splitting --flag=value into two tokens so both spellings work.
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) {
+    std::string t = argv[i];
+    const auto eq = t.find('=');
+    if (t.rfind("--", 0) == 0 && eq != std::string::npos) {
+      tokens.push_back(t.substr(0, eq));
+      tokens.push_back(t.substr(eq + 1));
+    } else {
+      tokens.push_back(std::move(t));
+    }
+  }
+
+  // Log level precedence: built-in default < FPGADBG_LOG_LEVEL < --log-level.
+  LogLevel level = LogLevel::kWarn;
+  if (const char* env = std::getenv("FPGADBG_LOG_LEVEL")) {
+    if (const auto parsed = parse_log_level(env)) {
+      level = *parsed;
+    } else {
+      std::fprintf(stderr, "fpgadbg: ignoring invalid FPGADBG_LOG_LEVEL "
+                   "'%s'\n", env);
+    }
+  }
+
+  // Peel global options off the token stream; the rest is command + args.
+  std::string trace_path, metrics_path;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string t = tokens[i];
+    if (t == "--trace" || t == "--metrics" || t == "--log-level" ||
+        t == "--log-format") {
+      if (i + 1 >= tokens.size()) {
+        std::fprintf(stderr, "fpgadbg: %s requires a value\n", t.c_str());
+        return 2;
+      }
+      const std::string value = tokens[++i];
+      if (t == "--trace") {
+        trace_path = value;
+      } else if (t == "--metrics") {
+        metrics_path = value;
+      } else if (t == "--log-level") {
+        const auto parsed = parse_log_level(value);
+        if (!parsed) {
+          std::fprintf(stderr, "fpgadbg: invalid --log-level '%s' (want "
+                       "debug|info|warn|error|off)\n", value.c_str());
+          return 2;
+        }
+        level = *parsed;
+      } else {
+        if (value == "json") {
+          set_log_format(LogFormat::kJson);
+        } else if (value == "text") {
+          set_log_format(LogFormat::kText);
+        } else {
+          std::fprintf(stderr, "fpgadbg: invalid --log-format '%s' (want "
+                       "text|json)\n", value.c_str());
+          return 2;
+        }
+      }
+      continue;
+    }
+    rest.push_back(t);
+  }
+  set_log_level(level);
+  if (rest.empty()) return usage();
+
+  if (!trace_path.empty()) telemetry::start_tracing();
+
+  const std::string command = rest[0];
+  const Args args = parse(rest, 1);
+  int code = 2;
   try {
-    if (command == "stats") return cmd_stats(args);
-    if (command == "instrument") return cmd_instrument(args);
-    if (command == "map") return cmd_map(args);
-    if (command == "flow") return cmd_flow(args);
-    if (command == "gen") return cmd_gen(args);
-    if (command == "export") return cmd_export(args);
-    return usage();
+    if (command == "stats") {
+      code = cmd_stats(args);
+    } else if (command == "instrument") {
+      code = cmd_instrument(args);
+    } else if (command == "map") {
+      code = cmd_map(args);
+    } else if (command == "flow") {
+      code = cmd_flow(args);
+    } else if (command == "profile") {
+      code = cmd_profile(args);
+    } else if (command == "gen") {
+      code = cmd_gen(args);
+    } else if (command == "export") {
+      code = cmd_export(args);
+    } else {
+      code = usage();
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "fpgadbg: %s\n", e.what());
-    return 1;
+    code = 1;
   }
+
+  // Telemetry artifacts are written even when the command failed: a partial
+  // timeline of a crashed run is exactly what one wants to look at.
+  if (!trace_path.empty()) {
+    telemetry::stop_tracing();
+    if (!telemetry::write_chrome_trace_file(trace_path)) {
+      std::fprintf(stderr, "fpgadbg: cannot write trace file %s\n",
+                   trace_path.c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (!telemetry::metrics().write_json_file(metrics_path)) {
+      std::fprintf(stderr, "fpgadbg: cannot write metrics file %s\n",
+                   metrics_path.c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  return code;
 }

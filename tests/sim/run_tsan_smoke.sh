@@ -1,6 +1,7 @@
 #!/bin/sh
 # Builds and runs the ThreadSanitizer smoke test for the compiled engine's
-# parallel level sweeps.  Compiles only the simulation core (not the whole
+# parallel level sweeps plus the telemetry registry / tracer / logger under
+# concurrent hammering.  Compiles only the simulation core (not the whole
 # tree) with -fsanitize=thread, so the tier-1 flow can afford to run it on
 # every invocation.  Usage: run_tsan_smoke.sh <source-dir> <work-dir>
 set -eu
@@ -17,7 +18,9 @@ BIN="$WORK/tsan_smoke"
   "$SRC/tests/sim/tsan_smoke.cpp" \
   "$SRC/src/support/bitvec.cpp" \
   "$SRC/src/support/error.cpp" \
+  "$SRC/src/support/log.cpp" \
   "$SRC/src/support/rng.cpp" \
+  "$SRC/src/support/telemetry.cpp" \
   "$SRC/src/support/thread_pool.cpp" \
   "$SRC/src/logic/truth_table.cpp" \
   "$SRC/src/netlist/netlist.cpp" \

@@ -4,15 +4,24 @@
 // parallel dispatch threshold at 1 so EVERY level is swept concurrently —
 // the configuration most likely to expose a data race.  Differential
 // against the single-threaded interpreter keeps it honest.
+//
+// A second phase hammers the telemetry registry (counters, histograms,
+// gauges), the span tracer, and the logger from every pool thread while a
+// reader concurrently snapshots and exports — the exact concurrency pattern
+// the instrumented pipeline produces.
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "netlist/netlist.h"
 #include "sim/compiled_simulator.h"
 #include "sim/simulator.h"
+#include "support/log.h"
 #include "support/rng.h"
+#include "support/telemetry.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -97,12 +106,75 @@ int run_differential(const Netlist& nl, bool event_driven,
   return 0;
 }
 
+int run_telemetry_hammer() {
+  using namespace fpgadbg;
+  std::ostringstream log_sink;
+  set_log_stream(&log_sink);
+  set_log_level(LogLevel::kDebug);
+  set_log_format(LogFormat::kJson);
+  telemetry::clear_trace();
+  telemetry::start_tracing();
+
+  telemetry::Counter& counter = telemetry::metrics().counter("tsan.counter");
+  telemetry::Histogram& hist = telemetry::metrics().histogram("tsan.hist");
+  telemetry::Gauge& gauge = telemetry::metrics().gauge("tsan.gauge");
+  constexpr std::size_t kJobs = 256;
+  constexpr int kOpsPerJob = 100;
+
+  ThreadPool pool(4);
+  pool.parallel_for(kJobs, [&](std::size_t i) {
+    telemetry::TraceScope span("tsan.span", "test");
+    for (int k = 0; k < kOpsPerJob; ++k) {
+      counter.add(1);
+      hist.observe(static_cast<double>(k + 1));
+      gauge.set(static_cast<double>(i));
+    }
+    // Registration races: new instruments appear while others are written.
+    telemetry::metrics()
+        .counter("tsan.dyn." + std::to_string(i % 7))
+        .add(1);
+    LOG_INFO << "hammer job " << i;
+    if (i % 61 == 0) {
+      // Concurrent readers while every other thread keeps writing.
+      (void)telemetry::metrics().snapshot();
+      std::ostringstream os;
+      telemetry::metrics().write_json(os);
+      std::ostringstream ts;
+      telemetry::write_chrome_trace(ts);
+    }
+  });
+
+  telemetry::stop_tracing();
+  set_log_stream(nullptr);
+  set_log_level(LogLevel::kWarn);
+  set_log_format(LogFormat::kText);
+
+  int rc = 0;
+  if (counter.value() != kJobs * kOpsPerJob) {
+    std::fprintf(stderr, "telemetry hammer: counter %llu != %llu\n",
+                 static_cast<unsigned long long>(counter.value()),
+                 static_cast<unsigned long long>(kJobs * kOpsPerJob));
+    rc = 1;
+  }
+  if (hist.count() != kJobs * kOpsPerJob) {
+    std::fprintf(stderr, "telemetry hammer: histogram dropped samples\n");
+    rc = 1;
+  }
+  if (telemetry::trace_event_count() != kJobs) {
+    std::fprintf(stderr, "telemetry hammer: %zu trace events != %zu\n",
+                 telemetry::trace_event_count(), kJobs);
+    rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main() {
   const Netlist nl = make_wide_netlist(42);
   int rc = run_differential(nl, /*event_driven=*/false, 7);
   rc |= run_differential(nl, /*event_driven=*/true, 8);
+  rc |= run_telemetry_hammer();
   if (rc == 0) std::puts("tsan smoke: OK");
   return rc;
 }

@@ -1,0 +1,271 @@
+// Unit tests for the telemetry subsystem: metrics registry (thread safety,
+// histogram percentiles, snapshot/reset, JSON export) and the scoped-span
+// tracer (nesting, thread attribution, Chrome-trace format).
+#include "support/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.h"
+#include "testutil/json_lite.h"
+
+namespace fpgadbg {
+namespace {
+
+using telemetry::metrics;
+using telemetry::TraceScope;
+using testutil::JsonValue;
+using testutil::parse_json;
+
+TEST(Metrics, CounterConcurrentIncrements) {
+  telemetry::Counter& c = metrics().counter("test.concurrent_counter");
+  c.reset();
+  ThreadPool pool(4);
+  constexpr std::size_t kJobs = 64;
+  constexpr std::size_t kPerJob = 1000;
+  pool.parallel_for(kJobs, [&](std::size_t) {
+    for (std::size_t i = 0; i < kPerJob; ++i) c.add(1);
+  });
+  EXPECT_EQ(c.value(), kJobs * kPerJob);
+}
+
+TEST(Metrics, SameNameSameInstrument) {
+  telemetry::Counter& a = metrics().counter("test.same_name");
+  telemetry::Counter& b = metrics().counter("test.same_name");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, GaugeLastValueWins) {
+  telemetry::Gauge& g = metrics().gauge("test.gauge");
+  g.set(3.5);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST(Metrics, HistogramExactMoments) {
+  telemetry::Histogram& h = metrics().histogram("test.hist_moments");
+  h.reset();
+  double expect_sum = 0.0;
+  for (int i = 1; i <= 1000; ++i) {
+    EXPECT_DOUBLE_EQ(h.observe(i), static_cast<double>(i));  // returns value
+    expect_sum += i;
+  }
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.sum, expect_sum);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+}
+
+TEST(Metrics, HistogramPercentilesApproximate) {
+  telemetry::Histogram& h = metrics().histogram("test.hist_pct");
+  h.reset();
+  for (int i = 1; i <= 1000; ++i) h.observe(i);
+  const auto s = h.summary();
+  // Log buckets are ~9% wide: percentiles land near the true order
+  // statistics, never outside a generous band.
+  EXPECT_GE(s.p50, 400.0);
+  EXPECT_LE(s.p50, 600.0);
+  EXPECT_GE(s.p90, 800.0);
+  EXPECT_LE(s.p90, 1000.0);
+  EXPECT_GE(s.p99, 900.0);
+  EXPECT_LE(s.p99, 1000.0);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+}
+
+TEST(Metrics, HistogramConcurrentObserve) {
+  telemetry::Histogram& h = metrics().histogram("test.hist_mt");
+  h.reset();
+  ThreadPool pool(4);
+  pool.parallel_for(32, [&](std::size_t) {
+    for (int i = 0; i < 500; ++i) h.observe(1.0);
+  });
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, 32u * 500u);
+  EXPECT_DOUBLE_EQ(s.sum, 32.0 * 500.0);
+}
+
+TEST(Metrics, SnapshotAndReset) {
+  metrics().counter("test.reset_counter").add(7);
+  metrics().gauge("test.reset_gauge").set(1.25);
+  metrics().histogram("test.reset_hist").observe(2.0);
+
+  auto snap = metrics().snapshot();
+  EXPECT_EQ(snap.counter("test.reset_counter"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauge("test.reset_gauge"), 1.25);
+  EXPECT_EQ(snap.histogram("test.reset_hist").count, 1u);
+  // Absent names yield zero-value defaults, not crashes.
+  EXPECT_EQ(snap.counter("test.definitely_absent"), 0u);
+  EXPECT_EQ(snap.histogram("test.definitely_absent").count, 0u);
+
+  metrics().reset();
+  snap = metrics().snapshot();
+  // Registrations survive a reset; values are zeroed.
+  EXPECT_EQ(snap.counter("test.reset_counter"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("test.reset_gauge"), 0.0);
+  EXPECT_EQ(snap.histogram("test.reset_hist").count, 0u);
+  const auto names_has = [&](const std::string& name) {
+    return std::any_of(snap.counters.begin(), snap.counters.end(),
+                       [&](const auto& kv) { return kv.first == name; });
+  };
+  EXPECT_TRUE(names_has("test.reset_counter"));
+}
+
+TEST(Metrics, SnapshotSorted) {
+  metrics().counter("test.zz_last");
+  metrics().counter("test.aa_first");
+  const auto snap = metrics().snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      snap.counters.begin(), snap.counters.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(Metrics, JsonExportParses) {
+  metrics().counter("test.json_counter").add(42);
+  metrics().gauge("test.json_gauge").set(0.5);
+  metrics().histogram("test.json_hist").observe(1e-6);
+
+  std::ostringstream os;
+  metrics().write_json(os);
+  const JsonValue doc = parse_json(os.str());
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  const JsonValue* c = counters->find("test.json_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->number, 42.0);
+  const JsonValue* h = doc.find("histograms");
+  ASSERT_NE(h, nullptr);
+  const JsonValue* hist = h->find("test.json_hist");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_NE(hist->find("p99"), nullptr);
+  EXPECT_EQ(hist->find("count")->number, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+std::string exported_trace() {
+  std::ostringstream os;
+  telemetry::write_chrome_trace(os);
+  return os.str();
+}
+
+TEST(Trace, DisabledProducesNoEvents) {
+  telemetry::stop_tracing();
+  telemetry::clear_trace();
+  {
+    TraceScope span("trace_test.disabled");
+  }
+  EXPECT_EQ(telemetry::trace_event_count(), 0u);
+}
+
+TEST(Trace, NestedSpansExportAsChromeTrace) {
+  telemetry::clear_trace();
+  telemetry::start_tracing();
+  {
+    TraceScope outer("trace_test.outer", "test");
+    {
+      TraceScope inner("trace_test.inner", "test");
+    }
+  }
+  telemetry::stop_tracing();
+  EXPECT_EQ(telemetry::trace_event_count(), 2u);
+
+  const JsonValue doc = parse_json(exported_trace());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+
+  const JsonValue* outer = nullptr;
+  const JsonValue* inner = nullptr;
+  for (const JsonValue& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    // Chrome-trace complete events: all required keys present.
+    for (const char* key : {"name", "cat", "ph", "ts", "dur", "pid", "tid"}) {
+      ASSERT_NE(e.find(key), nullptr) << "missing key " << key;
+    }
+    EXPECT_EQ(e.find("ph")->str, "X");
+    EXPECT_EQ(e.find("cat")->str, "test");
+    if (e.find("name")->str == "trace_test.outer") outer = &e;
+    if (e.find("name")->str == "trace_test.inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Same thread, and the inner span nests inside the outer one.
+  EXPECT_EQ(outer->find("tid")->number, inner->find("tid")->number);
+  const double o_ts = outer->find("ts")->number;
+  const double o_end = o_ts + outer->find("dur")->number;
+  const double i_ts = inner->find("ts")->number;
+  const double i_end = i_ts + inner->find("dur")->number;
+  EXPECT_GE(i_ts, o_ts);
+  EXPECT_LE(i_end, o_end + 1e-9);
+}
+
+TEST(Trace, ThreadAttribution) {
+  telemetry::clear_trace();
+  telemetry::start_tracing();
+  {
+    TraceScope main_span("trace_test.main_thread");
+  }
+  std::thread t([] {
+    TraceScope worker_span("trace_test.worker_thread");
+  });
+  t.join();
+  telemetry::stop_tracing();
+
+  const JsonValue doc = parse_json(exported_trace());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  double main_tid = -1.0, worker_tid = -1.0;
+  for (const JsonValue& e : events->array) {
+    if (e.find("name")->str == "trace_test.main_thread") {
+      main_tid = e.find("tid")->number;
+    }
+    if (e.find("name")->str == "trace_test.worker_thread") {
+      worker_tid = e.find("tid")->number;
+    }
+  }
+  ASSERT_GE(main_tid, 0.0);
+  ASSERT_GE(worker_tid, 0.0);
+  EXPECT_NE(main_tid, worker_tid);
+}
+
+TEST(Trace, ClearDiscardsEvents) {
+  telemetry::clear_trace();
+  telemetry::start_tracing();
+  {
+    TraceScope span("trace_test.cleared");
+  }
+  telemetry::stop_tracing();
+  EXPECT_GT(telemetry::trace_event_count(), 0u);
+  telemetry::clear_trace();
+  EXPECT_EQ(telemetry::trace_event_count(), 0u);
+  const JsonValue doc = parse_json(exported_trace());
+  EXPECT_TRUE(doc.find("traceEvents")->array.empty());
+}
+
+TEST(Trace, ManySpansFromPoolThreads) {
+  telemetry::clear_trace();
+  telemetry::start_tracing();
+  ThreadPool pool(4);
+  pool.parallel_for(64, [&](std::size_t) {
+    TraceScope span("trace_test.pool_span", "test");
+  });
+  telemetry::stop_tracing();
+  EXPECT_EQ(telemetry::trace_event_count(), 64u);
+  // Export must stay well-formed with events from many threads.
+  const JsonValue doc = parse_json(exported_trace());
+  EXPECT_EQ(doc.find("traceEvents")->array.size(), 64u);
+}
+
+}  // namespace
+}  // namespace fpgadbg

@@ -1,11 +1,16 @@
 // End-to-end tests of the fpgadbg command-line tool (via subprocess).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include "testutil/json_lite.h"
 
 #ifndef FPGADBG_CLI_PATH
 #error "FPGADBG_CLI_PATH must be defined by the build"
@@ -13,28 +18,65 @@
 
 namespace {
 
+using fpgadbg::testutil::JsonValue;
+using fpgadbg::testutil::parse_json;
+
 struct RunResult {
   int exit_code;
   std::string output;
 };
 
-RunResult run(const std::string& args) {
-  const std::string cmd = std::string(FPGADBG_CLI_PATH) + " " + args +
-                          " > /tmp/fpgadbg_cli_out.txt 2>&1; echo $? > "
-                          "/tmp/fpgadbg_cli_code.txt";
+// ctest runs each discovered TEST as its own process (possibly in
+// parallel), so capture files are keyed by pid.
+std::string tmp_path(const std::string& stem) {
+  return "/tmp/fpgadbg_cli_" + std::to_string(::getpid()) + "_" + stem;
+}
+
+RunResult run_env(const std::string& env, const std::string& args) {
+  const std::string out_path = tmp_path("out.txt");
+  const std::string code_path = tmp_path("code.txt");
+  const std::string cmd = (env.empty() ? "" : env + " ") +
+                          std::string(FPGADBG_CLI_PATH) + " " + args + " > " +
+                          out_path + " 2>&1; echo $? > " + code_path;
   std::system(cmd.c_str());
   RunResult result;
   {
-    std::ifstream in("/tmp/fpgadbg_cli_code.txt");
+    std::ifstream in(code_path);
     in >> result.exit_code;
   }
   {
-    std::ifstream in("/tmp/fpgadbg_cli_out.txt");
+    std::ifstream in(out_path);
     std::ostringstream os;
     os << in.rdbuf();
     result.output = os.str();
   }
   return result;
+}
+
+RunResult run(const std::string& args) { return run_env("", args); }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// A tiny sequential circuit: enough internal signals to instrument with
+/// --width 2, small enough that the full offline flow runs in milliseconds.
+std::string write_profile_blif(const std::string& stem) {
+  const std::string path = tmp_path(stem);
+  std::ofstream out(path);
+  out << ".model clitiny\n"
+         ".inputs a b c d\n"
+         ".outputs y\n"
+         ".latch n3 r 0\n"
+         ".names a b n1\n11 1\n"
+         ".names c d n2\n01 1\n"
+         ".names n1 n2 n3\n10 1\n"
+         ".names n3 r y\n11 1\n"
+         ".end\n";
+  return path;
 }
 
 TEST(Cli, NoArgsShowsUsage) {
@@ -104,6 +146,147 @@ TEST(Cli, BadFileFailsCleanly) {
 TEST(Cli, UnknownMapperRejected) {
   ASSERT_EQ(run("gen stereov /tmp/fpgadbg_cli_m.blif").exit_code, 0);
   EXPECT_EQ(run("map /tmp/fpgadbg_cli_m.blif --mapper bogus").exit_code, 2);
+}
+
+TEST(Cli, UsageMentionsProfileAndGlobalOptions) {
+  const auto r = run("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("profile"), std::string::npos);
+  EXPECT_NE(r.output.find("--trace"), std::string::npos);
+  EXPECT_NE(r.output.find("--metrics"), std::string::npos);
+  EXPECT_NE(r.output.find("--log-level"), std::string::npos);
+  EXPECT_NE(r.output.find("FPGADBG_LOG_LEVEL"), std::string::npos);
+}
+
+TEST(Cli, ProfileWritesTelemetryArtifacts) {
+  const std::string blif = write_profile_blif("prof.blif");
+  const std::string trace_path = tmp_path("prof_trace.json");
+  const std::string metrics_path = tmp_path("prof_metrics.json");
+  const auto r = run("profile " + blif +
+                     " --width 2 --turns 3 --cycles 16 --trace=" + trace_path +
+                     " --metrics " + metrics_path);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // The human-readable table names the stages and key counters.
+  EXPECT_NE(r.output.find("offline stage times"), std::string::npos);
+  EXPECT_NE(r.output.find("pnr.route.iterations"), std::string::npos);
+  EXPECT_NE(r.output.find("scg.bits_reevaluated"), std::string::npos);
+
+  // The Chrome-trace timeline parses and holds the expected stage spans.
+  const JsonValue trace = parse_json(read_file(trace_path));
+  const JsonValue* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  auto find_span = [&](const std::string& name) -> const JsonValue* {
+    for (const JsonValue& e : events->array) {
+      if (e.find("name") != nullptr && e.find("name")->str == name) return &e;
+    }
+    return nullptr;
+  };
+  const JsonValue* offline = find_span("debug.offline");
+  ASSERT_NE(offline, nullptr);
+  for (const char* stage : {"offline.instrument", "offline.map", "offline.pnr",
+                            "offline.bitstream"}) {
+    const JsonValue* span = find_span(stage);
+    ASSERT_NE(span, nullptr) << "missing stage span " << stage;
+    EXPECT_EQ(span->find("ph")->str, "X");
+    // Stage spans nest inside the offline umbrella span.
+    const double o_ts = offline->find("ts")->number;
+    const double o_end = o_ts + offline->find("dur")->number;
+    const double s_ts = span->find("ts")->number;
+    EXPECT_GE(s_ts, o_ts) << stage;
+    EXPECT_LE(s_ts + span->find("dur")->number, o_end + 1.0) << stage;
+  }
+  // Per-turn online spans: SCG evaluation and the DPR charge.
+  ASSERT_NE(find_span("debug.turn"), nullptr);
+  ASSERT_NE(find_span("debug.scg"), nullptr);
+  ASSERT_NE(find_span("debug.dpr"), nullptr);
+
+  // The metrics registry dump parses and carries the paper-facing counters.
+  const JsonValue metrics = parse_json(read_file(metrics_path));
+  const JsonValue* counters = metrics.find("counters");
+  ASSERT_NE(counters, nullptr);
+  auto counter = [&](const std::string& name) {
+    const JsonValue* c = counters->find(name);
+    return c == nullptr ? -1.0 : c->number;
+  };
+  EXPECT_GE(counter("pnr.route.iterations"), 1.0);
+  EXPECT_GE(counter("scg.bits_reevaluated"), 1.0);
+  EXPECT_GE(counter("icap.frames_transferred"), 1.0);
+  // 3 profile turns + the session's initial observation.
+  EXPECT_GE(counter("debug.turns"), 4.0);
+  EXPECT_GE(counter("debug.cycles_emulated"), 3.0 * 16.0);
+  const JsonValue* hists = metrics.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  for (const char* h : {"offline.instrument_seconds", "offline.map_seconds",
+                        "offline.pnr_seconds", "offline.bitstream_seconds",
+                        "scg.eval_seconds", "debug.turn_seconds"}) {
+    const JsonValue* hist = hists->find(h);
+    ASSERT_NE(hist, nullptr) << "missing histogram " << h;
+    EXPECT_GE(hist->find("count")->number, 1.0) << h;
+  }
+}
+
+TEST(Cli, LogLevelFlagEnablesInfoLogging) {
+  const std::string blif = write_profile_blif("log.blif");
+  const std::string base = "profile " + blif + " --width 2 --turns 1"
+                           " --cycles 4";
+  // Default level is warn: no info lines.
+  const auto quiet = run(base);
+  ASSERT_EQ(quiet.exit_code, 0) << quiet.output;
+  EXPECT_EQ(quiet.output.find("[fpgadbg info ]"), std::string::npos);
+  // --log-level info (both spellings) surfaces the stage progress lines.
+  const auto chatty = run(base + " --log-level info");
+  ASSERT_EQ(chatty.exit_code, 0);
+  EXPECT_NE(chatty.output.find("[fpgadbg info ]"), std::string::npos);
+  EXPECT_NE(chatty.output.find("offline: instrumented"), std::string::npos);
+  const auto eq_form = run("--log-level=info " + base);
+  ASSERT_EQ(eq_form.exit_code, 0);
+  EXPECT_NE(eq_form.output.find("[fpgadbg info ]"), std::string::npos);
+}
+
+TEST(Cli, LogLevelEnvVarHonored) {
+  const std::string blif = write_profile_blif("env.blif");
+  const std::string base = "profile " + blif + " --width 2 --turns 1"
+                           " --cycles 4";
+  const auto via_env = run_env("FPGADBG_LOG_LEVEL=info", base);
+  ASSERT_EQ(via_env.exit_code, 0) << via_env.output;
+  EXPECT_NE(via_env.output.find("[fpgadbg info ]"), std::string::npos);
+  // The explicit flag outranks the environment.
+  const auto flag_wins =
+      run_env("FPGADBG_LOG_LEVEL=info", base + " --log-level error");
+  ASSERT_EQ(flag_wins.exit_code, 0);
+  EXPECT_EQ(flag_wins.output.find("[fpgadbg info ]"), std::string::npos);
+  // Invalid env values warn and fall back instead of failing the run.
+  const auto invalid = run_env("FPGADBG_LOG_LEVEL=bogus", "gen list");
+  EXPECT_EQ(invalid.exit_code, 0);
+  EXPECT_NE(invalid.output.find("ignoring invalid FPGADBG_LOG_LEVEL"),
+            std::string::npos);
+}
+
+TEST(Cli, JsonLogFormat) {
+  const std::string blif = write_profile_blif("json.blif");
+  const auto r = run("--log-format json --log-level info profile " + blif +
+                     " --width 2 --turns 1 --cycles 4");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // Every log record is one JSON object per line; find and parse one.
+  std::istringstream lines(r.output);
+  std::string line;
+  bool found = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("{\"ts\":", 0) != 0) continue;
+    const JsonValue record = parse_json(line);
+    ASSERT_NE(record.find("level"), nullptr);
+    ASSERT_NE(record.find("tid"), nullptr);
+    ASSERT_NE(record.find("msg"), nullptr);
+    if (record.find("level")->str == "info") found = true;
+  }
+  EXPECT_TRUE(found) << r.output;
+}
+
+TEST(Cli, InvalidGlobalFlagValuesRejected) {
+  EXPECT_EQ(run("--log-level bogus gen list").exit_code, 2);
+  EXPECT_EQ(run("--log-format xml gen list").exit_code, 2);
+  EXPECT_EQ(run("gen list --trace").exit_code, 2);  // missing value
 }
 
 }  // namespace
