@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure (if needed), build, and run every tier1-labeled
+# test.  This is the check CI and pre-commit hooks run; it must stay green.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$(nproc)"

@@ -39,6 +39,12 @@ class PConf {
   /// A constant BDD is folded into the constant plane immediately.
   void set_function(std::size_t bit, logic::BddRef f);
 
+  /// The constant bit plane (every non-parameterized bit).  The mutable
+  /// overload exists for artifact deserialization, which restores the plane
+  /// wholesale instead of replaying set_constant bit by bit.
+  const ConfigMemory& constants() const { return constant_; }
+  ConfigMemory& constants() { return constant_; }
+
   std::size_t num_parameterized_bits() const { return functions_.size(); }
   const std::unordered_map<std::size_t, logic::BddRef>& functions() const {
     return functions_;

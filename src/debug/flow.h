@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "bitstream/builder.h"
 #include "debug/signal_param.h"
@@ -24,6 +25,9 @@ struct OfflineOptions {
   /// Skip place & route and build no bitstream (mapping-only experiments
   /// such as Tables I/II don't need the physical stages).
   bool run_pnr = true;
+  /// Artifact-cache directory for the staged pipeline (see flow/pipeline.h);
+  /// empty disables caching and every stage executes.
+  std::string cache_dir;
 };
 
 struct OfflineResult {

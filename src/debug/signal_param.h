@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "support/status.h"
 
 namespace fpgadbg::debug {
 
@@ -73,6 +74,11 @@ struct Instrumented {
   std::unordered_map<std::string, bool> select_signals(
       const std::vector<std::string>& signals) const;
 
+  /// Result form of select_signals: an unobservable name or an unsatisfiable
+  /// lane assignment comes back as kInvalidArgument instead of throwing.
+  support::Result<std::unordered_map<std::string, bool>> try_select_signals(
+      const std::vector<std::string>& signals) const;
+
   /// The signal each lane shows under a parameter assignment.
   std::vector<std::string> observed_under(
       const std::unordered_map<std::string, bool>& params) const;
@@ -83,5 +89,10 @@ struct Instrumented {
 /// params() are exactly the inserted select lines.
 Instrumented parameterize_signals(const netlist::Netlist& nl,
                                   const InstrumentOptions& options = {});
+
+/// Result form of parameterize_signals: invalid options or an
+/// uninstrumentable netlist come back as a Status instead of throwing.
+support::Result<Instrumented> try_parameterize_signals(
+    const netlist::Netlist& nl, const InstrumentOptions& options = {});
 
 }  // namespace fpgadbg::debug

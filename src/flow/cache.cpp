@@ -1,0 +1,128 @@
+#include "flow/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "flow/serialize.h"
+#include "support/telemetry.h"
+
+namespace fpgadbg::flow {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using support::Result;
+using support::Status;
+
+constexpr char kMagic[8] = {'F', 'D', 'B', 'G', 'A', 'R', 'T', '1'};
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(std::string cache_dir)
+    : dir_(std::move(cache_dir)) {}
+
+std::string ArtifactCache::entry_path(const std::string& stage,
+                                      std::uint64_t key) const {
+  return dir_ + "/" + stage + "/" + hex64(key);
+}
+
+Result<std::optional<std::string>> ArtifactCache::load(
+    const std::string& stage, std::uint64_t key) const {
+  if (!enabled()) return std::optional<std::string>();
+
+  auto& m = telemetry::metrics();
+  const std::string path = entry_path(stage, key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    m.counter("flow.cache.misses").add();
+    return std::optional<std::string>();
+  }
+
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::io_error("cannot read cache entry " + path);
+  }
+  const std::string file = contents.str();
+
+  // Header: magic, stage, key, payload hash, payload.
+  if (file.size() < sizeof kMagic ||
+      file.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+    return Status::corrupt_artifact("cache entry " + path +
+                                    ": bad magic (not an artifact file)");
+  }
+  ByteReader r(std::string_view(file).substr(sizeof kMagic));
+  const std::string stored_stage = r.str();
+  const std::uint64_t stored_key = r.u64();
+  const std::uint64_t stored_hash = r.u64();
+  std::string payload = r.str();
+  if (!r.ok() || stored_stage != stage || stored_key != key) {
+    return Status::corrupt_artifact("cache entry " + path +
+                                    ": truncated or mislabeled header");
+  }
+  if (fnv1a(payload) != stored_hash) {
+    return Status::corrupt_artifact(
+        "cache entry " + path +
+        ": payload hash mismatch (file is damaged); delete it to recompute");
+  }
+
+  m.counter("flow.cache.hits").add();
+  m.counter("flow.cache.bytes_read").add(payload.size());
+  return std::optional<std::string>(std::move(payload));
+}
+
+Status ArtifactCache::store(const std::string& stage, std::uint64_t key,
+                            std::uint64_t content_hash,
+                            const std::string& bytes) const {
+  if (!enabled()) return Status();
+
+  const std::string path = entry_path(stage, key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) {
+    return Status::io_error("cannot create cache directory for " + path +
+                            ": " + ec.message());
+  }
+
+  ByteWriter w;
+  w.str(stage);
+  w.u64(key);
+  w.u64(content_hash);
+  w.str(bytes);
+
+  // Write-then-rename keeps concurrent readers away from partial files.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::io_error("cannot open " + tmp + " for writing");
+    out.write(kMagic, sizeof kMagic);
+    out.write(w.bytes().data(),
+              static_cast<std::streamsize>(w.bytes().size()));
+    if (!out.good()) {
+      return Status::io_error("short write to cache entry " + tmp);
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::io_error("cannot move cache entry into place at " + path);
+  }
+
+  auto& m = telemetry::metrics();
+  m.counter("flow.cache.stores").add();
+  m.counter("flow.cache.bytes_written").add(bytes.size());
+  return Status();
+}
+
+}  // namespace fpgadbg::flow

@@ -1,0 +1,53 @@
+// On-disk artifact cache for the staged compile pipeline.
+//
+// One file per entry at <cache-dir>/<stage>/<key-hex>, where the key is
+// hash_combine(stage-name-hash, input-hash, options-hash).  Every entry
+// stores the artifact's serialized bytes behind a small header carrying a
+// format magic, the stage name, the key and the payload's FNV-1a content
+// hash; load() re-hashes the payload and rejects mismatches as
+// StatusCode::kCorruptArtifact — a truncated or bit-flipped cache file is a
+// reportable error, never silently wrong pipeline output.
+//
+// A default-constructed (or empty-path) cache is disabled: every load
+// misses, every store is a no-op, so pipeline code needs no branches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "support/status.h"
+
+namespace fpgadbg::flow {
+
+class ArtifactCache {
+ public:
+  /// Disabled cache (all loads miss, stores do nothing).
+  ArtifactCache() = default;
+  /// Caches under `cache_dir` (created on first store); empty = disabled.
+  explicit ArtifactCache(std::string cache_dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Looks up (stage, key).  nullopt = miss (also when disabled); bytes =
+  /// hit; a Status means the entry exists but is corrupt or unreadable.
+  /// Counts flow.cache.hits / flow.cache.misses and flow.cache.bytes_read.
+  support::Result<std::optional<std::string>> load(const std::string& stage,
+                                                   std::uint64_t key) const;
+
+  /// Stores serialized artifact bytes whose FNV-1a hash is `content_hash`.
+  /// Writes via a temp file + rename so readers never see partial entries.
+  /// Counts flow.cache.stores and flow.cache.bytes_written.
+  support::Status store(const std::string& stage, std::uint64_t key,
+                        std::uint64_t content_hash,
+                        const std::string& bytes) const;
+
+  /// Path of the entry file (for tests and error messages).
+  std::string entry_path(const std::string& stage, std::uint64_t key) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace fpgadbg::flow

@@ -1,0 +1,21 @@
+// debug::run_offline — thin compatibility shim over flow::Pipeline.
+//
+// Lives in the flow library (not debug/) because the staged pipeline links
+// against the whole CAD stack; debug/ keeps only the declaration so existing
+// callers and their throwing contract are unchanged.
+#include "debug/flow.h"
+
+#include <utility>
+
+#include "flow/pipeline.h"
+
+namespace fpgadbg::debug {
+
+OfflineResult run_offline(const netlist::Netlist& user,
+                          const OfflineOptions& options) {
+  flow::Pipeline pipeline(options);
+  flow::PipelineResult result = pipeline.run(user).take_or_raise();
+  return std::move(result.offline);
+}
+
+}  // namespace fpgadbg::debug

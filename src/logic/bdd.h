@@ -82,6 +82,19 @@ class BddManager {
   /// Total nodes allocated in the manager (diagnostics).
   std::size_t size() const { return nodes_.size(); }
 
+  // --- raw node access (artifact serialization) ----------------------------
+  // Decision nodes occupy indices [2, size()); children always precede their
+  // parents, so replaying insert_node in index order on a fresh manager
+  // reproduces identical refs (make_node hash-conses and both managers apply
+  // the same reduction rules).
+  std::uint32_t node_var(BddRef f) const { return nodes_[f].var; }
+  BddRef node_low(BddRef f) const { return nodes_[f].low; }
+  BddRef node_high(BddRef f) const { return nodes_[f].high; }
+  /// Re-inserts a node during deserialization; returns the canonical ref.
+  BddRef insert_node(std::uint32_t var, BddRef low, BddRef high) {
+    return make_node(var, low, high);
+  }
+
  private:
   struct Node {
     std::uint32_t var;  // level; constants use var = 0xffffffff

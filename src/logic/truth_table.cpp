@@ -76,6 +76,16 @@ TruthTable TruthTable::from_binary(const std::string& bits) {
   return t;
 }
 
+TruthTable TruthTable::from_words(int num_vars,
+                                  std::vector<std::uint64_t> words) {
+  TruthTable t(num_vars);
+  FPGADBG_REQUIRE(words.size() == t.words_.size(),
+                  "from_words: word count does not match variable count");
+  t.words_ = std::move(words);
+  t.mask_tail();
+  return t;
+}
+
 bool TruthTable::bit(std::size_t index) const {
   FPGADBG_ASSERT(index < num_bits(), "TruthTable::bit out of range");
   return (words_[index / kWordBits] >> (index % kWordBits)) & 1ULL;

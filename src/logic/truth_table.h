@@ -27,6 +27,9 @@ class TruthTable {
   static TruthTable from_bits(std::uint64_t bits, int num_vars);
   /// Binary string, MSB first: "1000" is AND2.  Length must be a power of 2.
   static TruthTable from_binary(const std::string& bits);
+  /// Rebuild from raw words (the words() representation); any number of
+  /// variables.  Word count must match, tail bits are masked.
+  static TruthTable from_words(int num_vars, std::vector<std::uint64_t> words);
 
   int num_vars() const { return num_vars_; }
   std::size_t num_bits() const { return std::size_t{1} << num_vars_; }

@@ -14,6 +14,9 @@ namespace fpgadbg::netlist {
 
 namespace {
 
+using support::Result;
+using support::Status;
+
 struct RawNames {
   std::vector<std::string> signals;  // fanins..., output
   std::vector<std::pair<std::string, char>> cover;  // (input plane, output bit)
@@ -76,9 +79,11 @@ class LineReader {
   int line_ = 0;
 };
 
-}  // namespace
-
-Netlist read_blif(std::istream& in, const std::string& filename) {
+/// Result-returning parser core.  Malformed input comes back as
+/// kParseError with file/line; residual exceptions from the construction
+/// API (duplicate names via FPGADBG_REQUIRE, check() failures) are caught
+/// by the try_read_blif wrapper below.
+Result<Netlist> read_blif_impl(std::istream& in, const std::string& filename) {
   LineReader reader(in, filename);
 
   std::string model_name = "top";
@@ -106,7 +111,7 @@ Netlist read_blif(std::istream& in, const std::string& filename) {
         output_names.insert(output_names.end(), tok.begin() + 1, tok.end());
       } else if (cmd == ".latch") {
         if (tok.size() < 3) {
-          throw ParseError(filename, line_no, ".latch needs input and output");
+          return Status::parse_error(filename, line_no, ".latch needs input and output");
         }
         RawLatch l;
         l.input = tok[1];
@@ -123,7 +128,7 @@ Netlist read_blif(std::istream& in, const std::string& filename) {
         RawNames n;
         n.signals.assign(tok.begin() + 1, tok.end());
         if (n.signals.empty()) {
-          throw ParseError(filename, line_no, ".names needs an output");
+          return Status::parse_error(filename, line_no, ".names needs an output");
         }
         n.line = line_no;
         raw_names.push_back(std::move(n));
@@ -131,25 +136,24 @@ Netlist read_blif(std::istream& in, const std::string& filename) {
       } else if (cmd == ".end") {
         break;
       } else if (cmd == ".subckt" || cmd == ".gate") {
-        throw ParseError(filename, line_no,
-                         "hierarchical BLIF (.subckt/.gate) is not supported");
+        return Status::parse_error(filename, line_no, "hierarchical BLIF (.subckt/.gate) is not supported");
       } else {
         // Ignore unknown dot-commands (.clock, .default_input_arrival, ...).
       }
     } else {
       if (open_names == nullptr) {
-        throw ParseError(filename, line_no, "cover line outside .names");
+        return Status::parse_error(filename, line_no, "cover line outside .names");
       }
       std::vector<std::string> tok = split_ws(line);
       const std::size_t arity = open_names->signals.size() - 1;
       if (arity == 0) {
         if (tok.size() != 1 || tok[0].size() != 1) {
-          throw ParseError(filename, line_no, "bad constant cover line");
+          return Status::parse_error(filename, line_no, "bad constant cover line");
         }
         open_names->cover.emplace_back("", tok[0][0]);
       } else {
         if (tok.size() != 2 || tok[0].size() != arity || tok[1].size() != 1) {
-          throw ParseError(filename, line_no, "bad cover line");
+          return Status::parse_error(filename, line_no, "bad cover line");
         }
         open_names->cover.emplace_back(tok[0], tok[1][0]);
       }
@@ -161,7 +165,7 @@ Netlist read_blif(std::istream& in, const std::string& filename) {
   for (const std::string& name : input_names) nl.add_input(name);
   for (const RawLatch& l : raw_latches) {
     if (nl.find(l.output)) {
-      throw ParseError(filename, l.line, "latch output redefined: " + l.output);
+      return Status::parse_error(filename, l.line, "latch output redefined: " + l.output);
     }
     nl.add_latch(l.output, kNullNode, l.init);
   }
@@ -187,7 +191,7 @@ Netlist read_blif(std::istream& in, const std::string& filename) {
 
       const std::string& out_name = rn.signals.back();
       if (nl.find(out_name)) {
-        throw ParseError(filename, rn.line, "signal redefined: " + out_name);
+        return Status::parse_error(filename, rn.line, "signal redefined: " + out_name);
       }
       const int arity = static_cast<int>(rn.signals.size()) - 1;
 
@@ -200,8 +204,7 @@ Netlist read_blif(std::istream& in, const std::string& filename) {
       }
       for (const auto& [plane, out_bit] : rn.cover) {
         if ((out_bit == '0') != off_set) {
-          throw ParseError(filename, rn.line,
-                           "mixed ON/OFF-set covers are not supported");
+          return Status::parse_error(filename, rn.line, "mixed ON/OFF-set covers are not supported");
         }
         cover.cubes.push_back(logic::Cube{plane});
       }
@@ -231,13 +234,11 @@ Netlist read_blif(std::istream& in, const std::string& filename) {
             }
           }
           if (!nl.find(rn.signals[s]) && !defined_somewhere) {
-            throw ParseError(filename, rn.line,
-                             "undefined signal: " + rn.signals[s]);
+            return Status::parse_error(filename, rn.line, "undefined signal: " + rn.signals[s]);
           }
         }
       }
-      throw ParseError(filename, reader.line(),
-                       "combinational cycle in .names definitions");
+      return Status::parse_error(filename, reader.line(), "combinational cycle in .names definitions");
     }
   }
 
@@ -245,15 +246,14 @@ Netlist read_blif(std::istream& in, const std::string& filename) {
   for (std::size_t i = 0; i < raw_latches.size(); ++i) {
     auto driver = nl.find(raw_latches[i].input);
     if (!driver) {
-      throw ParseError(filename, raw_latches[i].line,
-                       "undefined latch input: " + raw_latches[i].input);
+      return Status::parse_error(filename, raw_latches[i].line, "undefined latch input: " + raw_latches[i].input);
     }
     nl.set_latch_input(i, *driver);
   }
   for (const std::string& name : output_names) {
     auto id = nl.find(name);
     if (!id) {
-      throw ParseError(filename, reader.line(), "undefined output: " + name);
+      return Status::parse_error(filename, reader.line(), "undefined output: " + name);
     }
     nl.add_output(*id, name);
   }
@@ -261,10 +261,32 @@ Netlist read_blif(std::istream& in, const std::string& filename) {
   return nl;
 }
 
-Netlist read_blif_file(const std::string& path) {
+}  // namespace
+
+Result<Netlist> try_read_blif(std::istream& in, const std::string& filename) {
+  try {
+    return read_blif_impl(in, filename);
+  } catch (...) {
+    // Construction-API exceptions (redefinitions caught by FPGADBG_REQUIRE,
+    // structural check() failures) are parse errors of this file too.
+    support::Status s = support::status_from_current_exception();
+    if (s.code() == support::StatusCode::kParseError) return s;
+    return support::Status::parse_error(filename, 0, s.message());
+  }
+}
+
+Result<Netlist> try_read_blif_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw Error("cannot open BLIF file: " + path);
-  return read_blif(in, path);
+  if (!in) return support::Status::not_found("cannot open BLIF file: " + path);
+  return try_read_blif(in, path);
+}
+
+Netlist read_blif(std::istream& in, const std::string& filename) {
+  return try_read_blif(in, filename).take_or_raise();
+}
+
+Netlist read_blif_file(const std::string& path) {
+  return try_read_blif_file(path).take_or_raise();
 }
 
 void write_blif(const Netlist& nl, std::ostream& out) {

@@ -9,10 +9,17 @@
 #include <string>
 
 #include "netlist/netlist.h"
+#include "support/status.h"
 
 namespace fpgadbg::netlist {
 
-/// Parse a BLIF stream; `filename` is used only for error messages.
+/// Parse a BLIF stream; `filename` is used only for error messages.  The
+/// try_ forms report malformed input as StatusCode::kParseError (with file
+/// and line) and a missing file as kNotFound instead of throwing; the plain
+/// forms keep the legacy throwing contract (ParseError / Error).
+support::Result<Netlist> try_read_blif(
+    std::istream& in, const std::string& filename = "<stream>");
+support::Result<Netlist> try_read_blif_file(const std::string& path);
 Netlist read_blif(std::istream& in, const std::string& filename = "<stream>");
 Netlist read_blif_file(const std::string& path);
 

@@ -104,4 +104,23 @@ Netlist apply_params(Netlist nl, const std::vector<std::string>& params) {
   return out;
 }
 
+support::Result<std::vector<std::string>> try_read_par(
+    std::istream& in, const std::string& filename) {
+  try {
+    return read_par(in, filename);
+  } catch (...) {
+    support::Status s = support::status_from_current_exception();
+    return support::Status::parse_error(filename, 0, s.message());
+  }
+}
+
+support::Result<Netlist> try_apply_params(
+    Netlist nl, const std::vector<std::string>& params) {
+  try {
+    return apply_params(std::move(nl), params);
+  } catch (const Error& e) {
+    return support::Status::invalid_argument(e.what());
+  }
+}
+
 }  // namespace fpgadbg::netlist

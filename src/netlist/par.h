@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "support/status.h"
 
 namespace fpgadbg::netlist {
 
@@ -28,5 +29,12 @@ std::vector<std::string> read_par(std::istream& in,
 /// Applies a parameter name list to a netlist read from plain BLIF: each
 /// named input is re-tagged as NodeKind::kParam.
 Netlist apply_params(Netlist nl, const std::vector<std::string>& params);
+
+/// Result forms of read_par / apply_params: unknown or non-input parameter
+/// names come back as kParseError / kInvalidArgument instead of throwing.
+support::Result<std::vector<std::string>> try_read_par(
+    std::istream& in, const std::string& filename = "<stream>");
+support::Result<Netlist> try_apply_params(
+    Netlist nl, const std::vector<std::string>& params);
 
 }  // namespace fpgadbg::netlist

@@ -72,4 +72,14 @@ CompiledDesign compile(map::MappedNetlist mn,
   return design;
 }
 
+support::Result<CompiledDesign> try_compile(
+    map::MappedNetlist mn, const std::vector<std::string>& trace_output_names,
+    const CompileOptions& options) {
+  try {
+    return compile(std::move(mn), trace_output_names, options);
+  } catch (...) {
+    return support::status_from_current_exception();
+  }
+}
+
 }  // namespace fpgadbg::pnr

@@ -10,6 +10,7 @@
 
 #include "arch/frames.h"
 #include "pnr/route.h"
+#include "support/status.h"
 
 namespace fpgadbg::pnr {
 
@@ -54,5 +55,11 @@ struct CompiledDesign {
 CompiledDesign compile(map::MappedNetlist mn,
                        const std::vector<std::string>& trace_output_names,
                        const CompileOptions& options = {});
+
+/// Result form of compile: an unroutable or otherwise failing physical flow
+/// comes back as a Status (kUnroutable for FlowError) instead of throwing.
+support::Result<CompiledDesign> try_compile(
+    map::MappedNetlist mn, const std::vector<std::string>& trace_output_names,
+    const CompileOptions& options = {});
 
 }  // namespace fpgadbg::pnr

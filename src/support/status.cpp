@@ -1,0 +1,120 @@
+#include "support/status.h"
+
+#include <sstream>
+
+namespace fpgadbg::support {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kParseError: return "parse-error";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kCorruptArtifact: return "corrupt-artifact";
+    case StatusCode::kUnroutable: return "unroutable";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+int status_code_exit_code(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 2;
+    case StatusCode::kNotFound: return 3;
+    case StatusCode::kParseError: return 4;
+    case StatusCode::kIoError: return 5;
+    case StatusCode::kCorruptArtifact: return 6;
+    case StatusCode::kUnroutable: return 7;
+    case StatusCode::kInternal: return 1;
+  }
+  return 1;
+}
+
+Status Status::error(StatusCode code, std::string message) {
+  FPGADBG_ASSERT(code != StatusCode::kOk, "error status needs an error code");
+  return Status(code, std::move(message));
+}
+
+Status Status::invalid_argument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+
+Status Status::not_found(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+
+Status Status::parse_error(std::string file, int line, std::string message) {
+  Status s(StatusCode::kParseError, std::move(message));
+  s.file_ = std::move(file);
+  s.line_ = line;
+  return s;
+}
+
+Status Status::io_error(std::string message) {
+  return Status(StatusCode::kIoError, std::move(message));
+}
+
+Status Status::corrupt_artifact(std::string message) {
+  return Status(StatusCode::kCorruptArtifact, std::move(message));
+}
+
+Status Status::unroutable(std::string message) {
+  return Status(StatusCode::kUnroutable, std::move(message));
+}
+
+Status Status::internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+Status& Status::with_stage(std::string stage, std::uint64_t artifact_hash) {
+  stage_ = std::move(stage);
+  artifact_hash_ = artifact_hash;
+  return *this;
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  os << "code=" << status_code_name(code_);
+  if (!stage_.empty()) {
+    os << " stage=" << stage_;
+    if (artifact_hash_ != 0) {
+      os << " hash=" << std::hex << artifact_hash_ << std::dec;
+    }
+  }
+  os << ": ";
+  if (!file_.empty()) os << file_ << ':' << line_ << ": ";
+  os << message_;
+  return os.str();
+}
+
+void Status::raise() const {
+  FPGADBG_ASSERT(!ok(), "raise() on OK status");
+  if (code_ == StatusCode::kParseError && !file_.empty()) {
+    throw ParseError(file_, line_, message_);
+  }
+  if (code_ == StatusCode::kUnroutable) {
+    throw FlowError(message_);
+  }
+  throw Error(message_);
+}
+
+Status status_from_current_exception() {
+  try {
+    throw;
+  } catch (const ParseError& e) {
+    return Status::parse_error(e.file(), e.line(), e.what());
+  } catch (const FlowError& e) {
+    return Status::unroutable(e.what());
+  } catch (const Error& e) {
+    return Status::internal(e.what());
+  } catch (const std::exception& e) {
+    return Status::internal(e.what());
+  } catch (...) {
+    return Status::internal("unknown exception");
+  }
+}
+
+}  // namespace fpgadbg::support

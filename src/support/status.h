@@ -1,0 +1,168 @@
+// Unified Status / Result<T> error layer.
+//
+// The CAD libraries historically reported failures by throwing
+// fpgadbg::Error; a long-running service cannot afford a parse error in one
+// request aborting the process, and exceptions carry no structured context
+// (which pipeline stage failed, over which artifact).  Status is a value
+// type carrying a code, a message, and optional stage/artifact context;
+// Result<T> is the "either a value or a Status" return type used by the
+// load-bearing entry points (BLIF parsing, mapping, place & route, PConf
+// construction, the flow::Pipeline).
+//
+// Interop with the legacy exception layer: Status::raise() rethrows the
+// matching exception type, so throwing wrappers around Result-returning
+// cores are one-liners and existing callers keep their behavior.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/error.h"
+
+namespace fpgadbg::support {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed options or API misuse
+  kNotFound,          ///< missing file / unknown name
+  kParseError,        ///< malformed input text (BLIF, .par, ...)
+  kIoError,           ///< filesystem read/write failure
+  kCorruptArtifact,   ///< cache entry fails its integrity check
+  kUnroutable,        ///< a physical stage cannot complete
+  kInternal,          ///< invariant break surfaced as a recoverable error
+};
+
+/// Stable lowercase identifier ("parse-error", "not-found", ...) used in
+/// structured CLI errors and logs.
+const char* status_code_name(StatusCode code);
+
+/// Process exit code for a failed command, one per StatusCode (usage errors
+/// keep the conventional 2; see fpgadbg_cli).
+int status_code_exit_code(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  static Status error(StatusCode code, std::string message);
+  static Status invalid_argument(std::string message);
+  static Status not_found(std::string message);
+  static Status parse_error(std::string file, int line, std::string message);
+  static Status io_error(std::string message);
+  static Status corrupt_artifact(std::string message);
+  static Status unroutable(std::string message);
+  static Status internal(std::string message);
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // --- structured context --------------------------------------------------
+  /// Attaches the pipeline stage (and the hash of the artifact being
+  /// produced) to a failure as it propagates outward.
+  Status& with_stage(std::string stage, std::uint64_t artifact_hash = 0);
+  const std::string& stage() const { return stage_; }
+  std::uint64_t artifact_hash() const { return artifact_hash_; }
+
+  /// Source position for parse errors ("" / 0 when absent).
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+  /// One-line rendering: `code=parse-error stage=instrument: file:3: msg`.
+  std::string to_string() const;
+
+  /// Throws the legacy exception matching this status (ParseError for
+  /// kParseError with a file, FlowError for kUnroutable, Error otherwise).
+  /// Must not be called on an OK status.
+  [[noreturn]] void raise() const;
+
+  bool operator==(const Status& o) const = default;
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  std::string stage_;
+  std::uint64_t artifact_hash_ = 0;
+  std::string file_;
+  int line_ = 0;
+};
+
+/// Value-or-Status.  Accessing value() on an error is a hard invariant
+/// violation (FPGADBG_ASSERT), not UB.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    FPGADBG_ASSERT(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    FPGADBG_ASSERT(ok(), "Result::value() on error: " + status_.message());
+    return *value_;
+  }
+  const T& value() const& {
+    FPGADBG_ASSERT(ok(), "Result::value() on error: " + status_.message());
+    return *value_;
+  }
+  T&& value() && {
+    FPGADBG_ASSERT(ok(), "Result::value() on error: " + status_.message());
+    return *std::move(value_);
+  }
+
+  /// value() for callers that keep the legacy throwing contract: raises the
+  /// carried status as an exception on error.
+  T take_or_raise() && {
+    if (!ok()) status_.raise();
+    return *std::move(value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
+};
+
+/// Converts the in-flight exception into a Status (ParseError ->
+/// kParseError with position, FlowError -> kUnroutable, other errors ->
+/// kInternal).  Call only from inside a catch block:
+///
+///   try { risky(); } catch (...) { return status_from_current_exception(); }
+Status status_from_current_exception();
+
+}  // namespace fpgadbg::support
+
+namespace fpgadbg {
+using support::Result;
+using support::Status;
+using support::StatusCode;
+}  // namespace fpgadbg
+
+/// Propagates a non-OK Status (the expression must yield a Status).
+#define FPGADBG_RETURN_IF_ERROR(expr)                    \
+  do {                                                   \
+    ::fpgadbg::support::Status fpgadbg_status_ = (expr); \
+    if (!fpgadbg_status_.ok()) return fpgadbg_status_;   \
+  } while (false)
+
+#define FPGADBG_STATUS_CONCAT_INNER(a, b) a##b
+#define FPGADBG_STATUS_CONCAT(a, b) FPGADBG_STATUS_CONCAT_INNER(a, b)
+
+/// `FPGADBG_ASSIGN_OR_RETURN(auto x, try_foo())` — unwraps a Result or
+/// propagates its Status to the caller.
+#define FPGADBG_ASSIGN_OR_RETURN(lhs, expr)                             \
+  FPGADBG_ASSIGN_OR_RETURN_IMPL(                                        \
+      FPGADBG_STATUS_CONCAT(fpgadbg_result_, __LINE__), lhs, expr)
+
+#define FPGADBG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()

@@ -21,12 +21,19 @@
 //       technology-map and write structural Verilog
 //
 // Global options (valid with every subcommand, --flag value or --flag=value):
+//   --cache-dir <dir>      artifact cache for the offline pipeline (flow,
+//                          profile): re-runs skip stages whose inputs and
+//                          options are unchanged
 //   --trace <file.json>    collect TraceScope spans and write a Chrome-trace
 //                          JSON timeline (chrome://tracing, Perfetto)
 //   --metrics <file.json>  write the metrics registry snapshot as JSON
 //   --log-level <level>    debug|info|warn|error|off (default: warn, or the
 //                          FPGADBG_LOG_LEVEL environment variable)
 //   --log-format <fmt>     text|json (JSON-lines structured logging)
+//
+// Errors are reported as one structured line on stderr
+// (`fpgadbg: code=<name> ...: <message>`) and a per-StatusCode exit code
+// (see support/status.h); usage errors keep the conventional exit code 2.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +45,7 @@
 
 #include "debug/session.h"
 #include "debug/signal_select.h"
+#include "flow/pipeline.h"
 #include "genbench/genbench.h"
 #include "map/mappers.h"
 #include "map/verilog.h"
@@ -47,12 +55,16 @@
 #include "support/error.h"
 #include "support/log.h"
 #include "support/rng.h"
+#include "support/status.h"
 #include "support/strings.h"
 #include "support/telemetry.h"
 
 using namespace fpgadbg;
 
 namespace {
+
+/// Exit code for command-line misuse (bad arguments, unknown command).
+constexpr int kUsageExit = 2;
 
 int usage() {
   std::fprintf(stderr,
@@ -69,6 +81,8 @@ int usage() {
                "  export <design.blif> <out.v> [--par f.par]"
                " [--mapper sm|abc|tcon]\n"
                "global options (any command):\n"
+               "  --cache-dir <dir>      artifact cache for the offline"
+               " pipeline (flow, profile)\n"
                "  --trace <file.json>    write Chrome-trace/Perfetto span"
                " timeline\n"
                "  --metrics <file.json>  write metrics registry snapshot as"
@@ -76,7 +90,7 @@ int usage() {
                "  --log-level <level>    debug|info|warn|error|off (default"
                " warn; FPGADBG_LOG_LEVEL env var also honored)\n"
                "  --log-format <fmt>     text|json (JSON-lines logging)\n");
-  return 2;
+  return kUsageExit;
 }
 
 struct Args {
@@ -88,6 +102,7 @@ struct Args {
     return std::nullopt;
   }
   std::vector<std::string> raw;
+  std::string cache_dir;  ///< global --cache-dir, empty = caching disabled
 };
 
 Args parse(const std::vector<std::string>& tokens, std::size_t skip) {
@@ -109,16 +124,49 @@ std::size_t to_count(const std::string& s, const char* what) {
   return parse_size(s, what);
 }
 
-int cmd_stats(const Args& args) {
+/// Loads a netlist and (optionally) specializes it with a --par file.
+support::Result<netlist::Netlist> load_design(const Args& args) {
+  FPGADBG_ASSIGN_OR_RETURN(netlist::Netlist nl,
+                           netlist::try_read_blif_file(args.positional[0]));
+  if (auto par = args.option("--par")) {
+    std::ifstream in(*par);
+    if (!in) {
+      return support::Status::not_found("cannot open .par file: " + *par);
+    }
+    FPGADBG_ASSIGN_OR_RETURN(std::vector<std::string> assignment,
+                             netlist::try_read_par(in, *par));
+    FPGADBG_ASSIGN_OR_RETURN(
+        nl, netlist::try_apply_params(std::move(nl), assignment));
+  }
+  return nl;
+}
+
+/// Runs one of the named mappers with its canonical option preset.
+support::Result<map::MapResult> run_mapper(const netlist::Netlist& nl,
+                                           const std::string& mapper, int k) {
+  try {
+    if (mapper == "sm") return map::simple_map(nl, k);
+    if (mapper == "abc") return map::abc_map(nl, k);
+    if (mapper == "tcon") return map::tcon_map(nl, k);
+  } catch (...) {
+    return support::status_from_current_exception();
+  }
+  return support::Status::invalid_argument("unknown mapper: " + mapper +
+                                           " (want sm|abc|tcon)");
+}
+
+support::Result<int> cmd_stats(const Args& args) {
   if (args.positional.empty()) return usage();
-  const auto nl = netlist::read_blif_file(args.positional[0]);
+  FPGADBG_ASSIGN_OR_RETURN(const netlist::Netlist nl,
+                           netlist::try_read_blif_file(args.positional[0]));
   std::cout << netlist::compute_stats(nl) << '\n';
   return 0;
 }
 
-int cmd_instrument(const Args& args) {
+support::Result<int> cmd_instrument(const Args& args) {
   if (args.positional.size() < 3) return usage();
-  auto nl = netlist::read_blif_file(args.positional[0]);
+  FPGADBG_ASSIGN_OR_RETURN(netlist::Netlist nl,
+                           netlist::try_read_blif_file(args.positional[0]));
 
   debug::InstrumentOptions options;
   if (auto w = args.option("--width")) {
@@ -140,7 +188,8 @@ int cmd_instrument(const Args& args) {
                 selection.signals.size(), selection.coverage * 100.0);
   }
 
-  const auto inst = debug::parameterize_signals(nl, options);
+  FPGADBG_ASSIGN_OR_RETURN(const debug::Instrumented inst,
+                           debug::try_parameterize_signals(nl, options));
   netlist::write_blif_file(inst.netlist, args.positional[1]);
   netlist::write_par_file(inst.netlist, args.positional[2]);
   std::printf("instrumented: %zu observable signals, %zu lanes, %zu "
@@ -152,29 +201,15 @@ int cmd_instrument(const Args& args) {
   return 0;
 }
 
-int cmd_map(const Args& args) {
+support::Result<int> cmd_map(const Args& args) {
   if (args.positional.empty()) return usage();
-  auto nl = netlist::read_blif_file(args.positional[0]);
-  if (auto par = args.option("--par")) {
-    std::ifstream in(*par);
-    if (!in) throw Error("cannot open .par file: " + *par);
-    nl = netlist::apply_params(std::move(nl), netlist::read_par(in, *par));
-  }
+  FPGADBG_ASSIGN_OR_RETURN(const netlist::Netlist nl, load_design(args));
   int k = 6;
   if (auto kk = args.option("-k")) k = static_cast<int>(to_count(*kk, "-k"));
 
   const std::string mapper = args.option("--mapper").value_or("tcon");
-  map::MapResult result;
-  if (mapper == "sm") {
-    result = map::simple_map(nl, k);
-  } else if (mapper == "abc") {
-    result = map::abc_map(nl, k);
-  } else if (mapper == "tcon") {
-    result = map::tcon_map(nl, k);
-  } else {
-    std::fprintf(stderr, "unknown mapper: %s\n", mapper.c_str());
-    return 2;
-  }
+  FPGADBG_ASSIGN_OR_RETURN(const map::MapResult result,
+                           run_mapper(nl, mapper, k));
   std::printf("%s: %zu LUTs + %zu TLUTs + %zu TCONs (LUT area %zu), depth "
               "%d, %.2fs\n",
               result.stats.mapper.c_str(), result.stats.num_luts,
@@ -184,14 +219,31 @@ int cmd_map(const Args& args) {
   return 0;
 }
 
-int cmd_flow(const Args& args) {
+/// Shared offline-stage driver for flow/profile: runs the staged pipeline
+/// (honoring --cache-dir) and prints a stage/cache summary.
+support::Result<debug::OfflineResult> run_pipeline(
+    const netlist::Netlist& nl, const debug::OfflineOptions& options) {
+  flow::Pipeline pipeline(options);
+  FPGADBG_ASSIGN_OR_RETURN(flow::PipelineResult result, pipeline.run(nl));
+  if (!options.cache_dir.empty()) {
+    std::printf("pipeline: %zu stages executed, %zu from cache (%s)\n",
+                result.stages_executed, result.stages_from_cache,
+                options.cache_dir.c_str());
+  }
+  return std::move(result.offline);
+}
+
+support::Result<int> cmd_flow(const Args& args) {
   if (args.positional.empty()) return usage();
-  const auto nl = netlist::read_blif_file(args.positional[0]);
+  FPGADBG_ASSIGN_OR_RETURN(const netlist::Netlist nl,
+                           netlist::try_read_blif_file(args.positional[0]));
   debug::OfflineOptions options;
+  options.cache_dir = args.cache_dir;
   if (auto w = args.option("--width")) {
     options.instrument.trace_width = to_count(*w, "--width");
   }
-  const auto offline = debug::run_offline(nl, options);
+  FPGADBG_ASSIGN_OR_RETURN(const debug::OfflineResult offline,
+                           run_pipeline(nl, options));
   std::printf("offline stage: instrument %.2fs, map %.2fs, P&R %.2fs, "
               "bitstream %.2fs\n",
               offline.instrument_seconds, offline.map_seconds,
@@ -217,10 +269,12 @@ int cmd_flow(const Args& args) {
   return 0;
 }
 
-int cmd_profile(const Args& args) {
+support::Result<int> cmd_profile(const Args& args) {
   if (args.positional.empty()) return usage();
-  const auto nl = netlist::read_blif_file(args.positional[0]);
+  FPGADBG_ASSIGN_OR_RETURN(const netlist::Netlist nl,
+                           netlist::try_read_blif_file(args.positional[0]));
   debug::OfflineOptions options;
+  options.cache_dir = args.cache_dir;
   if (auto w = args.option("--width")) {
     options.instrument.trace_width = to_count(*w, "--width");
   }
@@ -229,7 +283,8 @@ int cmd_profile(const Args& args) {
   std::size_t cycles = 256;
   if (auto c = args.option("--cycles")) cycles = to_count(*c, "--cycles");
 
-  const auto offline = debug::run_offline(nl, options);
+  FPGADBG_ASSIGN_OR_RETURN(const debug::OfflineResult offline,
+                           run_pipeline(nl, options));
   debug::DebugSession session(offline);
 
   // Exercise the online stage: rotate the observed signal through the lane-0
@@ -280,6 +335,9 @@ int cmd_profile(const Args& args) {
   row_h("pnr.route.iteration_seconds");
 
   std::printf("counters:\n");
+  row_c("flow.stage.executions");
+  row_c("flow.cache.hits");
+  row_c("flow.cache.misses");
   row_c("map.cuts_enumerated");
   row_c("map.cells.lut");
   row_c("map.cells.tlut");
@@ -296,33 +354,19 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
-int cmd_export(const Args& args) {
+support::Result<int> cmd_export(const Args& args) {
   if (args.positional.size() < 2) return usage();
-  auto nl = netlist::read_blif_file(args.positional[0]);
-  if (auto par = args.option("--par")) {
-    std::ifstream in(*par);
-    if (!in) throw Error("cannot open .par file: " + *par);
-    nl = netlist::apply_params(std::move(nl), netlist::read_par(in, *par));
-  }
+  FPGADBG_ASSIGN_OR_RETURN(const netlist::Netlist nl, load_design(args));
   const std::string mapper = args.option("--mapper").value_or("tcon");
-  map::MapResult result;
-  if (mapper == "sm") {
-    result = map::simple_map(nl);
-  } else if (mapper == "abc") {
-    result = map::abc_map(nl);
-  } else if (mapper == "tcon") {
-    result = map::tcon_map(nl);
-  } else {
-    std::fprintf(stderr, "unknown mapper: %s\n", mapper.c_str());
-    return 2;
-  }
+  FPGADBG_ASSIGN_OR_RETURN(const map::MapResult result,
+                           run_mapper(nl, mapper, 6));
   map::write_verilog_file(result.netlist, args.positional[1]);
   std::printf("wrote %s (%zu cells)\n", args.positional[1].c_str(),
               result.netlist.num_cells());
   return 0;
 }
 
-int cmd_gen(const Args& args) {
+support::Result<int> cmd_gen(const Args& args) {
   if (args.positional.empty()) return usage();
   if (args.positional[0] == "list") {
     for (const auto& spec : genbench::paper_benchmarks()) {
@@ -332,14 +376,18 @@ int cmd_gen(const Args& args) {
     }
     return 0;
   }
-  const auto spec = genbench::paper_benchmark(args.positional[0]);
-  const auto nl = genbench::generate(spec);
-  if (args.positional.size() >= 2) {
-    netlist::write_blif_file(nl, args.positional[1]);
-    std::printf("wrote %s (%zu gates)\n", args.positional[1].c_str(),
-                nl.num_logic_nodes());
-  } else {
-    std::cout << netlist::compute_stats(nl) << '\n';
+  try {
+    const auto spec = genbench::paper_benchmark(args.positional[0]);
+    const auto nl = genbench::generate(spec);
+    if (args.positional.size() >= 2) {
+      netlist::write_blif_file(nl, args.positional[1]);
+      std::printf("wrote %s (%zu gates)\n", args.positional[1].c_str(),
+                  nl.num_logic_nodes());
+    } else {
+      std::cout << netlist::compute_stats(nl) << '\n';
+    }
+  } catch (...) {
+    return support::status_from_current_exception();
   }
   return 0;
 }
@@ -372,27 +420,29 @@ int main(int argc, char** argv) {
   }
 
   // Peel global options off the token stream; the rest is command + args.
-  std::string trace_path, metrics_path;
+  std::string trace_path, metrics_path, cache_dir;
   std::vector<std::string> rest;
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const std::string t = tokens[i];
     if (t == "--trace" || t == "--metrics" || t == "--log-level" ||
-        t == "--log-format") {
+        t == "--log-format" || t == "--cache-dir") {
       if (i + 1 >= tokens.size()) {
         std::fprintf(stderr, "fpgadbg: %s requires a value\n", t.c_str());
-        return 2;
+        return kUsageExit;
       }
       const std::string value = tokens[++i];
       if (t == "--trace") {
         trace_path = value;
       } else if (t == "--metrics") {
         metrics_path = value;
+      } else if (t == "--cache-dir") {
+        cache_dir = value;
       } else if (t == "--log-level") {
         const auto parsed = parse_log_level(value);
         if (!parsed) {
           std::fprintf(stderr, "fpgadbg: invalid --log-level '%s' (want "
                        "debug|info|warn|error|off)\n", value.c_str());
-          return 2;
+          return kUsageExit;
         }
         level = *parsed;
       } else {
@@ -403,7 +453,7 @@ int main(int argc, char** argv) {
         } else {
           std::fprintf(stderr, "fpgadbg: invalid --log-format '%s' (want "
                        "text|json)\n", value.c_str());
-          return 2;
+          return kUsageExit;
         }
       }
       continue;
@@ -416,29 +466,42 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) telemetry::start_tracing();
 
   const std::string command = rest[0];
-  const Args args = parse(rest, 1);
-  int code = 2;
+  Args args = parse(rest, 1);
+  args.cache_dir = cache_dir;
+
+  // Every subcommand reports failure as a Result; stray exceptions from
+  // deeper layers are converted to a Status here, so nothing escapes main.
+  support::Result<int> result = kUsageExit;
   try {
     if (command == "stats") {
-      code = cmd_stats(args);
+      result = cmd_stats(args);
     } else if (command == "instrument") {
-      code = cmd_instrument(args);
+      result = cmd_instrument(args);
     } else if (command == "map") {
-      code = cmd_map(args);
+      result = cmd_map(args);
     } else if (command == "flow") {
-      code = cmd_flow(args);
+      result = cmd_flow(args);
     } else if (command == "profile") {
-      code = cmd_profile(args);
+      result = cmd_profile(args);
     } else if (command == "gen") {
-      code = cmd_gen(args);
+      result = cmd_gen(args);
     } else if (command == "export") {
-      code = cmd_export(args);
+      result = cmd_export(args);
     } else {
-      code = usage();
+      result = usage();
     }
-  } catch (const Error& e) {
-    std::fprintf(stderr, "fpgadbg: %s\n", e.what());
-    code = 1;
+  } catch (...) {
+    result = support::status_from_current_exception();
+  }
+
+  int code;
+  if (result.ok()) {
+    code = result.value();
+  } else {
+    // One structured line: `fpgadbg: code=<name> [stage=...]: <message>`.
+    std::fprintf(stderr, "fpgadbg: %s\n",
+                 result.status().to_string().c_str());
+    code = support::status_code_exit_code(result.status().code());
   }
 
   // Telemetry artifacts are written even when the command failed: a partial

@@ -1,0 +1,229 @@
+// Staged-pipeline tests: cache hit/miss accounting, selective invalidation,
+// and the no-throw error contract of Pipeline::run.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "flow/artifacts.h"
+#include "flow/cache.h"
+#include "flow/pipeline.h"
+#include "genbench/genbench.h"
+#include "netlist/blif.h"
+#include "support/telemetry.h"
+
+namespace fpgadbg::flow {
+namespace {
+
+netlist::Netlist small_user(std::uint64_t seed) {
+  genbench::CircuitSpec spec{"pipe" + std::to_string(seed), 8, 6, 4, 36, 3, 5,
+                             seed};
+  return genbench::generate(spec);
+}
+
+debug::OfflineOptions small_options() {
+  debug::OfflineOptions options;
+  options.instrument.trace_width = 6;
+  return options;
+}
+
+/// Fresh per-test cache directory (removed on destruction).  ctest runs each
+/// TEST as its own process, so pid-keyed paths cannot collide.
+struct TempCacheDir {
+  explicit TempCacheDir(const std::string& stem)
+      : path("/tmp/fpgadbg_flow_" + std::to_string(::getpid()) + "_" + stem) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempCacheDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+std::uint64_t stage_executions() {
+  return telemetry::metrics().snapshot().counter("flow.stage.executions");
+}
+
+TEST(Pipeline, ColdRunExecutesAllStagesAndReports) {
+  TempCacheDir cache("cold");
+  auto options = small_options();
+  options.cache_dir = cache.path;
+  Pipeline pipeline(options);
+  auto result = pipeline.run(small_user(1));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().stages_executed, 6u);
+  EXPECT_EQ(result.value().stages_from_cache, 0u);
+  ASSERT_EQ(result.value().stages.size(), 6u);
+  const char* const expected[] = {"instrument", "tcon-map",    "pack",
+                                  "place",      "route",       "pconf-build"};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result.value().stages[i].name, expected[i]);
+    EXPECT_FALSE(result.value().stages[i].from_cache);
+    EXPECT_NE(result.value().stages[i].key, 0u);
+    EXPECT_GT(result.value().stages[i].artifact_bytes, 0u);
+  }
+}
+
+TEST(Pipeline, WarmRunExecutesZeroStages) {
+  TempCacheDir cache("warm");
+  auto options = small_options();
+  options.cache_dir = cache.path;
+  Pipeline pipeline(options);
+
+  auto cold = pipeline.run(small_user(2));
+  ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+  ASSERT_EQ(cold.value().stages_executed, 6u);
+
+  const std::uint64_t executions_before = stage_executions();
+  auto warm = pipeline.run(small_user(2));
+  ASSERT_TRUE(warm.ok()) << warm.status().to_string();
+  // The acceptance criterion: a warm re-run performs zero stage executions,
+  // both in the report and in the global telemetry counter.
+  EXPECT_EQ(warm.value().stages_executed, 0u);
+  EXPECT_EQ(warm.value().stages_from_cache, 6u);
+  EXPECT_EQ(stage_executions(), executions_before);
+
+  // Cached results are bit-identical to computed ones.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(warm.value().stages[i].key, cold.value().stages[i].key);
+    EXPECT_EQ(warm.value().stages[i].content_hash,
+              cold.value().stages[i].content_hash);
+  }
+  ASSERT_TRUE(warm.value().offline.pconf);
+  ASSERT_TRUE(cold.value().offline.pconf);
+  EXPECT_EQ(warm.value().offline.pconf->num_parameterized_bits(),
+            cold.value().offline.pconf->num_parameterized_bits());
+  EXPECT_EQ(warm.value().offline.compiled->placement.cluster_pos,
+            cold.value().offline.compiled->placement.cluster_pos);
+}
+
+TEST(Pipeline, PlaceOptionChangeRerunsOnlyDownstream) {
+  TempCacheDir cache("inval");
+  auto options = small_options();
+  options.cache_dir = cache.path;
+  {
+    auto cold = Pipeline(options).run(small_user(3));
+    ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+  }
+
+  // Changing only a place option must leave instrument/tcon-map/pack as
+  // cache hits and re-execute exactly place -> route -> pconf-build.
+  options.compile.place.seed += 1;
+  auto rerun = Pipeline(options).run(small_user(3));
+  ASSERT_TRUE(rerun.ok()) << rerun.status().to_string();
+  EXPECT_EQ(rerun.value().stages_from_cache, 3u);
+  EXPECT_EQ(rerun.value().stages_executed, 3u);
+  ASSERT_EQ(rerun.value().stages.size(), 6u);
+  EXPECT_TRUE(rerun.value().stages[0].from_cache);   // instrument
+  EXPECT_TRUE(rerun.value().stages[1].from_cache);   // tcon-map
+  EXPECT_TRUE(rerun.value().stages[2].from_cache);   // pack
+  EXPECT_FALSE(rerun.value().stages[3].from_cache);  // place
+  EXPECT_FALSE(rerun.value().stages[4].from_cache);  // route
+  EXPECT_FALSE(rerun.value().stages[5].from_cache);  // pconf-build
+}
+
+TEST(Pipeline, InputChangeInvalidatesEverything) {
+  TempCacheDir cache("input");
+  auto options = small_options();
+  options.cache_dir = cache.path;
+  Pipeline pipeline(options);
+  ASSERT_TRUE(pipeline.run(small_user(4)).ok());
+  auto other = pipeline.run(small_user(5));  // different circuit
+  ASSERT_TRUE(other.ok()) << other.status().to_string();
+  EXPECT_EQ(other.value().stages_executed, 6u);
+  EXPECT_EQ(other.value().stages_from_cache, 0u);
+}
+
+TEST(Pipeline, BadOptionsComeBackAsStatusNotThrow) {
+  auto options = small_options();
+  options.instrument.trace_width = 0;  // rejected inside the instrument stage
+  auto result = Pipeline(options).run(small_user(6));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().stage(), "instrument");
+  EXPECT_FALSE(result.status().message().empty());
+}
+
+TEST(Pipeline, MalformedBlifPropagatesAsStatus) {
+  // End-to-end error path without a single throw: parse failure surfaces as
+  // a Status from try_read_blif; a (hypothetical) caller simply cannot reach
+  // Pipeline::run without a netlist value.
+  std::istringstream bad(".model m\n.inputs a\n.outputs y\n.names a y\nzz\n");
+  auto parsed = netlist::try_read_blif(bad, "bad.blif");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), support::StatusCode::kParseError);
+  EXPECT_EQ(parsed.status().file(), "bad.blif");
+  EXPECT_GT(parsed.status().line(), 0);
+}
+
+TEST(Pipeline, CorruptCacheEntryIsReportedWithStage) {
+  TempCacheDir cache("corrupt");
+  auto options = small_options();
+  options.cache_dir = cache.path;
+  Pipeline pipeline(options);
+  ASSERT_TRUE(pipeline.run(small_user(7)).ok());
+
+  // Bit-flip every tcon-map entry; the warm run must fail integrity
+  // verification instead of deserializing garbage.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(cache.path + "/tcon-map")) {
+    std::fstream f(entry.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(24);
+    const int byte = f.get();
+    f.seekp(24);
+    f.put(static_cast<char>(byte ^ 0x5a));
+  }
+  auto warm = pipeline.run(small_user(7));
+  ASSERT_FALSE(warm.ok());
+  EXPECT_EQ(warm.status().code(), support::StatusCode::kCorruptArtifact);
+  EXPECT_EQ(warm.status().stage(), "tcon-map");
+}
+
+TEST(Pipeline, MappingOnlyFlowCachesTwoStages) {
+  TempCacheDir cache("maponly");
+  auto options = small_options();
+  options.cache_dir = cache.path;
+  options.run_pnr = false;
+  Pipeline pipeline(options);
+  auto cold = pipeline.run(small_user(8));
+  ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+  EXPECT_EQ(cold.value().stages_executed, 2u);
+  auto warm = pipeline.run(small_user(8));
+  ASSERT_TRUE(warm.ok()) << warm.status().to_string();
+  EXPECT_EQ(warm.value().stages_executed, 0u);
+  EXPECT_EQ(warm.value().stages_from_cache, 2u);
+  EXPECT_FALSE(warm.value().offline.compiled);
+}
+
+TEST(ArtifactCache, DisabledCacheAlwaysMisses) {
+  ArtifactCache cache;
+  EXPECT_FALSE(cache.enabled());
+  auto load = cache.load("instrument", 42);
+  ASSERT_TRUE(load.ok());
+  EXPECT_FALSE(load.value().has_value());
+  EXPECT_TRUE(cache.store("instrument", 42, 0, "bytes").ok());
+  EXPECT_FALSE(cache.load("instrument", 42).value().has_value());
+}
+
+TEST(ArtifactCache, StoreThenLoadRoundTrips) {
+  TempCacheDir dir("cachedir");
+  ArtifactCache cache(dir.path);
+  const std::string bytes = "artifact payload";
+  ASSERT_TRUE(cache.store("place", 7, fnv1a(bytes), bytes).ok());
+  auto load = cache.load("place", 7);
+  ASSERT_TRUE(load.ok()) << load.status().to_string();
+  ASSERT_TRUE(load.value().has_value());
+  EXPECT_EQ(*load.value(), bytes);
+  // A different key misses; a wrong-hash store is caught on load.
+  EXPECT_FALSE(cache.load("place", 8).value().has_value());
+  ASSERT_TRUE(cache.store("place", 9, 0xdeadbeef, bytes).ok());
+  auto corrupt = cache.load("place", 9);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), support::StatusCode::kCorruptArtifact);
+}
+
+}  // namespace
+}  // namespace fpgadbg::flow

@@ -1,0 +1,120 @@
+#include "support/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "support/error.h"
+
+namespace fpgadbg::support {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::invalid_argument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::io_error("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::corrupt_artifact("x").code(),
+            StatusCode::kCorruptArtifact);
+  EXPECT_EQ(Status::unroutable("x").code(), StatusCode::kUnroutable);
+  EXPECT_EQ(Status::internal("boom").message(), "boom");
+  const Status p = Status::parse_error("f.blif", 12, "bad token");
+  EXPECT_EQ(p.code(), StatusCode::kParseError);
+  EXPECT_EQ(p.file(), "f.blif");
+  EXPECT_EQ(p.line(), 12);
+}
+
+TEST(Status, ExitCodesAreDistinctAndStable) {
+  EXPECT_EQ(status_code_exit_code(StatusCode::kOk), 0);
+  EXPECT_EQ(status_code_exit_code(StatusCode::kInternal), 1);
+  EXPECT_EQ(status_code_exit_code(StatusCode::kInvalidArgument), 2);
+  EXPECT_EQ(status_code_exit_code(StatusCode::kNotFound), 3);
+  EXPECT_EQ(status_code_exit_code(StatusCode::kParseError), 4);
+  EXPECT_EQ(status_code_exit_code(StatusCode::kIoError), 5);
+  EXPECT_EQ(status_code_exit_code(StatusCode::kCorruptArtifact), 6);
+  EXPECT_EQ(status_code_exit_code(StatusCode::kUnroutable), 7);
+}
+
+TEST(Status, ToStringIsOneStructuredLine) {
+  Status s = Status::parse_error("d.blif", 3, "bad cover line");
+  s.with_stage("instrument", 0xabcd);
+  const std::string line = s.to_string();
+  EXPECT_NE(line.find("code=parse-error"), std::string::npos);
+  EXPECT_NE(line.find("stage=instrument"), std::string::npos);
+  EXPECT_NE(line.find("d.blif:3"), std::string::npos);
+  EXPECT_NE(line.find("bad cover line"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(Status, RaiseRethrowsMatchingLegacyException) {
+  EXPECT_THROW(Status::parse_error("f", 1, "m").raise(), ParseError);
+  EXPECT_THROW(Status::unroutable("m").raise(), FlowError);
+  EXPECT_THROW(Status::internal("m").raise(), Error);
+}
+
+TEST(Status, FromCurrentExceptionClassifies) {
+  const auto classify = [](auto thrower) {
+    try {
+      thrower();
+    } catch (...) {
+      return status_from_current_exception();
+    }
+    return Status();
+  };
+  const Status parse =
+      classify([] { throw ParseError("f.blif", 7, "bad"); });
+  EXPECT_EQ(parse.code(), StatusCode::kParseError);
+  EXPECT_EQ(parse.line(), 7);
+  EXPECT_EQ(classify([] { throw FlowError("unroutable"); }).code(),
+            StatusCode::kUnroutable);
+  EXPECT_EQ(classify([] { throw Error("boom"); }).code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(classify([] { throw std::runtime_error("x"); }).code(),
+            StatusCode::kInternal);
+}
+
+support::Result<int> half(int v) {
+  if (v % 2 != 0) return Status::invalid_argument("odd");
+  return v / 2;
+}
+
+support::Result<int> quarter(int v) {
+  FPGADBG_ASSIGN_OR_RETURN(const int h, half(v));
+  return half(h);
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  auto ok = quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  auto outer = quarter(7);  // fails in the first half()
+  ASSERT_FALSE(outer.ok());
+  EXPECT_EQ(outer.status().code(), StatusCode::kInvalidArgument);
+  auto inner = quarter(6);  // 6 -> 3, fails in the second half()
+  ASSERT_FALSE(inner.ok());
+}
+
+TEST(Result, TakeOrRaiseThrowsOnError) {
+  EXPECT_EQ(half(4).take_or_raise(), 2);
+  EXPECT_THROW(half(3).take_or_raise(), Error);
+}
+
+TEST(Result, MoveOnlyValuesWork) {
+  support::Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace fpgadbg::support

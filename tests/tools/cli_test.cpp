@@ -138,9 +138,55 @@ TEST(Cli, ExportWritesVerilog) {
 }
 
 TEST(Cli, BadFileFailsCleanly) {
+  // Missing input files map to the structured not-found error (exit 3).
   const auto r = run("stats /nonexistent.blif");
-  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.exit_code, 3);
   EXPECT_NE(r.output.find("fpgadbg:"), std::string::npos);
+  EXPECT_NE(r.output.find("code=not-found"), std::string::npos);
+}
+
+TEST(Cli, ParseErrorHasPositionAndExitCode) {
+  const std::string path = tmp_path("broken.blif");
+  {
+    std::ofstream out(path);
+    out << ".model broken\n.inputs a\n.outputs y\n.names a y\nnot a cover\n";
+  }
+  const auto r = run("stats " + path);
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.output.find("code=parse-error"), std::string::npos);
+  EXPECT_NE(r.output.find("broken.blif"), std::string::npos);
+}
+
+TEST(Cli, CorruptCacheEntryReported) {
+  const std::string blif = write_profile_blif("corrupt_in.blif");
+  const std::string cache = tmp_path("corrupt_cache");
+  std::system(("rm -rf " + cache).c_str());
+  ASSERT_EQ(run("flow " + blif + " --width 2 --cache-dir " + cache).exit_code,
+            0);
+  // Flip bytes inside every instrument-stage entry; the re-run must detect
+  // the integrity failure rather than deserialize garbage.
+  std::system(("for f in " + cache +
+               "/instrument/*; do printf 'XXXXXXXX' | dd of=$f bs=1 seek=16 "
+               "conv=notrunc 2>/dev/null; done")
+                  .c_str());
+  const auto r = run("flow " + blif + " --width 2 --cache-dir " + cache);
+  EXPECT_EQ(r.exit_code, 6);
+  EXPECT_NE(r.output.find("code=corrupt-artifact"), std::string::npos);
+  EXPECT_NE(r.output.find("stage=instrument"), std::string::npos);
+}
+
+TEST(Cli, CacheDirMakesRerunSkipStages) {
+  const std::string blif = write_profile_blif("cache_in.blif");
+  const std::string cache = tmp_path("warm_cache");
+  std::system(("rm -rf " + cache).c_str());
+  const auto cold = run("flow " + blif + " --width 2 --cache-dir " + cache);
+  ASSERT_EQ(cold.exit_code, 0);
+  EXPECT_NE(cold.output.find("6 stages executed, 0 from cache"),
+            std::string::npos);
+  const auto warm = run("flow " + blif + " --width 2 --cache-dir " + cache);
+  ASSERT_EQ(warm.exit_code, 0);
+  EXPECT_NE(warm.output.find("0 stages executed, 6 from cache"),
+            std::string::npos);
 }
 
 TEST(Cli, UnknownMapperRejected) {
