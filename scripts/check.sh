@@ -3,13 +3,24 @@
 # test.  This is the check CI and pre-commit hooks run; it must stay green.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
+#
+# Set FPGADBG_SANITIZE=thread (or address) to run the whole gate under a
+# sanitized build instead.  The sanitized tree lives in its own directory
+# (build-<sanitizer> unless one is given) so it never clobbers the regular
+# build, and the standalone *_tsan_smoke tests drop out automatically (the
+# full suite is already sanitized).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+SANITIZE="${FPGADBG_SANITIZE:-}"
+if [ -n "$SANITIZE" ]; then
+  BUILD_DIR="${1:-build-$SANITIZE}"
+else
+  BUILD_DIR="${1:-build}"
+fi
 
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
-  cmake -B "$BUILD_DIR" -S .
+  cmake -B "$BUILD_DIR" -S . -DFPGADBG_SANITIZE="$SANITIZE"
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$(nproc)"

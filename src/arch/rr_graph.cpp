@@ -46,7 +46,13 @@ RRGraph::RRGraph(const Device& device)
     }
   }
 
-  out_edges_.resize(nodes_.size());
+  // Collect edges in construction order, then pack them into CSR form:
+  // counting sort by source node, preserving insertion order within a node.
+  std::vector<RREdge> raw;
+  raw.reserve(nwires * 10);
+  const auto add_edge = [&](RRNodeId from, RRNodeId to) {
+    raw.push_back(RREdge{from, to});
+  };
 
   for (int y = 0; y < height_; ++y) {
     for (int x = 0; x < width_; ++x) {
@@ -81,11 +87,15 @@ RRGraph::RRGraph(const Device& device)
       }
     }
   }
-}
 
-void RRGraph::add_edge(RRNodeId from, RRNodeId to) {
-  edges_.push_back(RREdge{from, to});
-  out_edges_[from].push_back(static_cast<RREdgeId>(edges_.size() - 1));
+  edge_offsets_.assign(nodes_.size() + 1, 0);
+  for (const RREdge& e : raw) ++edge_offsets_[e.from + 1];
+  for (std::size_t n = 1; n <= nodes_.size(); ++n) {
+    edge_offsets_[n] += edge_offsets_[n - 1];
+  }
+  edges_.resize(raw.size());
+  std::vector<RREdgeId> cursor(edge_offsets_.begin(), edge_offsets_.end() - 1);
+  for (const RREdge& e : raw) edges_[cursor[e.from]++] = e;
 }
 
 RRNodeId RRGraph::opin_at(int x, int y) const {

@@ -39,6 +39,38 @@ struct RREdge {
   RRNodeId to;
 };
 
+/// Contiguous run of edge ids [first, first + count).  The adjacency is
+/// stored in CSR form, so a node's outgoing edges are consecutive ids and
+/// iterating a span walks the edge array linearly (cache-friendly for the
+/// router's wavefront expansion).
+class RREdgeSpan {
+ public:
+  class iterator {
+   public:
+    explicit iterator(RREdgeId e) : e_(e) {}
+    RREdgeId operator*() const { return e_; }
+    iterator& operator++() {
+      ++e_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return e_ != o.e_; }
+    bool operator==(const iterator& o) const { return e_ == o.e_; }
+
+   private:
+    RREdgeId e_;
+  };
+
+  RREdgeSpan(RREdgeId first, RREdgeId last) : first_(first), last_(last) {}
+  iterator begin() const { return iterator(first_); }
+  iterator end() const { return iterator(last_); }
+  std::size_t size() const { return last_ - first_; }
+  bool empty() const { return first_ == last_; }
+
+ private:
+  RREdgeId first_;
+  RREdgeId last_;
+};
+
 class RRGraph {
  public:
   explicit RRGraph(const Device& device);
@@ -50,9 +82,10 @@ class RRGraph {
   const RRNode& node(RRNodeId id) const { return nodes_[id]; }
   const RREdge& edge(RREdgeId id) const { return edges_[id]; }
 
-  /// Outgoing edge ids of a node.
-  const std::vector<RREdgeId>& out_edges(RRNodeId id) const {
-    return out_edges_[id];
+  /// Outgoing edge ids of a node: a contiguous CSR span, so the ids are
+  /// consecutive and edge(e).to reads walk memory linearly.
+  RREdgeSpan out_edges(RRNodeId id) const {
+    return RREdgeSpan(edge_offsets_[id], edge_offsets_[id + 1]);
   }
 
   RRNodeId opin_at(int x, int y) const;
@@ -61,12 +94,13 @@ class RRGraph {
   RRNodeId chany_at(int x, int y, int track) const;
 
  private:
-  void add_edge(RRNodeId from, RRNodeId to);
-
   const Device& device_;
   std::vector<RRNode> nodes_;
+  /// CSR adjacency: edges_ is sorted by `from` (insertion order preserved
+  /// within one source node); edge_offsets_[n]..edge_offsets_[n+1] indexes
+  /// node n's outgoing edges.  Edge ids are CSR positions.
   std::vector<RREdge> edges_;
-  std::vector<std::vector<RREdgeId>> out_edges_;
+  std::vector<RREdgeId> edge_offsets_;
   // Dense index helpers.
   int width_, height_, tracks_;
   RRNodeId base_opin_, base_ipin_, base_chanx_, base_chany_;

@@ -571,6 +571,12 @@ std::uint64_t hash_route_options(const pnr::CompileOptions& o) {
   w.f64(o.route.pres_fac_init);
   w.f64(o.route.pres_fac_mult);
   w.f64(o.route.hist_fac);
+  w.f64(o.route.astar_fac);
+  w.i32(o.route.bb_margin);
+  w.boolean(o.route.incremental);
+  // route_threads is deliberately NOT hashed: the router guarantees
+  // bit-identical results for every thread count, so a cached route artifact
+  // stays valid when only the parallelism changes.
   return w.content_hash();
 }
 

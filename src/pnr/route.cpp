@@ -1,19 +1,26 @@
 #include "pnr/route.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <queue>
 #include <unordered_set>
 
 #include "support/error.h"
 #include "support/log.h"
 #include "support/stopwatch.h"
+#include "support/strings.h"
 #include "support/telemetry.h"
+#include "support/thread_pool.h"
 
 namespace fpgadbg::pnr {
 
 using arch::RREdgeId;
 using arch::RRGraph;
 using arch::RRKind;
+using arch::RRNode;
 using arch::RRNodeId;
 using map::MappedNetlist;
 
@@ -56,9 +63,313 @@ struct NodeOcc {
 };
 
 struct QueueEntry {
-  double cost;
+  double f;  ///< g + astar_fac * lookahead (== g under plain Dijkstra)
+  double g;  ///< accumulated path cost
   RRNodeId node;
-  bool operator>(const QueueEntry& o) const { return cost > o.cost; }
+  bool operator>(const QueueEntry& o) const { return f > o.f; }
+};
+
+/// Inclusive tile-coordinate rectangle.  The router prunes expansion to the
+/// net's box, and spatially disjoint boxes touch disjoint RR-node sets (a
+/// node is tested against its own (x, y)), which is what makes bin-parallel
+/// routing race-free and deterministic.
+struct BBox {
+  int x0 = 0, y0 = 0, x1 = -1, y1 = -1;
+
+  bool contains(int x, int y) const {
+    return x >= x0 && x <= x1 && y >= y0 && y <= y1;
+  }
+  bool overlaps(const BBox& o) const {
+    return x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 && o.y0 <= y1;
+  }
+  void include(int x, int y) {
+    if (x1 < x0) {
+      x0 = x1 = x;
+      y0 = y1 = y;
+      return;
+    }
+    x0 = std::min(x0, x);
+    x1 = std::max(x1, x);
+    y0 = std::min(y0, y);
+    y1 = std::max(y1, y);
+  }
+  void merge(const BBox& o) {
+    include(o.x0, o.y0);
+    include(o.x1, o.y1);
+  }
+  void clamp(int width, int height) {
+    x0 = std::max(x0, 0);
+    y0 = std::max(y0, 0);
+    x1 = std::min(x1, width - 1);
+    y1 = std::min(y1, height - 1);
+  }
+  bool covers(int width, int height) const {
+    return x0 <= 0 && y0 <= 0 && x1 >= width - 1 && y1 >= height - 1;
+  }
+};
+
+/// Per-search scratch state.  One instance per concurrently routing bin;
+/// instances are recycled through a pool (allocating the O(num_nodes)
+/// arrays once per worker, not once per net).
+struct SearchContext {
+  explicit SearchContext(std::size_t num_nodes)
+      : dist(num_nodes),
+        prev_edge(num_nodes),
+        stamp(num_nodes, 0),
+        tree_stamp(num_nodes, 0) {}
+
+  std::vector<double> dist;  ///< g cost per node, valid where stamp == now
+  std::vector<RREdgeId> prev_edge;
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t now = 0;
+  /// Stamped membership of the net currently being routed: tree_stamp[id] ==
+  /// tree_token iff id is in net_nodes[n].  Dedupes both occupancy updates
+  /// and the Dijkstra/A* seeds of subsequent sinks (the route tree would
+  /// otherwise accumulate duplicate nodes on every walk-back).
+  std::vector<std::uint64_t> tree_stamp;
+  std::uint64_t tree_token = 0;
+};
+
+class ContextPool {
+ public:
+  explicit ContextPool(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  std::unique_ptr<SearchContext> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        auto ctx = std::move(free_.back());
+        free_.pop_back();
+        return ctx;
+      }
+    }
+    return std::make_unique<SearchContext>(num_nodes_);
+  }
+  void release(std::unique_ptr<SearchContext> ctx) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(ctx));
+  }
+
+ private:
+  std::size_t num_nodes_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<SearchContext>> free_;
+};
+
+/// Net terminals in RR space.
+struct Terminals {
+  RRNodeId source = 0;
+  std::vector<RRNodeId> sinks;
+  int group = 0;
+  int source_group = 0;  ///< keyed by driver: all fanout nets share the OPIN
+};
+
+int resolve_threads(const RouteOptions& options) {
+  if (options.route_threads > 0) return options.route_threads;
+  if (const char* env = std::getenv("FPGADBG_THREADS")) {
+    try {
+      const std::size_t n = parse_size(env, "FPGADBG_THREADS");
+      if (n > 0) return static_cast<int>(n);
+    } catch (...) {
+      LOG_WARN << "ignoring invalid FPGADBG_THREADS '" << env << "'";
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// The negotiation state shared by every net routing of one route() call.
+/// Thread safety: concurrently routed bins have spatially disjoint bounding
+/// boxes, expansion never leaves a net's box, and a node is binned by its
+/// own coordinates — so concurrent bins read and write disjoint slices of
+/// occ / net state.  Everything else is per-SearchContext or read-only
+/// during an iteration (history, pres_fac).
+struct Router {
+  Router(const RRGraph& graph, const RouteOptions& opts, RouteResult* res)
+      : rr(graph),
+        options(opts),
+        width(graph.device().width()),
+        height(graph.device().height()),
+        result(res) {}
+
+  const RRGraph& rr;
+  const RouteOptions& options;
+  int width;
+  int height;
+
+  std::vector<Terminals> terms;
+  std::vector<NodeOcc> occ;
+  std::vector<double> history;
+  std::vector<std::vector<RRNodeId>> net_nodes;  ///< per-net used nodes
+  std::vector<BBox> net_bb;      ///< current expansion box per net
+  std::vector<BBox> term_bb;     ///< terminal-only box per net (fixed)
+  std::vector<int> net_margin;   ///< current margin around term_bb
+  std::vector<char> net_failed;  ///< sink(s) unreached in the last attempt
+  std::vector<int> congested_reroutes;  ///< reroutes caused by overuse
+  RouteResult* result = nullptr;
+  double pres_fac = 0.0;
+
+  std::atomic<std::size_t> heap_pops{0};
+  std::atomic<std::size_t> bbox_expansions{0};
+
+  // Group used by net n on node id: OPINs are keyed by driver (all fanout
+  // nets of one driver share the physical pin), everything else by the
+  // net's exclusivity group.
+  int group_at(std::size_t n, RRNodeId id) const {
+    return rr.node(id).kind == RRKind::kOpin ? terms[n].source_group
+                                             : terms[n].group;
+  }
+
+  double node_cost(RRNodeId id, int group) const {
+    const auto& node = rr.node(id);
+    int occupancy = occ[id].occupancy();
+    if (!occ[id].holds(group)) occupancy += 1;  // cost as if we were added
+    const int over = std::max(0, occupancy - node.capacity);
+    const double congestion = 1.0 + pres_fac * over;
+    return (1.0 + history[id]) * congestion;
+  }
+
+  /// Admissible A* lookahead: the minimum number of RR nodes still to be
+  /// entered before the target tile (each costs >= 1.0).  A channel wire
+  /// borders two tiles, so its distance is the min over both; that keeps the
+  /// estimate a true lower bound and consistent (it drops by at most 1 per
+  /// edge while every entered node costs at least 1).
+  double lookahead(RRNodeId id, int tx, int ty) const {
+    if (options.astar_fac <= 0.0) return 0.0;
+    const RRNode& nd = rr.node(id);
+    int d = std::abs(nd.x - tx) + std::abs(nd.y - ty);
+    if (nd.kind == RRKind::kChanX) {
+      d = std::min(d, std::abs(nd.x + 1 - tx) + std::abs(nd.y - ty));
+    } else if (nd.kind == RRKind::kChanY) {
+      d = std::min(d, std::abs(nd.x - tx) + std::abs(nd.y + 1 - ty));
+    }
+    return options.astar_fac * static_cast<double>(d);
+  }
+
+  void rip_up(std::size_t n) {
+    for (RRNodeId id : net_nodes[n]) occ[id].remove(group_at(n, id));
+    net_nodes[n].clear();
+    result->routes[n].clear();
+  }
+
+  /// Widens net n's box by doubling its margin (clamped to the device).
+  void grow_bb(std::size_t n) {
+    net_margin[n] = std::max(net_margin[n] * 2, 1);
+    BBox bb = term_bb[n];
+    bb.x0 -= net_margin[n];
+    bb.y0 -= net_margin[n];
+    bb.x1 += net_margin[n];
+    bb.y1 += net_margin[n];
+    bb.clamp(width, height);
+    net_bb[n] = bb;
+    bbox_expansions.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Routes every sink of net n inside its current bounding box.  Returns
+  /// false as soon as a sink is unreachable within the box (the net is
+  /// ripped up and left unrouted for the caller to grow + retry).  When
+  /// `last_resort` is set, an unreachable sink no longer aborts: the partial
+  /// route is kept and PathFinder keeps negotiating (classic behaviour).
+  bool route_net(SearchContext& ctx, std::size_t n, bool last_resort,
+                 std::size_t* pops_out) {
+    rip_up(n);
+    net_failed[n] = 0;
+    const BBox& bb = net_bb[n];
+    std::size_t pops = 0;
+
+    occ[terms[n].source].add(group_at(n, terms[n].source));
+    net_nodes[n].push_back(terms[n].source);
+    ++ctx.tree_token;
+    ctx.tree_stamp[terms[n].source] = ctx.tree_token;
+
+    for (RRNodeId target : terms[n].sinks) {
+      const RRNode& tnode = rr.node(target);
+      const int tx = tnode.x;
+      const int ty = tnode.y;
+      ++ctx.now;
+      std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                          std::greater<QueueEntry>>
+          queue;
+      // The whole current route tree seeds the search at cost 0.
+      for (RRNodeId t : net_nodes[n]) {
+        ctx.dist[t] = 0.0;
+        ctx.stamp[t] = ctx.now;
+        ctx.prev_edge[t] = static_cast<RREdgeId>(-1);
+        queue.push(QueueEntry{lookahead(t, tx, ty), 0.0, t});
+      }
+      bool reached = false;
+      while (!queue.empty()) {
+        const QueueEntry top = queue.top();
+        queue.pop();
+        ++pops;
+        if (ctx.stamp[top.node] == ctx.now && top.g > ctx.dist[top.node]) {
+          continue;
+        }
+        if (top.node == target) {
+          reached = true;
+          break;
+        }
+        for (RREdgeId e : rr.out_edges(top.node)) {
+          const RRNodeId next = rr.edge(e).to;
+          // IPINs are only enterable when they are the target (a pin is
+          // not a through-route).
+          if (rr.node(next).kind == RRKind::kIpin && next != target) {
+            continue;
+          }
+          const RRNode& nnode = rr.node(next);
+          if (!bb.contains(nnode.x, nnode.y)) continue;
+          const double g = top.g + node_cost(next, group_at(n, next));
+          if (ctx.stamp[next] != ctx.now || g < ctx.dist[next]) {
+            ctx.stamp[next] = ctx.now;
+            ctx.dist[next] = g;
+            ctx.prev_edge[next] = e;
+            queue.push(QueueEntry{g + lookahead(next, tx, ty), g, next});
+          }
+        }
+      }
+      if (!reached) {
+        net_failed[n] = 1;
+        if (!last_resort) {
+          // Retry with a wider box (the caller decides where: inline for
+          // sequential routing, deferred past the barrier for bin routing).
+          rip_up(n);
+          *pops_out += pops;
+          return false;
+        }
+        // Device-wide search already: keep the partial route, PathFinder
+        // keeps negotiating next iteration.
+        continue;
+      }
+      // Walk back, adding new nodes to the tree.  tree_stamp dedupes: a
+      // node already on the tree is neither re-added to net_nodes nor
+      // double-counted in occupancy.
+      RRNodeId cur = target;
+      while (ctx.prev_edge[cur] != static_cast<RREdgeId>(-1)) {
+        const RREdgeId e = ctx.prev_edge[cur];
+        result->routes[n].push_back(e);
+        if (ctx.tree_stamp[cur] != ctx.tree_token) {
+          ctx.tree_stamp[cur] = ctx.tree_token;
+          occ[cur].add(group_at(n, cur));
+          net_nodes[n].push_back(cur);
+        }
+        cur = rr.edge(e).from;
+      }
+    }
+    *pops_out += pops;
+    return true;
+  }
+
+  /// Routes one net to completion: attempt inside the current box, grow on
+  /// failure, device-wide last resort.  Sequential-context only (box growth
+  /// may escape a bin's territory).
+  void route_net_growing(SearchContext& ctx, std::size_t n,
+                         std::size_t* pops_out) {
+    for (;;) {
+      const bool last_resort = net_bb[n].covers(width, height);
+      if (route_net(ctx, n, last_resort, pops_out)) return;
+      grow_bb(n);
+    }
+  }
 };
 
 }  // namespace
@@ -70,14 +381,8 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
   RouteResult result;
   result.routes.resize(nets.nets.size());
 
-  // Net terminals in RR space.
-  struct Terminals {
-    RRNodeId source;
-    std::vector<RRNodeId> sinks;
-    int group;
-    int source_group;  ///< keyed by driver: all fanout nets share the OPIN
-  };
-  std::vector<Terminals> terms(nets.nets.size());
+  Router router(rr, options, &result);
+  router.terms.resize(nets.nets.size());
   for (std::size_t n = 0; n < nets.nets.size(); ++n) {
     const PhysNet& net = nets.nets[n];
     const auto dpos = placement.cell_pos(mn, packing, net.driver);
@@ -107,160 +412,337 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
       const RRNodeId ipin = rr.ipin_at(pos.first, pos.second);
       if (seen.insert(ipin).second) t.sinks.push_back(ipin);
     }
-    terms[n] = std::move(t);
+    router.terms[n] = std::move(t);
   }
 
-  std::vector<NodeOcc> occ(rr.num_nodes());
-  std::vector<double> history(rr.num_nodes(), 0.0);
-  // Per-net node usage (for rip-up).
-  std::vector<std::vector<RRNodeId>> net_nodes(nets.nets.size());
+  router.occ.resize(rr.num_nodes());
+  router.history.assign(rr.num_nodes(), 0.0);
+  router.net_nodes.resize(nets.nets.size());
+  router.net_failed.assign(nets.nets.size(), 0);
+  router.congested_reroutes.assign(nets.nets.size(), 0);
+  router.pres_fac = options.pres_fac_init;
 
-  double pres_fac = options.pres_fac_init;
+  // Initial per-net expansion boxes: the terminal bounding box plus the
+  // configured margin; bb_margin < 0 disables pruning (device-wide boxes).
+  router.term_bb.resize(nets.nets.size());
+  router.net_bb.resize(nets.nets.size());
+  router.net_margin.assign(nets.nets.size(), std::max(options.bb_margin, 0));
+  for (std::size_t n = 0; n < nets.nets.size(); ++n) {
+    BBox tb;
+    const RRNode& src = rr.node(router.terms[n].source);
+    tb.include(src.x, src.y);
+    for (RRNodeId s : router.terms[n].sinks) {
+      tb.include(rr.node(s).x, rr.node(s).y);
+    }
+    router.term_bb[n] = tb;
+    if (options.bb_margin < 0) {
+      router.net_bb[n] =
+          BBox{0, 0, router.width - 1, router.height - 1};
+    } else {
+      BBox bb = tb;
+      bb.x0 -= options.bb_margin;
+      bb.y0 -= options.bb_margin;
+      bb.x1 += options.bb_margin;
+      bb.y1 += options.bb_margin;
+      bb.clamp(router.width, router.height);
+      router.net_bb[n] = bb;
+    }
+  }
 
-  // Group used by net n on node id: OPINs are keyed by driver (all fanout
-  // nets of one driver share the physical pin), everything else by the
-  // net's exclusivity group.
-  auto group_at = [&](std::size_t n, RRNodeId id) {
-    return rr.node(id).kind == RRKind::kOpin ? terms[n].source_group
-                                             : terms[n].group;
-  };
-
-  auto node_cost = [&](RRNodeId id, int group) {
-    const auto& node = rr.node(id);
-    int occupancy = occ[id].occupancy();
-    if (!occ[id].holds(group)) occupancy += 1;  // cost as if we were added
-    const int over = std::max(0, occupancy - node.capacity);
-    const double congestion = 1.0 + pres_fac * over;
-    return (1.0 + history[id]) * congestion;
-  };
-
-  auto rip_up = [&](std::size_t n) {
-    for (RRNodeId id : net_nodes[n]) occ[id].remove(group_at(n, id));
-    net_nodes[n].clear();
-    result.routes[n].clear();
-  };
-
-  std::vector<double> dist(rr.num_nodes());
-  std::vector<RREdgeId> prev_edge(rr.num_nodes());
-  std::vector<std::uint32_t> stamp(rr.num_nodes(), 0);
-  std::uint32_t now = 0;
-  // Stamped membership of the net currently being routed: tree_stamp[id] ==
-  // tree_token iff id is in net_nodes[n].  Replaces a linear scan per
-  // walk-back node that made rerouting high-fanout nets O(|tree|^2).
-  std::vector<std::uint64_t> tree_stamp(rr.num_nodes(), 0);
-  std::uint64_t tree_token = 0;
+  const int threads = resolve_threads(options);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  ContextPool contexts(rr.num_nodes());
 
   static telemetry::Counter& iter_counter =
       telemetry::metrics().counter("pnr.route.iterations");
+  static telemetry::Counter& rerouted_counter =
+      telemetry::metrics().counter("pnr.route.rerouted_nets");
+  static telemetry::Counter& pops_counter =
+      telemetry::metrics().counter("pnr.route.heap_pops");
+  static telemetry::Counter& bbox_counter =
+      telemetry::metrics().counter("pnr.route.bbox_expansions");
   static telemetry::Gauge& overuse_gauge =
       telemetry::metrics().gauge("pnr.route.overused_nodes");
   static telemetry::Histogram& iter_hist =
       telemetry::metrics().histogram("pnr.route.iteration_seconds");
+
+  // One schedulable batch of nets.  Tasks of the same partition level own
+  // spatially disjoint device regions, so they route concurrently; the nets
+  // inside one task route sequentially in ascending net order.
+  struct Task {
+    std::vector<std::size_t> nets;
+    std::vector<std::size_t> deferred;  ///< failed inside the box
+  };
+  constexpr int kMaxDepth = 4;           ///< up to 2^4 leaf regions
+  constexpr int kSubDepth = 3;           ///< strip splits of a cut band
+  constexpr std::size_t kLeafNets = 16;  ///< stop splitting small batches
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     telemetry::TraceScope iter_span("pnr.route.iteration");
     Stopwatch iter_timer;
     iter_counter.add(1);
     result.iterations = iter;
-    bool any_overuse = false;
 
+    // Dirty set: iteration 1 (or non-incremental mode) reroutes everything;
+    // afterwards only nets crossing an overused node or with an unreached
+    // sink renegotiate.  Ascending net ids keep the order deterministic.
+    std::vector<std::size_t> dirty;
     for (std::size_t n = 0; n < nets.nets.size(); ++n) {
-      if (terms[n].sinks.empty()) continue;
-      rip_up(n);
-
-      // Route tree starts at the source; each sink is reached by Dijkstra
-      // from the whole current tree (cost 0 inside the tree).
-      std::vector<RRNodeId> tree{terms[n].source};
-      occ[terms[n].source].add(group_at(n, terms[n].source));
-      net_nodes[n].push_back(terms[n].source);
-      ++tree_token;
-      tree_stamp[terms[n].source] = tree_token;
-
-      for (RRNodeId target : terms[n].sinks) {
-        ++now;
-        std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                            std::greater<QueueEntry>>
-            queue;
-        for (RRNodeId t : tree) {
-          dist[t] = 0.0;
-          stamp[t] = now;
-          prev_edge[t] = static_cast<RREdgeId>(-1);
-          queue.push(QueueEntry{0.0, t});
-        }
-        bool reached = false;
-        while (!queue.empty()) {
-          const QueueEntry top = queue.top();
-          queue.pop();
-          if (stamp[top.node] == now && top.cost > dist[top.node]) continue;
-          if (top.node == target) {
-            reached = true;
+      if (router.terms[n].sinks.empty()) continue;
+      bool congested = false;
+      if (iter > 1 && !router.net_failed[n]) {
+        for (RRNodeId id : router.net_nodes[n]) {
+          if (router.occ[id].occupancy() > rr.node(id).capacity) {
+            congested = true;
             break;
           }
-          for (RREdgeId e : rr.out_edges(top.node)) {
-            const RRNodeId next = rr.edge(e).to;
-            // IPINs are only enterable when they are the target (a pin is
-            // not a through-route).
-            if (rr.node(next).kind == RRKind::kIpin && next != target) {
-              continue;
-            }
-            const double c = top.cost + node_cost(next, group_at(n, next));
-            if (stamp[next] != now || c < dist[next]) {
-              stamp[next] = now;
-              dist[next] = c;
-              prev_edge[next] = e;
-              queue.push(QueueEntry{c, next});
-            }
-          }
         }
-        if (!reached) {
-          // Unroutable sink this iteration; PathFinder keeps negotiating.
-          any_overuse = true;
+      }
+      if (iter == 1 || !options.incremental || router.net_failed[n] ||
+          congested) {
+        dirty.push_back(n);
+      }
+      // A net can keep routing "successfully" through overused wires when
+      // its expansion box holds no free ones, and a box only grows on
+      // outright failure.  Break that trap: a net still congested after
+      // several renegotiations gets more room.  Decided here, in the
+      // sequential dirty pass, so box growth stays deterministic.
+      if (congested && ++router.congested_reroutes[n] % 3 == 0) {
+        router.grow_bb(n);
+      }
+    }
+    result.rerouted_nets += dirty.size();
+    rerouted_counter.add(dirty.size());
+
+    // Recursive spatial partition (the nextpnr-router2 schedule): cut the
+    // region along its wider axis; a net whose expansion box lies entirely
+    // on one side recurses into that half.  Cut-crossing nets form a band
+    // that is itself split into strips along the perpendicular axis —
+    // strips of one band are still pairwise disjoint.  Tasks of one phase
+    // own disjoint regions — and a search never leaves its net's box — so
+    // they route concurrently; phases execute most-local-first behind a
+    // barrier because a band overlaps both halves it bridges.  The
+    // schedule is a pure function of the boxes, never of the thread count.
+    std::vector<std::vector<Task>> levels(
+        static_cast<std::size_t>((kMaxDepth + 1) * (kSubDepth + 1)));
+    const auto phase_of = [&](int depth, int sub) {
+      return static_cast<std::size_t>(depth * (kSubDepth + 1) + sub);
+    };
+    // Pick the cut with the fewest crossing boxes (ties: most balanced,
+    // then lowest coordinate — all deterministic).  Candidates stay in the
+    // middle half of the segment so recursion shrinks geometrically.
+    const auto best_cut = [&](const std::vector<std::size_t>& ns, int lo,
+                              int hi, bool axis_x) {
+      const int span = hi - lo;
+      std::vector<int> ends(static_cast<std::size_t>(span) + 1, 0);
+      std::vector<int> starts(static_cast<std::size_t>(span) + 1, 0);
+      for (const std::size_t n : ns) {
+        const BBox& bb = router.net_bb[n];
+        ++ends[std::min((axis_x ? bb.x1 : bb.y1), hi) - lo];
+        ++starts[std::max((axis_x ? bb.x0 : bb.y0), lo) - lo];
+      }
+      const int c_lo = lo + span / 4;
+      const int c_hi = std::max(c_lo, hi - 1 - span / 4);
+      int c_best = c_lo, score_best = -1;
+      int boxes_ending = 0, boxes_starting = 0;
+      const int total = static_cast<int>(ns.size());
+      for (int c = lo; c <= c_hi; ++c) {
+        boxes_ending += ends[c - lo];      // boxes entirely at or below c
+        boxes_starting += starts[c - lo];  // boxes starting at or below c
+        if (c < c_lo) continue;
+        const int cross = boxes_starting - boxes_ending;
+        const int bal = std::abs(boxes_ending - (total - boxes_starting));
+        // The band routes serially and the halves route concurrently, so
+        // the schedule length is ~ max(left, right) + cross, which this
+        // score tracks up to a constant.
+        const int score = 2 * cross + bal;
+        if (score_best < 0 || score < score_best) {
+          score_best = score;
+          c_best = c;
+        }
+      }
+      return c_best;
+    };
+    {
+      struct Frame {
+        BBox region;
+        std::vector<std::size_t> nets;
+        int depth;
+      };
+      std::vector<Frame> stack;
+      stack.push_back(Frame{
+          BBox{0, 0, router.width - 1, router.height - 1}, dirty, 0});
+      while (!stack.empty()) {
+        Frame f = std::move(stack.back());
+        stack.pop_back();
+        const bool wide =
+            f.region.x1 - f.region.x0 >= f.region.y1 - f.region.y0;
+        const int span = wide ? f.region.x1 - f.region.x0
+                              : f.region.y1 - f.region.y0;
+        if (f.depth == kMaxDepth || f.nets.size() <= kLeafNets || span < 4) {
+          levels[phase_of(f.depth, 0)].push_back(Task{std::move(f.nets), {}});
           continue;
         }
-        // Walk back, adding new nodes to the tree.
-        RRNodeId cur = target;
-        while (prev_edge[cur] != static_cast<RREdgeId>(-1)) {
-          const RREdgeId e = prev_edge[cur];
-          result.routes[n].push_back(e);
-          if (tree_stamp[cur] != tree_token) {
-            tree_stamp[cur] = tree_token;
-            occ[cur].add(group_at(n, cur));
-            net_nodes[n].push_back(cur);
-          }
-          tree.push_back(cur);
-          cur = rr.edge(e).from;
+        const int cut = wide ? best_cut(f.nets, f.region.x0, f.region.x1, true)
+                             : best_cut(f.nets, f.region.y0, f.region.y1,
+                                        false);
+        Frame lo{f.region, {}, f.depth + 1};
+        Frame hi{f.region, {}, f.depth + 1};
+        if (wide) {
+          lo.region.x1 = cut;
+          hi.region.x0 = cut + 1;
+        } else {
+          lo.region.y1 = cut;
+          hi.region.y0 = cut + 1;
         }
+        std::vector<std::size_t> own;
+        for (const std::size_t n : f.nets) {
+          const BBox& bb = router.net_bb[n];
+          if (wide ? bb.x1 <= cut : bb.y1 <= cut) {
+            lo.nets.push_back(n);
+          } else if (wide ? bb.x0 > cut : bb.y0 > cut) {
+            hi.nets.push_back(n);
+          } else {
+            own.push_back(n);
+          }
+        }
+        // Strip decomposition of the cut band along the perpendicular axis
+        // (1-D recursion; a net that also spans the strip cut stays at its
+        // segment's phase).
+        struct Seg {
+          int lo, hi, sd;
+          std::vector<std::size_t> nets;
+        };
+        std::vector<Seg> segs;
+        segs.push_back(Seg{wide ? f.region.y0 : f.region.x0,
+                           wide ? f.region.y1 : f.region.x1, 0,
+                           std::move(own)});
+        while (!segs.empty()) {
+          Seg s = std::move(segs.back());
+          segs.pop_back();
+          if (s.nets.empty()) continue;
+          if (s.sd == kSubDepth || s.nets.size() <= kLeafNets ||
+              s.hi - s.lo < 4) {
+            levels[phase_of(f.depth, s.sd)].push_back(
+                Task{std::move(s.nets), {}});
+            continue;
+          }
+          const int scut = best_cut(s.nets, s.lo, s.hi, !wide);
+          Seg a{s.lo, scut, s.sd + 1, {}};
+          Seg b{scut + 1, s.hi, s.sd + 1, {}};
+          std::vector<std::size_t> keep;
+          for (const std::size_t n : s.nets) {
+            const BBox& bb = router.net_bb[n];
+            const int p0 = wide ? bb.y0 : bb.x0;
+            const int p1 = wide ? bb.y1 : bb.x1;
+            if (p1 <= scut) {
+              a.nets.push_back(n);
+            } else if (p0 > scut) {
+              b.nets.push_back(n);
+            } else {
+              keep.push_back(n);
+            }
+          }
+          if (!keep.empty()) {
+            levels[phase_of(f.depth, s.sd)].push_back(Task{std::move(keep), {}});
+          }
+          segs.push_back(std::move(a));
+          segs.push_back(std::move(b));
+        }
+        if (!lo.nets.empty()) stack.push_back(std::move(lo));
+        if (!hi.nets.empty()) stack.push_back(std::move(hi));
       }
     }
 
+    std::atomic<std::size_t> pops_total{0};
+    auto route_task = [&](Task& task) {
+      auto ctx = contexts.acquire();
+      std::size_t pops = 0;
+      for (const std::size_t n : task.nets) {
+        const bool last_resort =
+            router.net_bb[n].covers(router.width, router.height);
+        if (!router.route_net(*ctx, n, last_resort, &pops)) {
+          task.deferred.push_back(n);
+        }
+      }
+      pops_total.fetch_add(pops, std::memory_order_relaxed);
+      contexts.release(std::move(ctx));
+    };
+
+    std::size_t num_tasks = 0;
+    for (std::size_t p = levels.size(); p-- > 0;) {
+      std::vector<Task>& level = levels[p];
+      num_tasks += level.size();
+      if (pool && level.size() > 1) {
+        pool->parallel_for(level.size(),
+                           [&](std::size_t t) { route_task(level[t]); });
+      } else {
+        for (Task& task : level) route_task(task);
+      }
+    }
+
+    // Nets that failed inside their box grow it past task territory, so
+    // they reroute sequentially after the barrier, in deterministic net
+    // order.
+    std::vector<std::size_t> deferred;
+    for (const std::vector<Task>& level : levels) {
+      for (const Task& task : level) {
+        deferred.insert(deferred.end(), task.deferred.begin(),
+                        task.deferred.end());
+      }
+    }
+    std::sort(deferred.begin(), deferred.end());
+    if (!deferred.empty()) {
+      auto ctx = contexts.acquire();
+      std::size_t pops = 0;
+      for (const std::size_t n : deferred) {
+        router.grow_bb(n);
+        router.route_net_growing(*ctx, n, &pops);
+      }
+      pops_total.fetch_add(pops, std::memory_order_relaxed);
+      contexts.release(std::move(ctx));
+    }
+    result.heap_pops += pops_total.load(std::memory_order_relaxed);
+    pops_counter.add(pops_total.load(std::memory_order_relaxed));
+
     // Overuse check + history update.
+    bool any_overuse = false;
     std::size_t overused_nodes = 0;
     for (RRNodeId id = 0; id < rr.num_nodes(); ++id) {
-      const int over = occ[id].occupancy() - rr.node(id).capacity;
+      const int over = router.occ[id].occupancy() - rr.node(id).capacity;
       if (over > 0) {
         any_overuse = true;
         ++overused_nodes;
-        history[id] += options.hist_fac * over;
+        router.history[id] += options.hist_fac * over;
       }
+    }
+    for (std::size_t n = 0; n < nets.nets.size(); ++n) {
+      if (router.net_failed[n]) any_overuse = true;
     }
     // Congestion trajectory: the negotiation is converging when this gauge
     // falls iteration over iteration.
     overuse_gauge.set(static_cast<double>(overused_nodes));
     iter_hist.observe(iter_timer.elapsed_seconds());
-    LOG_DEBUG << "pathfinder iteration " << iter << ": " << overused_nodes
-              << " overused nodes, pres_fac " << pres_fac;
+    LOG_DEBUG << "pathfinder iteration " << iter << ": " << dirty.size()
+              << " nets rerouted in " << num_tasks << " tasks, "
+              << overused_nodes << " overused nodes, pres_fac "
+              << router.pres_fac;
     if (!any_overuse) {
       result.success = true;
       break;
     }
-    pres_fac *= options.pres_fac_mult;
+    router.pres_fac *= options.pres_fac_mult;
   }
+  result.bbox_expansions =
+      router.bbox_expansions.load(std::memory_order_relaxed);
+  bbox_counter.add(result.bbox_expansions);
 
   // Final statistics over wires.
   for (RRNodeId id = 0; id < rr.num_nodes(); ++id) {
     const RRKind kind = rr.node(id).kind;
     if (kind != RRKind::kChanX && kind != RRKind::kChanY) continue;
-    const int users = occ[id].occupancy();
+    const int users = router.occ[id].occupancy();
     if (users > 0) {
       ++result.wire_nodes_used;
       result.total_wirelength += static_cast<std::size_t>(users);

@@ -7,6 +7,15 @@
 // occupy the same wires without conflict.  Occupancy therefore counts
 // distinct groups per routing resource, not distinct nets.  This is what
 // produces the ~3x wire reduction of §V-C1.
+//
+// The search stack layers four compounding optimisations over the classic
+// algorithm (VPR / nextpnr-router2 lineage, see DESIGN.md "Router"):
+//   * A* wavefront expansion with an admissible geometric lookahead,
+//   * per-net expansion bounding boxes that grow on routing failure,
+//   * incremental rip-up: after iteration 1 only nets crossing an overused
+//     node are rerouted,
+//   * parallel routing of spatially disjoint net bins on a thread pool,
+//     bit-identical for every thread count.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +33,23 @@ struct RouteOptions {
   double pres_fac_init = 0.6;
   double pres_fac_mult = 1.6;
   double hist_fac = 0.4;
+  /// Weight on the A* geometric lookahead.  1.0 keeps the heuristic
+  /// admissible (search returns the same minimum-cost paths as Dijkstra);
+  /// larger values trade path optimality for fewer heap pops; 0 disables
+  /// the lookahead entirely (plain Dijkstra).
+  double astar_fac = 1.0;
+  /// Initial margin (in tiles) added around a net's terminal bounding box.
+  /// The box doubles its margin every time the net fails to route inside it.
+  /// Negative disables bounding boxes (every net may expand device-wide).
+  int bb_margin = 3;
+  /// After iteration 1, rip up and reroute only nets whose current route
+  /// crosses an overused node.  false restores the classic full rip-up of
+  /// every net on every iteration.
+  bool incremental = true;
+  /// Worker threads for routing spatially disjoint net bins concurrently.
+  /// 0 = auto: the FPGADBG_THREADS environment variable if set, else the
+  /// hardware concurrency.  The result is bit-identical for every value.
+  int route_threads = 0;
 };
 
 struct RouteResult {
@@ -36,6 +62,11 @@ struct RouteResult {
   /// Sum of per-wire occupancy (shared group segments count once).
   std::size_t total_wirelength = 0;
   double runtime_seconds = 0.0;
+  // Search-effort counters (deterministic given options, but — like
+  // runtime_seconds — not part of the serialized route artifact).
+  std::size_t rerouted_nets = 0;    ///< net routings summed over iterations
+  std::size_t heap_pops = 0;        ///< priority-queue pops over all searches
+  std::size_t bbox_expansions = 0;  ///< bounding-box growths on failure
 };
 
 RouteResult route(const arch::RRGraph& rr, const map::MappedNetlist& mn,

@@ -75,8 +75,10 @@ int usage() {
                " [--radix R] [--replication R] [--select K]\n"
                "  map <design.blif> [--par f.par] [--mapper sm|abc|tcon]"
                " [-k K]\n"
-               "  flow <design.blif> [--width N]\n"
-               "  profile <design.blif> [--width N] [--turns T] [--cycles C]\n"
+               "  flow <design.blif> [--width N] [--route-threads N]"
+               " [--astar-fac F]\n"
+               "  profile <design.blif> [--width N] [--turns T] [--cycles C]"
+               " [--route-threads N] [--astar-fac F]\n"
                "  gen <benchname|list> [<out.blif>]\n"
                "  export <design.blif> <out.v> [--par f.par]"
                " [--mapper sm|abc|tcon]\n"
@@ -122,6 +124,31 @@ Args parse(const std::vector<std::string>& tokens, std::size_t skip) {
 
 std::size_t to_count(const std::string& s, const char* what) {
   return parse_size(s, what);
+}
+
+double to_factor(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos == s.size() && v >= 0.0) return v;
+  } catch (const Error&) {
+    throw;
+  } catch (...) {
+  }
+  throw Error(std::string(what) + ": expected a non-negative number, got '" +
+              s + "'");
+}
+
+/// Router knobs shared by flow/profile: worker count (0 = hardware
+/// concurrency, capped by FPGADBG_THREADS) and the A* lookahead weight
+/// (0 = plain Dijkstra).
+void apply_route_options(const Args& args, pnr::RouteOptions& route) {
+  if (auto t = args.option("--route-threads")) {
+    route.route_threads = static_cast<int>(to_count(*t, "--route-threads"));
+  }
+  if (auto f = args.option("--astar-fac")) {
+    route.astar_fac = to_factor(*f, "--astar-fac");
+  }
 }
 
 /// Loads a netlist and (optionally) specializes it with a --par file.
@@ -242,6 +269,7 @@ support::Result<int> cmd_flow(const Args& args) {
   if (auto w = args.option("--width")) {
     options.instrument.trace_width = to_count(*w, "--width");
   }
+  apply_route_options(args, options.compile.route);
   FPGADBG_ASSIGN_OR_RETURN(const debug::OfflineResult offline,
                            run_pipeline(nl, options));
   std::printf("offline stage: instrument %.2fs, map %.2fs, P&R %.2fs, "
@@ -278,6 +306,7 @@ support::Result<int> cmd_profile(const Args& args) {
   if (auto w = args.option("--width")) {
     options.instrument.trace_width = to_count(*w, "--width");
   }
+  apply_route_options(args, options.compile.route);
   std::size_t turns = 4;
   if (auto t = args.option("--turns")) turns = to_count(*t, "--turns");
   std::size_t cycles = 256;
@@ -343,6 +372,9 @@ support::Result<int> cmd_profile(const Args& args) {
   row_c("map.cells.tlut");
   row_c("map.cells.tcon");
   row_c("pnr.route.iterations");
+  row_c("pnr.route.rerouted_nets");
+  row_c("pnr.route.heap_pops");
+  row_c("pnr.route.bbox_expansions");
   row_c("scg.bits_reevaluated");
   row_c("scg.bdd_nodes_visited");
   row_c("scg.incremental_specializations");

@@ -1,0 +1,98 @@
+// ThreadSanitizer smoke test for the bin-parallel PathFinder router.
+// Built standalone by run_route_tsan_smoke.sh with -fsanitize=thread (the
+// main build stays unsanitized).  Routes a random mapped netlist on a
+// 4-worker pool — concurrent partition tasks hammer the shared occupancy,
+// net-state, and search-context structures — then re-routes single-threaded
+// and insists on bit-identical results, which is the router's determinism
+// contract and also keeps the race-free claim honest.
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/device.h"
+#include "arch/rr_graph.h"
+#include "logic/truth_table.h"
+#include "map/mapped_netlist.h"
+#include "pnr/nets.h"
+#include "pnr/pack.h"
+#include "pnr/place.h"
+#include "pnr/route.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace fpgadbg;
+
+/// Random LUT netlist, the same flavour genbench produces: no spatial
+/// locality, so the router's spatial partition gets concurrent tasks at
+/// several phases.
+map::MappedNetlist make_netlist(std::uint64_t seed) {
+  Rng rng(seed);
+  map::MappedNetlist mn("tsan_route");
+  std::vector<map::CellId> pool;
+  for (int i = 0; i < 16; ++i) {
+    pool.push_back(mn.add_source(map::MKind::kInput, "i" + std::to_string(i)));
+  }
+  std::vector<map::CellId> luts;
+  for (int g = 0; g < 260; ++g) {
+    const int arity = 2 + static_cast<int>(rng.next_u64() % 4);  // 2..5
+    std::vector<map::CellId> ins;
+    for (int f = 0; f < arity; ++f) {
+      ins.push_back(pool[rng.next_u64() % pool.size()]);
+    }
+    logic::TruthTable tt = logic::TruthTable::from_bits(rng.next_u64(), arity);
+    const map::CellId c = mn.add_cell(map::MKind::kLut,
+                                      "g" + std::to_string(g), std::move(ins),
+                                      {}, tt);
+    luts.push_back(c);
+    if (g % 2 == 0) pool.push_back(c);
+  }
+  for (std::size_t o = 0; o < 12; ++o) {
+    mn.add_output(luts[luts.size() - 1 - o], "o" + std::to_string(o));
+  }
+  return mn;
+}
+
+}  // namespace
+
+int main() {
+  const map::MappedNetlist mn = make_netlist(97);
+  const arch::ArchParams params;
+  const pnr::Packing packing = pnr::pack(mn, params);
+  const std::size_t min_clbs = packing.num_clusters() * 3 / 2 + 4;
+  const arch::Device device(params, min_clbs);
+  const arch::RRGraph rr(device);
+  const pnr::NetExtraction nets = pnr::extract_nets(mn, {});
+  const pnr::Placement placement =
+      pnr::place(mn, packing, nets, device, pnr::PlaceOptions{});
+
+  pnr::RouteOptions parallel;
+  parallel.route_threads = 4;
+  const pnr::RouteResult rp =
+      pnr::route(rr, mn, packing, nets, placement, parallel);
+
+  pnr::RouteOptions sequential;
+  sequential.route_threads = 1;
+  const pnr::RouteResult rs =
+      pnr::route(rr, mn, packing, nets, placement, sequential);
+
+  int rc = 0;
+  if (!rp.success || !rs.success) {
+    std::fprintf(stderr, "route failed (parallel=%d sequential=%d)\n",
+                 rp.success ? 1 : 0, rs.success ? 1 : 0);
+    rc = 1;
+  }
+  if (rp.routes != rs.routes || rp.iterations != rs.iterations ||
+      rp.total_wirelength != rs.total_wirelength ||
+      rp.heap_pops != rs.heap_pops) {
+    std::fprintf(stderr,
+                 "parallel result differs from sequential "
+                 "(iters %d/%d, wirelength %zu/%zu, pops %zu/%zu)\n",
+                 rp.iterations, rs.iterations, rp.total_wirelength,
+                 rs.total_wirelength, rp.heap_pops, rs.heap_pops);
+    rc = 1;
+  }
+  if (rc == 0) std::puts("route tsan smoke: OK");
+  return rc;
+}

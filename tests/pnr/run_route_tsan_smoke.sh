@@ -1,0 +1,36 @@
+#!/bin/sh
+# Builds and runs the ThreadSanitizer smoke test for the bin-parallel
+# PathFinder router.  Compiles only the pnr core and its direct deps (not
+# the whole tree) with -fsanitize=thread, so the tier-1 flow can afford to
+# run it on every invocation.  Usage: run_route_tsan_smoke.sh <source-dir>
+# <work-dir>
+set -eu
+
+SRC="$1"
+WORK="$2"
+CXX="${CXX:-c++}"
+
+mkdir -p "$WORK"
+BIN="$WORK/route_tsan_smoke"
+
+"$CXX" -std=c++20 -O1 -g -fsanitize=thread -fno-omit-frame-pointer \
+  -I "$SRC/src" \
+  "$SRC/tests/pnr/route_tsan_smoke.cpp" \
+  "$SRC/src/support/bitvec.cpp" \
+  "$SRC/src/support/error.cpp" \
+  "$SRC/src/support/log.cpp" \
+  "$SRC/src/support/rng.cpp" \
+  "$SRC/src/support/strings.cpp" \
+  "$SRC/src/support/telemetry.cpp" \
+  "$SRC/src/support/thread_pool.cpp" \
+  "$SRC/src/logic/truth_table.cpp" \
+  "$SRC/src/map/mapped_netlist.cpp" \
+  "$SRC/src/arch/device.cpp" \
+  "$SRC/src/arch/rr_graph.cpp" \
+  "$SRC/src/pnr/nets.cpp" \
+  "$SRC/src/pnr/pack.cpp" \
+  "$SRC/src/pnr/place.cpp" \
+  "$SRC/src/pnr/route.cpp" \
+  -lpthread -o "$BIN"
+
+exec "$BIN"
