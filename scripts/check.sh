@@ -24,3 +24,29 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$(nproc)"
+
+# Schema smoke: run a real debug session with the flight recorder and the
+# metrics snapshot enabled, then make `fpgadbg report` ingest both files.
+# report parses the journal (JSONL) and the metrics snapshot (JSON) with the
+# same loaders the tools use, so a schema drift in either output fails here.
+FPGADBG="$BUILD_DIR/src/tools/fpgadbg"
+SMOKE_DIR="$BUILD_DIR/schema-smoke"
+rm -rf "$SMOKE_DIR" && mkdir -p "$SMOKE_DIR"
+"$FPGADBG" gen stereov "$SMOKE_DIR/design.blif" > /dev/null
+"$FPGADBG" --journal "$SMOKE_DIR/session.jsonl" \
+           --metrics "$SMOKE_DIR/metrics.json" \
+           --prom "$SMOKE_DIR/metrics.prom" \
+           profile "$SMOKE_DIR/design.blif" --turns 4 --cycles 64 > /dev/null
+REPORT=$("$FPGADBG" report "$SMOKE_DIR/session.jsonl" "$SMOKE_DIR/metrics.json")
+for needle in "per-turn breakdown" "paper bound" "signal coverage" \
+              "frame churn" "metrics snapshot"; do
+  if ! grep -q "$needle" <<< "$REPORT"; then
+    echo "schema smoke: report output is missing \"$needle\"" >&2
+    exit 1
+  fi
+done
+grep -q '^fpgadbg_debug_turns_total ' "$SMOKE_DIR/metrics.prom" || {
+  echo "schema smoke: prometheus exposition is missing fpgadbg_debug_turns_total" >&2
+  exit 1
+}
+echo "schema smoke: OK ($SMOKE_DIR)"

@@ -1,0 +1,53 @@
+// Frame-churn accounting for the ICAP reconfiguration path.
+//
+// Every (partial) reconfiguration rewrites a set of frames; which frames get
+// rewritten over and over is the physical signature of the incremental-SCG
+// claim: a well-parameterized design funnels debugging turns into the few
+// frames that hold the mux select bits, leaving the user logic untouched.
+// FrameChurn counts writes per frame address so a session post-mortem
+// (`fpgadbg report`) can render the hot-frame heatmap, and feeds the global
+// `icap.frame_writes` telemetry counter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fpgadbg::bitstream {
+
+class FrameChurn {
+ public:
+  /// A full (re)configuration writes every frame of a `num_frames` device.
+  void record_full(std::size_t num_frames);
+  /// A partial reconfiguration writes exactly `frames` (frame addresses).
+  void record_partial(const std::vector<std::size_t>& frames);
+
+  /// Total frame writes recorded (sum over all frames).
+  std::uint64_t total_writes() const { return total_; }
+  /// Number of reconfigurations recorded (full + partial).
+  std::uint64_t reconfigurations() const { return reconfigs_; }
+  /// Distinct frames written at least once.
+  std::size_t frames_touched() const;
+
+  /// Write count per frame address (index = frame; sized to the highest
+  /// frame seen + 1).
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  struct Hot {
+    std::size_t frame = 0;
+    std::uint64_t writes = 0;
+  };
+  /// The `n` most-written frames, hottest first (ties broken by address).
+  std::vector<Hot> top(std::size_t n) const;
+
+  void clear();
+
+ private:
+  void bump(std::size_t frame, std::uint64_t by = 1);
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t reconfigs_ = 0;
+};
+
+}  // namespace fpgadbg::bitstream

@@ -1,0 +1,60 @@
+#include "debug/coverage.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fpgadbg::debug {
+
+namespace {
+
+bool is_separator(char c) { return c == '.' || c == '/' || c == '$'; }
+
+/// Every proper hierarchical prefix of `name`, plus the whole-design "".
+std::vector<std::string> prefixes_of(const std::string& name) {
+  std::vector<std::string> prefixes{""};
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (is_separator(name[i]) && i > 0) prefixes.push_back(name.substr(0, i));
+  }
+  return prefixes;
+}
+
+}  // namespace
+
+CoverageTracker::CoverageTracker(const std::vector<std::string>& observable)
+    : observable_(observable.begin(), observable.end()) {}
+
+double CoverageTracker::note_turn(const std::vector<std::string>& observed) {
+  for (const std::string& name : observed) {
+    observable_.insert(name);
+    seen_.insert(name);
+  }
+  curve_.push_back(fraction());
+  return curve_.back();
+}
+
+double CoverageTracker::fraction() const {
+  return observable_.empty()
+             ? 0.0
+             : static_cast<double>(seen_.size()) /
+                   static_cast<double>(observable_.size());
+}
+
+std::vector<CoverageTracker::PrefixCoverage> CoverageTracker::rollup() const {
+  // std::map: sorted output, "" (the whole design) first.
+  std::map<std::string, PrefixCoverage> by_prefix;
+  for (const std::string& name : observable_) {
+    const bool observed = seen_.count(name) > 0;
+    for (std::string& prefix : prefixes_of(name)) {
+      PrefixCoverage& entry = by_prefix[prefix];
+      entry.prefix = std::move(prefix);
+      ++entry.observable;
+      entry.observed += observed;
+    }
+  }
+  std::vector<PrefixCoverage> out;
+  out.reserve(by_prefix.size());
+  for (auto& [prefix, entry] : by_prefix) out.push_back(std::move(entry));
+  return out;
+}
+
+}  // namespace fpgadbg::debug

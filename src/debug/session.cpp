@@ -30,18 +30,65 @@ DebugSession::DebugSession(const OfflineResult& offline,
     lane_cells_[l] =
         mn.outputs()[static_cast<std::size_t>(it - names.begin())];
   }
+  {
+    // The coverage universe: every signal wired into any lane (replication
+    // places a signal in several lanes; the tracker dedups).
+    std::vector<std::string> observable;
+    for (const auto& lane : offline_.instrumented.lane_signals) {
+      observable.insert(observable.end(), lane.begin(), lane.end());
+    }
+    coverage_ = CoverageTracker(observable);
+  }
+  if (journal_.enabled()) {
+    SessionEvent e;
+    e.kind = SessionEventKind::kSessionStart;
+    e.count = lanes_;
+    journal_event(std::move(e));
+  }
   // Default observation: lane index 0 everywhere.
   observe({});
+}
+
+DebugSession::~DebugSession() {
+  // The final partial cycle batch still belongs in the record.
+  flush_cycle_batch();
+}
+
+void DebugSession::journal_event(SessionEvent event) const {
+  event.turn = summary_.turns;
+  event.cycle = summary_.cycles_emulated;
+  journal_.append(std::move(event));
+}
+
+void DebugSession::flush_cycle_batch() const {
+  if (pending_cycles_ == 0) return;
+  if (journal_.enabled()) {
+    SessionEvent e;
+    e.kind = SessionEventKind::kCycleBatch;
+    e.count = pending_cycles_;
+    journal_event(std::move(e));
+  }
+  pending_cycles_ = 0;
 }
 
 TurnReport DebugSession::observe(const std::vector<std::string>& signals) {
   telemetry::MetricsRegistry& m = telemetry::metrics();
   telemetry::TraceScope turn_span("debug.turn");
+  flush_cycle_batch();
+  if (journal_.enabled()) {
+    SessionEvent e;
+    e.kind = SessionEventKind::kTurnStart;
+    e.signals = signals;
+    journal_event(std::move(e));
+  }
   TurnReport report;
   const auto assignment = offline_.instrumented.select_signals(signals);
   report.observed = offline_.instrumented.observed_under(assignment);
 
   if (offline_.pconf) {
+    std::vector<std::size_t> changed_frames;  ///< partial turns only
+    std::size_t bits_evaluated = 0;
+    bool full = false;
     if (current_spec_) {
       // Incremental SCG: re-evaluate only the bits whose parameters changed.
       auto spec = [&] {
@@ -50,32 +97,53 @@ TurnReport DebugSession::observe(const std::vector<std::string>& signals) {
             *current_spec_, current_assignment_, assignment);
       }();
       report.scg_eval_seconds = spec.eval_seconds;
-      const auto frames = current_spec_->memory.changed_frames(spec.memory);
-      report.frames_reconfigured = frames.size();
+      bits_evaluated = spec.bits_evaluated;
+      changed_frames = current_spec_->memory.changed_frames(spec.memory);
+      report.frames_reconfigured = changed_frames.size();
       report.bits_changed = current_spec_->memory.bit_distance(spec.memory);
       {
         telemetry::TraceScope dpr_span("debug.dpr");
-        report.reconfig_seconds = icap_.partial_seconds(frames.size());
+        report.reconfig_seconds = icap_.partial_seconds(changed_frames.size());
       }
+      churn_.record_partial(changed_frames);
       current_spec_ = std::move(spec);
     } else {
       // First load: full evaluation + full configuration.
+      full = true;
       auto spec = [&] {
         telemetry::TraceScope scg_span("debug.scg");
         return offline_.pconf->specialize(assignment);
       }();
       report.scg_eval_seconds = spec.eval_seconds;
+      bits_evaluated = spec.bits_evaluated;
       report.frames_reconfigured = spec.memory.num_frames();
       report.bits_changed = spec.memory.bits().count();
       {
         telemetry::TraceScope dpr_span("debug.dpr");
         report.reconfig_seconds = icap_.full_seconds(spec.memory.num_frames());
       }
+      churn_.record_full(spec.memory.num_frames());
       current_spec_ = std::move(spec);
     }
     current_assignment_ = assignment;
     m.counter("debug.bits_changed").add(report.bits_changed);
     m.histogram("debug.reconfig_seconds").observe(report.reconfig_seconds);
+    if (journal_.enabled()) {
+      SessionEvent scg;
+      scg.kind = SessionEventKind::kScgEval;
+      scg.bits_changed = report.bits_changed;
+      scg.bits_evaluated = bits_evaluated;
+      scg.incremental = !full;
+      scg.scg_eval_seconds = report.scg_eval_seconds;
+      journal_event(std::move(scg));
+      SessionEvent icap;
+      icap.kind = SessionEventKind::kIcapWrite;
+      icap.frames = report.frames_reconfigured;
+      icap.full = full;
+      icap.reconfig_seconds = report.reconfig_seconds;
+      icap.frame_ids.assign(changed_frames.begin(), changed_frames.end());
+      journal_event(std::move(icap));
+    }
   }
   m.counter("debug.turns").add(1);
   report.turn_seconds =
@@ -96,6 +164,23 @@ TurnReport DebugSession::observe(const std::vector<std::string>& signals) {
   }
   observed_ = report.observed;
 
+  const double coverage = coverage_.note_turn(report.observed);
+  m.gauge("debug.coverage.observed")
+      .set(static_cast<double>(coverage_.observed()));
+  m.gauge("debug.coverage.observable")
+      .set(static_cast<double>(coverage_.observable()));
+  m.gauge("debug.coverage.fraction").set(coverage);
+  if (journal_.enabled()) {
+    SessionEvent e;
+    e.kind = SessionEventKind::kTurnEnd;
+    e.signals = report.observed;
+    e.bits_changed = report.bits_changed;
+    e.frames = report.frames_reconfigured;
+    e.turn_seconds = report.turn_seconds;
+    e.coverage = coverage;
+    journal_event(std::move(e));
+  }
+
   ++summary_.turns;
   summary_.total_eval_seconds += report.scg_eval_seconds;
   summary_.total_reconfig_seconds += report.reconfig_seconds;
@@ -106,8 +191,14 @@ TurnReport DebugSession::observe(const std::vector<std::string>& signals) {
 }
 
 void DebugSession::reset() {
+  flush_cycle_batch();
   sim_.reset();
   trace_.clear();
+  if (journal_.enabled()) {
+    SessionEvent e;
+    e.kind = SessionEventKind::kReset;
+    journal_event(std::move(e));
+  }
 }
 
 const BitVec& DebugSession::step(const std::vector<bool>& inputs) {
@@ -119,23 +210,87 @@ const BitVec& DebugSession::step(const std::vector<bool>& inputs) {
   trace_.capture(last_sample_);
   sim_.step();
   ++summary_.cycles_emulated;
+  ++pending_cycles_;
   static telemetry::Counter& cycles =
       telemetry::metrics().counter("debug.cycles_emulated");
   cycles.add(1);
   return last_sample_;
 }
 
+namespace {
+
+/// Newest samples of the frozen window, '0'/'1' per lane (lane 0 first),
+/// oldest of the kept tail first.  Bounded so a deep trace buffer does not
+/// balloon the journal.
+constexpr std::size_t kMaxJournaledSamples = 64;
+
+std::vector<std::string> tail_samples(const sim::TraceBuffer& trace) {
+  const std::size_t n = trace.samples_stored();
+  const std::size_t keep = n < kMaxJournaledSamples ? n : kMaxJournaledSamples;
+  std::vector<std::string> out;
+  out.reserve(keep);
+  for (std::size_t age = keep; age-- > 0;) {
+    const BitVec& sample = trace.sample_back(age);
+    std::string bits(sample.size(), '0');
+    for (std::size_t l = 0; l < sample.size(); ++l) {
+      if (sample.get(l)) bits[l] = '1';
+    }
+    out.push_back(std::move(bits));
+  }
+  return out;
+}
+
+}  // namespace
+
 std::pair<std::uint64_t, bool> DebugSession::run(
     sim::Trigger& trigger,
     const std::function<std::vector<bool>(std::uint64_t)>& input_source,
     std::uint64_t max_cycles) {
+  auto finish = [&](std::uint64_t cycles_run, bool fired) {
+    flush_cycle_batch();
+    if (fired && journal_.enabled()) {
+      SessionEvent fire;
+      fire.kind = SessionEventKind::kTriggerFire;
+      fire.count = trigger.fire_cycle();
+      journal_event(std::move(fire));
+      SessionEvent window;
+      window.kind = SessionEventKind::kTraceWindow;
+      window.count = trace_.samples_stored();
+      window.samples = tail_samples(trace_);
+      journal_event(std::move(window));
+    }
+    return std::pair<std::uint64_t, bool>{cycles_run, fired};
+  };
   for (std::uint64_t c = 0; c < max_cycles; ++c) {
     const BitVec& sample = step(input_source(c));
     if (!trigger.observe(sample)) {
-      return {c + 1, true};
+      return finish(c + 1, true);
     }
   }
-  return {max_cycles, trigger.fired()};
+  return finish(max_cycles, trigger.fired());
+}
+
+sim::MappedSimulator::Snapshot DebugSession::snapshot() const {
+  flush_cycle_batch();
+  auto snap = sim_.snapshot();
+  if (journal_.enabled()) {
+    SessionEvent e;
+    e.kind = SessionEventKind::kSnapshot;
+    e.count = snap.cycle;
+    journal_event(std::move(e));
+  }
+  return snap;
+}
+
+void DebugSession::restore(const sim::MappedSimulator::Snapshot& snap) {
+  flush_cycle_batch();
+  sim_.restore(snap);
+  if (journal_.enabled()) {
+    SessionEvent e;
+    e.kind = SessionEventKind::kRestore;
+    e.count = snap.cycle;
+    journal_event(std::move(e));
+  }
 }
 
 }  // namespace fpgadbg::debug

@@ -14,8 +14,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bitstream/churn.h"
 #include "bitstream/icap.h"
+#include "debug/coverage.h"
 #include "debug/flow.h"
+#include "debug/journal.h"
 #include "sim/mapped_simulator.h"
 #include "sim/sim_backend.h"
 #include "sim/trace_buffer.h"
@@ -50,11 +53,25 @@ class DebugSession {
                bitstream::IcapModel icap = {},
                std::size_t trace_depth = 1024,
                sim::SimBackend backend = sim::default_sim_backend());
+  ~DebugSession();
 
   std::size_t num_lanes() const { return lanes_; }
   const sim::TraceBuffer& trace() const { return trace_; }
   const std::vector<std::string>& observed() const { return observed_; }
   sim::MappedSimulator& dut() { return sim_; }
+
+  /// The session flight recorder.  Enabled by default (in-memory ring only);
+  /// attach a JSONL sink with journal().set_sink() to persist it, or
+  /// journal().set_enabled(false) to drop the recording entirely.
+  SessionJournal& journal() { return journal_; }
+  const SessionJournal& journal() const { return journal_; }
+
+  /// Which parameterized signals have ever been observed, with the per-turn
+  /// coverage curve and hierarchical rollup.
+  const CoverageTracker& coverage() const { return coverage_; }
+
+  /// Per-frame reconfiguration write counts (the churn heatmap).
+  const bitstream::FrameChurn& churn() const { return churn_; }
 
   /// One debugging turn: select new signals (others default to index 0).
   TurnReport observe(const std::vector<std::string>& signals);
@@ -80,12 +97,14 @@ class DebugSession {
   /// then restore and re-run (typically after re-parameterizing onto a
   /// deeper signal set) — the classic "replay the failure with better
   /// visibility" move.  The trace window is not part of the snapshot.
-  sim::MappedSimulator::Snapshot snapshot() const { return sim_.snapshot(); }
-  void restore(const sim::MappedSimulator::Snapshot& snap) {
-    sim_.restore(snap);
-  }
+  sim::MappedSimulator::Snapshot snapshot() const;
+  void restore(const sim::MappedSimulator::Snapshot& snap);
 
  private:
+  /// Emits the pending kCycleBatch event (if any cycles accumulated).
+  void flush_cycle_batch() const;
+  void journal_event(SessionEvent event) const;
+
   const OfflineResult& offline_;
   bitstream::IcapModel icap_;
   sim::MappedSimulator sim_;
@@ -99,6 +118,12 @@ class DebugSession {
   std::unordered_map<std::string, bool> current_assignment_;
   SessionSummary summary_;
   BitVec last_sample_;
+  /// Flight recorder + analytics.  Mutable: const entry points (snapshot)
+  /// still journal, and step() batches cycles through pending_cycles_.
+  mutable SessionJournal journal_;
+  mutable std::uint64_t pending_cycles_ = 0;
+  CoverageTracker coverage_;
+  bitstream::FrameChurn churn_;
 };
 
 }  // namespace fpgadbg::debug

@@ -27,11 +27,8 @@ const BitVec& TraceBuffer::sample_back(std::size_t age) const {
 
 std::vector<BitVec> TraceBuffer::read_window() const {
   std::vector<BitVec> window;
-  const std::size_t n = samples_stored();
-  window.reserve(n);
-  for (std::size_t i = n; i-- > 0;) {
-    window.push_back(sample_back(i));
-  }
+  window.reserve(samples_stored());
+  for_each_sample([&](const BitVec& sample) { window.push_back(sample); });
   return window;
 }
 

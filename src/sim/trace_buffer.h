@@ -35,6 +35,17 @@ class TraceBuffer {
   /// Oldest-to-newest readback of everything stored.
   std::vector<BitVec> read_window() const;
 
+  /// Zero-copy readback: invokes `visit(sample)` for every stored sample,
+  /// oldest to newest, referencing the ring storage directly — no BitVec is
+  /// copied.  The references are invalidated by the next capture()/clear().
+  template <typename Visitor>
+  void for_each_sample(Visitor&& visit) const {
+    const std::size_t n = samples_stored();
+    for (std::size_t i = n; i-- > 0;) {
+      visit(static_cast<const BitVec&>(sample_back(i)));
+    }
+  }
+
   void clear();
 
   /// Total captures since construction/clear (may exceed depth).

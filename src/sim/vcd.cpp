@@ -1,10 +1,30 @@
 #include "sim/vcd.h"
 
+#include <algorithm>
 #include <ostream>
 
+#include "sim/trace_buffer.h"
 #include "support/error.h"
 
 namespace fpgadbg::sim {
+
+std::string sanitize_vcd_name(const std::string& signal_name) {
+  // IEEE 1364 identifiers: [a-zA-Z_][a-zA-Z0-9_$]*.  '$' is legal mid-name
+  // but collides with VCD keyword conventions in several viewers, and
+  // brackets read as vector bit-selects — translate all of them to '_' so
+  // GTKWave accepts any hierarchical name the netlist produces.
+  std::string out;
+  out.reserve(signal_name.size() + 1);
+  for (char c : signal_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
 
 VcdWriter::VcdWriter(std::ostream& out, std::string module,
                      std::string timescale)
@@ -12,7 +32,19 @@ VcdWriter::VcdWriter(std::ostream& out, std::string module,
 
 void VcdWriter::declare(const std::string& signal_name) {
   FPGADBG_REQUIRE(!started_, "declare() after begin()");
-  names_.push_back(signal_name);
+  std::string name = sanitize_vcd_name(signal_name);
+  // Distinct raw names must stay distinct after sanitization ("a$b" and
+  // "a_b" would otherwise merge in the viewer).
+  if (std::find(names_.begin(), names_.end(), name) != names_.end()) {
+    int suffix = 2;
+    std::string candidate;
+    do {
+      candidate = name + "_" + std::to_string(suffix++);
+    } while (std::find(names_.begin(), names_.end(), candidate) !=
+             names_.end());
+    name = std::move(candidate);
+  }
+  names_.push_back(std::move(name));
 }
 
 std::string VcdWriter::id_code(std::size_t index) const {
@@ -74,6 +106,17 @@ void write_vcd(std::ostream& out, const std::vector<std::string>& signals,
     writer.sample(t, window[t]);
   }
   writer.finish(window.size());
+}
+
+void write_vcd(std::ostream& out, const std::vector<std::string>& signals,
+               const TraceBuffer& trace, const std::string& module) {
+  VcdWriter writer(out, module);
+  for (const auto& name : signals) writer.declare(name);
+  writer.begin();
+  std::uint64_t t = 0;
+  trace.for_each_sample(
+      [&](const BitVec& sample) { writer.sample(t++, sample); });
+  writer.finish(t);
 }
 
 }  // namespace fpgadbg::sim

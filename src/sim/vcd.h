@@ -15,6 +15,15 @@
 
 namespace fpgadbg::sim {
 
+class TraceBuffer;
+
+/// Translates an arbitrary hierarchical signal name into an identifier VCD
+/// viewers accept: spaces, '$', brackets and other reserved characters
+/// become '_' ("add$out[3]" -> "add_out_3_"), and a leading digit gets a
+/// '_' prefix.  Exposed for tests; VcdWriter::declare applies it (and
+/// de-duplicates collisions) automatically.
+std::string sanitize_vcd_name(const std::string& signal_name);
+
 class VcdWriter {
  public:
   /// `timescale` is a VCD timescale string, e.g. "1ns".
@@ -22,7 +31,8 @@ class VcdWriter {
                      std::string timescale = "1ns");
 
   /// Declare signals before writing the header; order defines the sample
-  /// bit order.
+  /// bit order.  Names are sanitized (sanitize_vcd_name) and, if two
+  /// sanitized names collide, suffixed "_2", "_3", ... to stay distinct.
   void declare(const std::string& signal_name);
 
   /// Writes the VCD header + $dumpvars block with everything at x.
@@ -54,5 +64,10 @@ class VcdWriter {
 void write_vcd(std::ostream& out, const std::vector<std::string>& signals,
                const std::vector<BitVec>& window,
                const std::string& module = "dut");
+
+/// Zero-copy variant: streams the trace buffer's stored window directly via
+/// TraceBuffer::for_each_sample, without materializing a window copy.
+void write_vcd(std::ostream& out, const std::vector<std::string>& signals,
+               const TraceBuffer& trace, const std::string& module = "dut");
 
 }  // namespace fpgadbg::sim

@@ -267,6 +267,70 @@ bool MetricsRegistry::write_json_file(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Our dotted names map
+/// 1:1 with '.' -> '_' under the fpgadbg_ prefix.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "fpgadbg_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_prometheus_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  const MetricsSnapshot snap = snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    const std::string pname = prometheus_name(name) + "_total";
+    os << "# TYPE " << pname << " counter\n";
+    os << pname << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " gauge\n";
+    os << pname << ' ';
+    write_prometheus_number(os, value);
+    os << '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}};
+    for (const auto& [q, value] : quantiles) {
+      os << pname << "{quantile=\"" << q << "\"} ";
+      write_prometheus_number(os, value);
+      os << '\n';
+    }
+    os << pname << "_sum ";
+    write_prometheus_number(os, h.sum);
+    os << '\n';
+    os << pname << "_count " << h.count << '\n';
+  }
+}
+
+bool MetricsRegistry::write_prometheus_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_prometheus(out);
+  return static_cast<bool>(out);
+}
+
 MetricsRegistry& metrics() {
   static MetricsRegistry registry;
   return registry;

@@ -146,6 +146,15 @@ class MetricsRegistry {
   /// Writes write_json() output to `path`; returns false on IO failure.
   bool write_json_file(const std::string& path) const;
 
+  /// Prometheus text exposition format (version 0.0.4), so a serving
+  /// deployment can expose the same numbers on a /metrics scrape endpoint.
+  /// Names are prefixed "fpgadbg_" and sanitized ('.' and other invalid
+  /// characters become '_'); counters keep the conventional "_total" suffix
+  /// and histograms export as summaries (quantile 0.5/0.9/0.99 + _sum/_count).
+  void write_prometheus(std::ostream& os) const;
+  /// Writes write_prometheus() output to `path`; returns false on IO failure.
+  bool write_prometheus_file(const std::string& path) const;
+
  private:
   struct Impl;
   Impl* impl_;

@@ -19,6 +19,11 @@
 //       emit one of the paper's synthetic benchmark circuits
 //   fpgadbg export <design.blif> <out.v> [--par f.par] [--mapper sm|abc|tcon]
 //       technology-map and write structural Verilog
+//   fpgadbg report <session.jsonl> [<metrics.json>] [--top N]
+//       analyse a session journal (--journal output): per-turn SCG/DPR
+//       table against the paper's §V-C2 constants (50 us SCG, 176 ms /
+//       23712-frame full config), the signal-coverage curve, the top-N
+//       churned frames, and the trigger timeline
 //
 // Global options (valid with every subcommand, --flag value or --flag=value):
 //   --cache-dir <dir>      artifact cache for the offline pipeline (flow,
@@ -27,6 +32,10 @@
 //   --trace <file.json>    collect TraceScope spans and write a Chrome-trace
 //                          JSON timeline (chrome://tracing, Perfetto)
 //   --metrics <file.json>  write the metrics registry snapshot as JSON
+//   --prom <file.prom>     write the metrics registry in Prometheus text
+//                          exposition format
+//   --journal <file.jsonl> stream the debug session's flight recorder (flow,
+//                          profile) as JSON lines; feed it to `report`
 //   --log-level <level>    debug|info|warn|error|off (default: warn, or the
 //                          FPGADBG_LOG_LEVEL environment variable)
 //   --log-format <fmt>     text|json (JSON-lines structured logging)
@@ -34,15 +43,20 @@
 // Errors are reported as one structured line on stderr
 // (`fpgadbg: code=<name> ...: <message>`) and a per-StatusCode exit code
 // (see support/status.h); usage errors keep the conventional exit code 2.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bitstream/churn.h"
+#include "debug/journal.h"
 #include "debug/session.h"
 #include "debug/signal_select.h"
 #include "flow/pipeline.h"
@@ -53,6 +67,7 @@
 #include "netlist/par.h"
 #include "netlist/stats.h"
 #include "support/error.h"
+#include "support/json.h"
 #include "support/log.h"
 #include "support/rng.h"
 #include "support/status.h"
@@ -68,8 +83,8 @@ constexpr int kUsageExit = 2;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fpgadbg <stats|instrument|map|flow|profile|gen|export>"
-               " ...\n"
+               "usage: fpgadbg <stats|instrument|map|flow|profile|gen|export"
+               "|report> ...\n"
                "  stats <design.blif>\n"
                "  instrument <design.blif> <out.blif> <out.par> [--width N]"
                " [--radix R] [--replication R] [--select K]\n"
@@ -82,6 +97,7 @@ int usage() {
                "  gen <benchname|list> [<out.blif>]\n"
                "  export <design.blif> <out.v> [--par f.par]"
                " [--mapper sm|abc|tcon]\n"
+               "  report <session.jsonl> [<metrics.json>] [--top N]\n"
                "global options (any command):\n"
                "  --cache-dir <dir>      artifact cache for the offline"
                " pipeline (flow, profile)\n"
@@ -89,6 +105,10 @@ int usage() {
                " timeline\n"
                "  --metrics <file.json>  write metrics registry snapshot as"
                " JSON\n"
+               "  --prom <file.prom>     write metrics in Prometheus text"
+               " format\n"
+               "  --journal <file.jsonl> stream the session flight recorder"
+               " (flow, profile) as JSONL\n"
                "  --log-level <level>    debug|info|warn|error|off (default"
                " warn; FPGADBG_LOG_LEVEL env var also honored)\n"
                "  --log-format <fmt>     text|json (JSON-lines logging)\n");
@@ -104,8 +124,25 @@ struct Args {
     return std::nullopt;
   }
   std::vector<std::string> raw;
-  std::string cache_dir;  ///< global --cache-dir, empty = caching disabled
+  std::string cache_dir;     ///< global --cache-dir, empty = caching disabled
+  std::string journal_path;  ///< global --journal, empty = no JSONL sink
 };
+
+/// Opens the --journal sink (if requested) and attaches it to the session;
+/// events already ringed (the constructor's initial full-configuration turn)
+/// are caught up immediately.  Declare the sink BEFORE the session so it
+/// outlives the destructor's final cycle-batch flush.
+support::Status attach_journal_sink(const Args& args, std::ofstream& out,
+                                    debug::DebugSession& session) {
+  if (args.journal_path.empty()) return support::Status();
+  out.open(args.journal_path);
+  if (!out) {
+    return support::Status::not_found("cannot write journal file: " +
+                                      args.journal_path);
+  }
+  session.journal().set_sink(&out);
+  return support::Status();
+}
 
 Args parse(const std::vector<std::string>& tokens, std::size_t skip) {
   Args args;
@@ -287,7 +324,9 @@ support::Result<int> cmd_flow(const Args& args) {
               offline.pconf->num_parameterized_bits(),
               offline.pconf->parameterized_frames().size());
 
+  std::ofstream journal_out;
   debug::DebugSession session(offline);
+  FPGADBG_RETURN_IF_ERROR(attach_journal_sink(args, journal_out, session));
   const auto& lane0 = offline.instrumented.lane_signals[0];
   const auto turn = session.observe({lane0[lane0.size() / 2]});
   std::printf("sample debugging turn ('%s'): %zu frames, SCG %.1f us, "
@@ -314,7 +353,9 @@ support::Result<int> cmd_profile(const Args& args) {
 
   FPGADBG_ASSIGN_OR_RETURN(const debug::OfflineResult offline,
                            run_pipeline(nl, options));
+  std::ofstream journal_out;
   debug::DebugSession session(offline);
+  FPGADBG_RETURN_IF_ERROR(attach_journal_sink(args, journal_out, session));
 
   // Exercise the online stage: rotate the observed signal through the lane-0
   // candidates (every turn is a real SCG + DPR charge) and emulate cycles
@@ -349,6 +390,9 @@ support::Result<int> cmd_profile(const Args& args) {
     std::printf("  %-28s %12llu\n", name,
                 static_cast<unsigned long long>(snap.counter(name)));
   };
+  auto row_g = [&](const char* name) {
+    std::printf("  %-28s %12.4f\n", name, snap.gauge(name));
+  };
 
   std::printf("offline stage times:\n");
   row_s("instrument", snap.histogram("offline.instrument_seconds").sum);
@@ -380,9 +424,291 @@ support::Result<int> cmd_profile(const Args& args) {
   row_c("scg.incremental_specializations");
   row_c("icap.frames_transferred");
   row_c("icap.bytes_transferred");
+  row_c("icap.frame_writes");
   row_c("debug.cycles_emulated");
+  row_c("debug.journal.events");
+  row_c("debug.journal.dropped_events");
   row_c("sim.evals");
   row_c("sim.ops_skipped");
+
+  std::printf("signal coverage:\n");
+  row_g("debug.coverage.observed");
+  row_g("debug.coverage.observable");
+  row_g("debug.coverage.fraction");
+  const auto hot = session.churn().top(4);
+  if (!hot.empty()) {
+    std::printf("hottest frames (%llu reconfigurations, %zu frames "
+                "touched):\n",
+                static_cast<unsigned long long>(
+                    session.churn().reconfigurations()),
+                session.churn().frames_touched());
+    for (const auto& h : hot) {
+      std::printf("  frame %-6zu %6llu writes\n", h.frame,
+                  static_cast<unsigned long long>(h.writes));
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// fpgadbg report — session-journal post-mortem
+// ---------------------------------------------------------------------------
+
+/// Linear-interpolated percentile of an unsorted sample set (p in [0,1]).
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = lo + 1 < v.size() ? lo + 1 : lo;
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// Cross-checks a --metrics JSON snapshot against the journal: parses it
+/// (schema errors are fatal — that is the point) and prints the counters and
+/// histogram summaries the report cares about.
+support::Result<int> report_metrics_snapshot(const std::string& path,
+                                             std::size_t journal_turns) {
+  std::ifstream in(path);
+  if (!in) return support::Status::not_found("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  support::JsonValue root;
+  try {
+    root = support::parse_json(buffer.str());
+  } catch (const std::exception& e) {
+    return support::Status::parse_error(path, 0, e.what());
+  }
+  const support::JsonValue* counters = root.find("counters");
+  const support::JsonValue* histograms = root.find("histograms");
+  if (!counters || !counters->is_object() || !histograms ||
+      !histograms->is_object() || !root.find("gauges")) {
+    return support::Status::corrupt_artifact(
+        path + ": not a metrics snapshot (want counters/gauges/histograms)");
+  }
+  std::printf("metrics snapshot (%s):\n", path.c_str());
+  auto counter = [&](const char* name) -> double {
+    const support::JsonValue* v = counters->find(name);
+    return v && v->is_number() ? v->number : 0.0;
+  };
+  for (const char* name :
+       {"debug.turns", "debug.cycles_emulated", "debug.journal.events",
+        "icap.frame_writes", "scg.bits_reevaluated"}) {
+    std::printf("  %-28s %12.0f\n", name, counter(name));
+  }
+  if (const support::JsonValue* h = histograms->find("debug.turn_seconds")) {
+    const support::JsonValue* p50 = h->find("p50");
+    const support::JsonValue* p99 = h->find("p99");
+    const support::JsonValue* count = h->find("count");
+    if (p50 && p99 && count) {
+      std::printf("  %-28s n=%.0f, p50 %.1f us, p99 %.1f us\n",
+                  "debug.turn_seconds", count->number, p50->number * 1e6,
+                  p99->number * 1e6);
+    }
+  }
+  const double turns = counter("debug.turns");
+  if (journal_turns != 0 && turns != 0.0 &&
+      turns != static_cast<double>(journal_turns)) {
+    std::printf("  note: snapshot counts %.0f turns, journal records %zu "
+                "(snapshot may span several sessions)\n",
+                turns, journal_turns);
+  }
+  return 0;
+}
+
+support::Result<int> cmd_report(const Args& args) {
+  if (args.positional.empty()) return usage();
+  FPGADBG_ASSIGN_OR_RETURN(
+      const debug::SessionJournal journal,
+      debug::SessionJournal::load_file(args.positional[0]));
+  std::size_t top_n = 8;
+  if (auto t = args.option("--top")) top_n = to_count(*t, "--top");
+
+  using debug::SessionEvent;
+  using debug::SessionEventKind;
+
+  struct TurnRow {
+    std::vector<std::string> requested;
+    std::uint64_t bits = 0;
+    std::uint64_t frames = 0;
+    bool incremental = false;
+    double scg_seconds = 0.0;
+    double dpr_seconds = 0.0;
+    double coverage = 0.0;
+    bool ended = false;
+  };
+  std::map<std::uint64_t, TurnRow> turns;
+  std::vector<double> scg_samples, dpr_partial_samples;
+  bitstream::FrameChurn churn;
+  std::uint64_t cycles = 0;
+  std::uint64_t full_configs = 0, full_frames = 0;
+  double full_seconds = 0.0;
+  struct Fire {
+    std::uint64_t turn, cycle, fire_cycle, window = 0;
+  };
+  std::vector<Fire> fires;
+
+  for (const SessionEvent& e : journal.events()) {
+    switch (e.kind) {
+      case SessionEventKind::kTurnStart:
+        turns[e.turn].requested = e.signals;
+        break;
+      case SessionEventKind::kScgEval: {
+        TurnRow& row = turns[e.turn];
+        row.bits = e.bits_changed;
+        row.incremental = e.incremental;
+        row.scg_seconds = e.scg_eval_seconds;
+        // The paper's ~50 us bound covers the per-turn (incremental)
+        // specialization; the one-off full evaluation is setup cost.
+        if (e.incremental) scg_samples.push_back(e.scg_eval_seconds);
+        break;
+      }
+      case SessionEventKind::kIcapWrite: {
+        TurnRow& row = turns[e.turn];
+        row.frames = e.frames;
+        row.dpr_seconds = e.reconfig_seconds;
+        if (e.full) {
+          ++full_configs;
+          full_frames = e.frames;
+          full_seconds = e.reconfig_seconds;
+          churn.record_full(e.frames);
+        } else {
+          std::vector<std::size_t> ids(e.frame_ids.begin(),
+                                       e.frame_ids.end());
+          churn.record_partial(ids);
+          dpr_partial_samples.push_back(e.reconfig_seconds);
+        }
+        break;
+      }
+      case SessionEventKind::kTurnEnd: {
+        TurnRow& row = turns[e.turn];
+        row.coverage = e.coverage;
+        row.ended = true;
+        break;
+      }
+      case SessionEventKind::kCycleBatch:
+        cycles += e.count;
+        break;
+      case SessionEventKind::kTriggerFire:
+        fires.push_back({e.turn, e.cycle, e.count, 0});
+        break;
+      case SessionEventKind::kTraceWindow:
+        if (!fires.empty()) fires.back().window = e.count;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::printf("session journal %s: %zu events (%llu recorded, %llu "
+              "dropped), %zu turns, %llu emulated cycles\n",
+              args.positional[0].c_str(), journal.size(),
+              static_cast<unsigned long long>(journal.total_events()),
+              static_cast<unsigned long long>(journal.dropped_events()),
+              turns.size(), static_cast<unsigned long long>(cycles));
+
+  std::printf("\nper-turn breakdown:\n");
+  std::printf("  %4s %-5s %10s %8s %10s %10s %9s\n", "turn", "mode", "bits",
+              "frames", "scg[us]", "dpr[us]", "coverage");
+  for (const auto& [turn, row] : turns) {
+    std::printf("  %4llu %-5s %10llu %8llu %10.1f %10.1f %8.1f%%\n",
+                static_cast<unsigned long long>(turn),
+                row.incremental ? "incr" : "full",
+                static_cast<unsigned long long>(row.bits),
+                static_cast<unsigned long long>(row.frames),
+                row.scg_seconds * 1e6, row.dpr_seconds * 1e6,
+                row.coverage * 100.0);
+  }
+
+  // Paper §V-C2: SCG evaluation stays within ~50 us, and partial
+  // reconfiguration beats the 176 ms full configuration of the 23712-frame
+  // reference device by ~3 orders of magnitude.
+  constexpr double kPaperScgBoundSeconds = 50e-6;
+  const bitstream::IcapModel reference;
+  if (!scg_samples.empty()) {
+    const double p50 = percentile(scg_samples, 0.50);
+    const double p99 = percentile(scg_samples, 0.99);
+    std::printf("\nSCG evaluation: p50 %.1f us, p99 %.1f us over %zu "
+                "incremental evals (paper bound ~%.0f us): %s\n",
+                p50 * 1e6, p99 * 1e6, scg_samples.size(),
+                kPaperScgBoundSeconds * 1e6,
+                p99 <= kPaperScgBoundSeconds ? "within bound"
+                                             : "EXCEEDS BOUND");
+  }
+  if (!dpr_partial_samples.empty()) {
+    const double p50 = percentile(dpr_partial_samples, 0.50);
+    const double p99 = percentile(dpr_partial_samples, 0.99);
+    std::printf("DPR (partial): p50 %.1f us, p99 %.1f us over %zu "
+                "reconfigurations; reference full config %.0f ms / %zu "
+                "frames -> %.0fx faster at p50\n",
+                p50 * 1e6, p99 * 1e6, dpr_partial_samples.size(),
+                reference.reference_full_seconds * 1e3,
+                reference.reference_frames,
+                p50 > 0.0 ? reference.reference_full_seconds / p50 : 0.0);
+  }
+  if (full_configs > 0) {
+    std::printf("full configurations: %llu (device %llu frames, %.1f ms "
+                "each)\n",
+                static_cast<unsigned long long>(full_configs),
+                static_cast<unsigned long long>(full_frames),
+                full_seconds * 1e3);
+  }
+
+  // Coverage curve: the fraction of the observable-signal universe seen at
+  // least once, after each completed turn.
+  std::vector<double> curve;
+  for (const auto& [turn, row] : turns) {
+    if (row.ended) curve.push_back(row.coverage);
+  }
+  if (!curve.empty()) {
+    std::printf("\nsignal coverage after %zu turns: %.1f%%\n", curve.size(),
+                curve.back() * 100.0);
+    std::printf("  curve:");
+    const std::size_t max_points = 16;
+    const std::size_t stride =
+        curve.size() > max_points ? (curve.size() + max_points - 1) / max_points
+                                  : 1;
+    for (std::size_t i = 0; i < curve.size(); i += stride) {
+      std::printf(" %.1f%%", curve[i] * 100.0);
+    }
+    if (stride > 1) std::printf(" ... %.1f%%", curve.back() * 100.0);
+    std::printf("\n");
+  }
+
+  const auto hot = churn.top(top_n);
+  if (!hot.empty()) {
+    std::printf("\nframe churn: %llu writes over %zu frames touched; "
+                "top %zu:\n",
+                static_cast<unsigned long long>(churn.total_writes()),
+                churn.frames_touched(), hot.size());
+    const std::uint64_t peak = hot.front().writes;
+    for (const auto& h : hot) {
+      const std::size_t bar =
+          peak > 0 ? static_cast<std::size_t>(40 * h.writes / peak) : 0;
+      std::printf("  frame %-6zu %6llu %s\n", h.frame,
+                  static_cast<unsigned long long>(h.writes),
+                  std::string(bar, '#').c_str());
+    }
+  }
+
+  if (!fires.empty()) {
+    std::printf("\ntrigger timeline:\n");
+    for (const Fire& f : fires) {
+      std::printf("  turn %llu: fired at run cycle %llu (session cycle "
+                  "%llu, %llu samples frozen)\n",
+                  static_cast<unsigned long long>(f.turn),
+                  static_cast<unsigned long long>(f.fire_cycle),
+                  static_cast<unsigned long long>(f.cycle),
+                  static_cast<unsigned long long>(f.window));
+    }
+  }
+
+  if (args.positional.size() >= 2) {
+    std::printf("\n");
+    auto snapshot = report_metrics_snapshot(args.positional[1], turns.size());
+    if (!snapshot.ok()) return snapshot;
+  }
   return 0;
 }
 
@@ -452,12 +778,13 @@ int main(int argc, char** argv) {
   }
 
   // Peel global options off the token stream; the rest is command + args.
-  std::string trace_path, metrics_path, cache_dir;
+  std::string trace_path, metrics_path, prom_path, cache_dir, journal_path;
   std::vector<std::string> rest;
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const std::string t = tokens[i];
-    if (t == "--trace" || t == "--metrics" || t == "--log-level" ||
-        t == "--log-format" || t == "--cache-dir") {
+    if (t == "--trace" || t == "--metrics" || t == "--prom" ||
+        t == "--journal" || t == "--log-level" || t == "--log-format" ||
+        t == "--cache-dir") {
       if (i + 1 >= tokens.size()) {
         std::fprintf(stderr, "fpgadbg: %s requires a value\n", t.c_str());
         return kUsageExit;
@@ -467,6 +794,10 @@ int main(int argc, char** argv) {
         trace_path = value;
       } else if (t == "--metrics") {
         metrics_path = value;
+      } else if (t == "--prom") {
+        prom_path = value;
+      } else if (t == "--journal") {
+        journal_path = value;
       } else if (t == "--cache-dir") {
         cache_dir = value;
       } else if (t == "--log-level") {
@@ -500,6 +831,7 @@ int main(int argc, char** argv) {
   const std::string command = rest[0];
   Args args = parse(rest, 1);
   args.cache_dir = cache_dir;
+  args.journal_path = journal_path;
 
   // Every subcommand reports failure as a Result; stray exceptions from
   // deeper layers are converted to a Status here, so nothing escapes main.
@@ -519,6 +851,8 @@ int main(int argc, char** argv) {
       result = cmd_gen(args);
     } else if (command == "export") {
       result = cmd_export(args);
+    } else if (command == "report") {
+      result = cmd_report(args);
     } else {
       result = usage();
     }
@@ -550,6 +884,13 @@ int main(int argc, char** argv) {
     if (!telemetry::metrics().write_json_file(metrics_path)) {
       std::fprintf(stderr, "fpgadbg: cannot write metrics file %s\n",
                    metrics_path.c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  if (!prom_path.empty()) {
+    if (!telemetry::metrics().write_prometheus_file(prom_path)) {
+      std::fprintf(stderr, "fpgadbg: cannot write prometheus file %s\n",
+                   prom_path.c_str());
       if (code == 0) code = 1;
     }
   }

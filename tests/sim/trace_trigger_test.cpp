@@ -42,6 +42,29 @@ TEST(TraceBuffer, WrapsWhenFull) {
   EXPECT_TRUE(window.back().get(1));
 }
 
+TEST(TraceBuffer, ForEachSampleVisitsOldestToNewestWithoutCopying) {
+  TraceBuffer tb(8, 4);
+  for (int i = 0; i < 6; ++i) {  // wraps: stored window is captures 2..5
+    BitVec v(8);
+    v.set(static_cast<std::size_t>(i), true);
+    tb.capture(v);
+  }
+  std::vector<const BitVec*> visited;
+  tb.for_each_sample([&](const BitVec& s) { visited.push_back(&s); });
+  ASSERT_EQ(visited.size(), 4u);
+  EXPECT_TRUE(visited.front()->get(2));  // oldest stored
+  EXPECT_TRUE(visited.back()->get(5));   // newest
+  // Zero-copy: the visited references are the ring's own storage.
+  for (std::size_t age = 0; age < 4; ++age) {
+    EXPECT_EQ(visited[3 - age], &tb.sample_back(age));
+  }
+  // read_window() is defined as the materialized form of the same walk.
+  const auto window = tb.read_window();
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(window[i].get(i + 2), true);
+  }
+}
+
 TEST(TraceBuffer, ClearResets) {
   TraceBuffer tb(2, 2);
   tb.capture(sample({1, 1}));

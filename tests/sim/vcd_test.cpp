@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "sim/trace_buffer.h"
 #include "support/error.h"
 
 namespace fpgadbg::sim {
@@ -100,6 +101,46 @@ TEST(Vcd, WindowHelperWritesWholeTrace) {
   EXPECT_NE(text.find("#1"), std::string::npos);
   EXPECT_NE(text.find("#2"), std::string::npos);
   EXPECT_NE(text.find("#3"), std::string::npos);  // finish timestamp
+}
+
+TEST(Vcd, SanitizeNameHandlesReservedCharacters) {
+  EXPECT_EQ(sanitize_vcd_name("plain_name"), "plain_name");
+  EXPECT_EQ(sanitize_vcd_name("add$out[3]"), "add_out_3_");
+  EXPECT_EQ(sanitize_vcd_name("top.core/alu"), "top_core_alu");
+  EXPECT_EQ(sanitize_vcd_name("with space"), "with_space");
+  EXPECT_EQ(sanitize_vcd_name("3state"), "_3state");  // leading digit
+  EXPECT_EQ(sanitize_vcd_name(""), "_");
+}
+
+TEST(Vcd, DeclareSanitizesAndDeduplicates) {
+  std::ostringstream out;
+  VcdWriter writer(out, "dut");
+  writer.declare("a$b");    // -> a_b
+  writer.declare("a_b");    // collides -> a_b_2
+  writer.declare("a b");    // collides -> a_b_3
+  writer.declare("2of3");   // leading digit -> _2of3
+  writer.begin();
+  const std::string text = out.str();
+  EXPECT_NE(text.find(" a_b $end"), std::string::npos);
+  EXPECT_NE(text.find(" a_b_2 $end"), std::string::npos);
+  EXPECT_NE(text.find(" a_b_3 $end"), std::string::npos);
+  EXPECT_NE(text.find(" _2of3 $end"), std::string::npos);
+  // Nothing left that GTKWave would reject.
+  EXPECT_EQ(text.find("a$b"), std::string::npos);
+  EXPECT_EQ(text.find('['), std::string::npos);
+}
+
+TEST(Vcd, TraceBufferOverloadStreamsStoredWindow) {
+  TraceBuffer trace(2, 8);
+  trace.capture(bits({0, 1}));
+  trace.capture(bits({1, 1}));
+  trace.capture(bits({1, 0}));
+
+  std::ostringstream direct, from_trace;
+  write_vcd(direct, {"x", "y"}, trace.read_window());
+  write_vcd(from_trace, {"x", "y"}, trace);
+  EXPECT_EQ(direct.str(), from_trace.str());
+  EXPECT_NE(from_trace.str().find("#3"), std::string::npos);
 }
 
 }  // namespace

@@ -148,6 +148,42 @@ TEST(Metrics, JsonExportParses) {
   EXPECT_EQ(hist->find("count")->number, 1.0);
 }
 
+TEST(Metrics, PrometheusExposition) {
+  metrics().counter("test.prom_counter").add(7);
+  metrics().gauge("test.prom-gauge").set(2.5);
+  auto& h = metrics().histogram("test.prom_hist");
+  for (int i = 0; i < 10; ++i) h.observe(1e-3);
+
+  std::ostringstream os;
+  metrics().write_prometheus(os);
+  const std::string text = os.str();
+  // Counters: fpgadbg_ prefix, '.'/'-' mapped to '_', _total suffix.
+  EXPECT_NE(text.find("# TYPE fpgadbg_test_prom_counter_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("fpgadbg_test_prom_counter_total 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fpgadbg_test_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("fpgadbg_test_prom_gauge 2.5"), std::string::npos);
+  // Histograms export as summaries with quantile labels + _sum/_count.
+  EXPECT_NE(text.find("# TYPE fpgadbg_test_prom_hist summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("fpgadbg_test_prom_hist{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("fpgadbg_test_prom_hist{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("fpgadbg_test_prom_hist_count 10"), std::string::npos);
+  EXPECT_NE(text.find("fpgadbg_test_prom_hist_sum"), std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(line.rfind("fpgadbg_", 0), 0u) << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Tracer
 // ---------------------------------------------------------------------------

@@ -335,4 +335,91 @@ TEST(Cli, InvalidGlobalFlagValuesRejected) {
   EXPECT_EQ(run("gen list --trace").exit_code, 2);  // missing value
 }
 
+TEST(Cli, JournalFlagStreamsSessionEvents) {
+  const std::string blif = write_profile_blif("jrnl.blif");
+  const std::string journal_path = tmp_path("jrnl.jsonl");
+  const auto r = run("--journal " + journal_path + " profile " + blif +
+                     " --width 2 --turns 2 --cycles 8");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // The profile table reports the flight recorder and coverage metrics.
+  EXPECT_NE(r.output.find("debug.journal.events"), std::string::npos);
+  EXPECT_NE(r.output.find("icap.frame_writes"), std::string::npos);
+  EXPECT_NE(r.output.find("debug.coverage.fraction"), std::string::npos);
+  EXPECT_NE(r.output.find("hottest frames"), std::string::npos);
+
+  // Every journal line is a JSON object; the stream covers the whole
+  // session, starting with the constructor's session_start.
+  std::istringstream lines(read_file(journal_path));
+  std::string line;
+  std::size_t events = 0, turn_starts = 0;
+  while (std::getline(lines, line)) {
+    const JsonValue e = parse_json(line);
+    ASSERT_NE(e.find("ev"), nullptr) << line;
+    ASSERT_NE(e.find("seq"), nullptr) << line;
+    EXPECT_EQ(e.find("seq")->number, static_cast<double>(events));
+    if (events == 0) EXPECT_EQ(e.find("ev")->str, "session_start");
+    turn_starts += e.find("ev")->str == "turn_start";
+    ++events;
+  }
+  EXPECT_EQ(turn_starts, 3u);  // constructor turn + 2 profile turns
+}
+
+TEST(Cli, ReportAnalysesAJournal) {
+  const std::string blif = write_profile_blif("rpt.blif");
+  const std::string journal_path = tmp_path("rpt.jsonl");
+  const std::string metrics_path = tmp_path("rpt_metrics.json");
+  ASSERT_EQ(run("--journal " + journal_path + " --metrics " + metrics_path +
+                " profile " + blif + " --width 2 --turns 3 --cycles 8")
+                .exit_code,
+            0);
+
+  const auto r =
+      run("report " + journal_path + " " + metrics_path + " --top 3");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("per-turn breakdown"), std::string::npos);
+  EXPECT_NE(r.output.find("paper bound ~50 us"), std::string::npos);
+  EXPECT_NE(r.output.find("176 ms"), std::string::npos);
+  EXPECT_NE(r.output.find("signal coverage after"), std::string::npos);
+  EXPECT_NE(r.output.find("frame churn"), std::string::npos);
+  EXPECT_NE(r.output.find("metrics snapshot"), std::string::npos);
+  EXPECT_NE(r.output.find("debug.turns"), std::string::npos);
+}
+
+TEST(Cli, ReportRejectsMalformedInputs) {
+  EXPECT_EQ(run("report /nonexistent/journal.jsonl").exit_code, 3);
+  const std::string bad = tmp_path("bad.jsonl");
+  {
+    std::ofstream out(bad);
+    out << "this is not json\n";
+  }
+  EXPECT_EQ(run("report " + bad).exit_code, 4);  // parse-error exit code
+  // A journal fed a non-metrics JSON file as the snapshot is rejected too.
+  const std::string journal_path = tmp_path("rr.jsonl");
+  {
+    std::ofstream out(journal_path);
+    out << "{\"ev\":\"session_start\",\"seq\":0,\"turn\":0,\"cycle\":0,"
+           "\"lanes\":2}\n";
+  }
+  const std::string not_metrics = tmp_path("notmetrics.json");
+  {
+    std::ofstream out(not_metrics);
+    out << "{\"unrelated\": 1}\n";
+  }
+  EXPECT_EQ(run("report " + journal_path + " " + not_metrics).exit_code, 6);
+}
+
+TEST(Cli, PromFlagWritesPrometheusExposition) {
+  const std::string blif = write_profile_blif("prom.blif");
+  const std::string prom_path = tmp_path("metrics.prom");
+  const auto r = run("--prom " + prom_path + " profile " + blif +
+                     " --width 2 --turns 1 --cycles 4");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::string text = read_file(prom_path);
+  EXPECT_NE(text.find("# TYPE fpgadbg_debug_turns_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("fpgadbg_debug_coverage_fraction"), std::string::npos);
+  EXPECT_NE(text.find("fpgadbg_debug_turn_seconds{quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
 }  // namespace
