@@ -25,6 +25,14 @@ fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$(nproc)"
 
+# Under a TSan gate the standalone smokes drop out of ctest (the whole suite
+# is already sanitized), but the batch-engine smoke pins the worst-case
+# sharding configuration (one block per task, every step through the pool),
+# which the gtest suites only approximate — run it explicitly.
+if [ "$SANITIZE" = "thread" ]; then
+  tests/sim/run_batch_tsan_smoke.sh . "$BUILD_DIR/tsan_smoke"
+fi
+
 # Schema smoke: run a real debug session with the flight recorder and the
 # metrics snapshot enabled, then make `fpgadbg report` ingest both files.
 # report parses the journal (JSONL) and the metrics snapshot (JSON) with the

@@ -190,6 +190,13 @@ TurnReport DebugSession::observe(const std::vector<std::string>& signals) {
   return report;
 }
 
+ScenarioBatchResult DebugSession::run_scenario_batch(
+    const ScenarioBatchOptions& options) const {
+  // The campaign runs on its own SoA engine over the session's mapped
+  // design; the interactive DUT (sim_) and its trace window are untouched.
+  return debug::run_scenario_batch(offline_.mapping.netlist, options);
+}
+
 void DebugSession::reset() {
   flush_cycle_batch();
   sim_.reset();

@@ -19,6 +19,7 @@
 #include "debug/coverage.h"
 #include "debug/flow.h"
 #include "debug/journal.h"
+#include "debug/scenario_batch.h"
 #include "sim/mapped_simulator.h"
 #include "sim/sim_backend.h"
 #include "sim/trace_buffer.h"
@@ -92,6 +93,15 @@ class DebugSession {
       std::uint64_t max_cycles);
 
   SessionSummary summary() const { return summary_; }
+
+  /// Batched scenario campaign over this session's mapped design: drives
+  /// S independent stimulus universes (optionally fault-injected) through
+  /// the structure-of-arrays engine, 64 x blocks scenarios per pass.  This
+  /// is the entry point equivalence and `fpgadbg campaign` consumers use to
+  /// sweep thousands of scenarios without touching the interactive DUT
+  /// state of the session.
+  ScenarioBatchResult run_scenario_batch(
+      const ScenarioBatchOptions& options) const;
 
   /// Emulation-state rewind: capture the DUT's sequential state, run ahead,
   /// then restore and re-run (typically after re-parameterizing onto a

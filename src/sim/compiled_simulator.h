@@ -87,11 +87,19 @@ class CompiledSimulator {
   std::uint64_t cycle() const { return cycle_; }
 
   /// Sequential state of all 64 streams (latch lane words + cycle counter).
+  /// The version and lane width make the snapshot's shape explicit: restore()
+  /// rejects snapshots taken by an incompatible engine or at a different
+  /// batch width instead of silently corrupting latch state.
+  static constexpr std::uint32_t kSnapshotVersion = 1;
   struct Snapshot {
+    std::uint32_t version = kSnapshotVersion;
+    std::uint32_t lanes = kLanes;
     std::vector<std::uint64_t> latch_words;
     std::uint64_t cycle = 0;
   };
-  Snapshot snapshot() const { return Snapshot{latch_words_, cycle_}; }
+  Snapshot snapshot() const {
+    return Snapshot{kSnapshotVersion, kLanes, latch_words_, cycle_};
+  }
   void restore(const Snapshot& snapshot);
 
  private:

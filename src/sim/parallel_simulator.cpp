@@ -23,12 +23,14 @@ void ParallelSimulator::reset() {
 }
 
 void ParallelSimulator::set_input_word(NodeId id, std::uint64_t word) {
+  FPGADBG_REQUIRE(id < nl_.num_nodes(), "set_input_word node id out of range");
   FPGADBG_REQUIRE(nl_.kind(id) == NodeKind::kInput,
                   "set_input_word target is not an input");
   values_[id] = word;
 }
 
 void ParallelSimulator::set_param_word(NodeId id, std::uint64_t word) {
+  FPGADBG_REQUIRE(id < nl_.num_nodes(), "set_param_word node id out of range");
   FPGADBG_REQUIRE(nl_.kind(id) == NodeKind::kParam,
                   "set_param_word target is not a parameter");
   values_[id] = word;

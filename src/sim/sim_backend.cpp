@@ -29,4 +29,14 @@ SimBackend default_sim_backend() {
   return SimBackend::kCompiled;
 }
 
+std::size_t default_batch_blocks() {
+  if (const char* env = std::getenv("FPGADBG_SIM_BATCH_BLOCKS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v < 1) return 1;
+    if (v > 4096) return 4096;
+    return static_cast<std::size_t>(v);
+  }
+  return 64;
+}
+
 }  // namespace fpgadbg::sim

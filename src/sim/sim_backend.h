@@ -7,6 +7,7 @@
 // default can be overridden with FPGADBG_SIM_BACKEND=interpreted|compiled.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -24,5 +25,10 @@ SimBackend parse_sim_backend(const std::string& name);
 
 /// kCompiled unless the FPGADBG_SIM_BACKEND environment variable overrides.
 SimBackend default_sim_backend();
+
+/// Scenario blocks per BatchSimulator pass (each block is 64 scenarios).
+/// 64 unless the FPGADBG_SIM_BATCH_BLOCKS environment variable overrides;
+/// values are clamped to [1, 4096].
+std::size_t default_batch_blocks();
 
 }  // namespace fpgadbg::sim

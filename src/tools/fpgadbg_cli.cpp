@@ -12,9 +12,12 @@
 //   fpgadbg flow <design.blif> [--width N]
 //       full offline stage + a sample online debugging turn, with timing
 //   fpgadbg profile <design.blif> [--width N] [--turns T] [--cycles C]
+//              [--scenarios S] [--scenario-cycles C]
 //       run the offline stage plus T debugging turns of C emulated cycles
-//       each, then print a stage-time / metric table from the telemetry
-//       registry (combine with --trace/--metrics for machine-readable output)
+//       each and a batched scenario campaign of S stimulus universes
+//       (--scenarios 0 skips it), then print a stage-time / metric table
+//       from the telemetry registry (combine with --trace/--metrics for
+//       machine-readable output)
 //   fpgadbg gen <benchname|list> [<out.blif>]
 //       emit one of the paper's synthetic benchmark circuits
 //   fpgadbg export <design.blif> <out.v> [--par f.par] [--mapper sm|abc|tcon]
@@ -93,6 +96,7 @@ int usage() {
                "  flow <design.blif> [--width N] [--route-threads N]"
                " [--astar-fac F]\n"
                "  profile <design.blif> [--width N] [--turns T] [--cycles C]"
+               " [--scenarios S] [--scenario-cycles C]"
                " [--route-threads N] [--astar-fac F]\n"
                "  gen <benchname|list> [<out.blif>]\n"
                "  export <design.blif> <out.v> [--par f.par]"
@@ -350,6 +354,14 @@ support::Result<int> cmd_profile(const Args& args) {
   if (auto t = args.option("--turns")) turns = to_count(*t, "--turns");
   std::size_t cycles = 256;
   if (auto c = args.option("--cycles")) cycles = to_count(*c, "--cycles");
+  std::size_t scenarios = 256;
+  if (auto s = args.option("--scenarios")) {
+    scenarios = to_count(*s, "--scenarios");
+  }
+  std::size_t scenario_cycles = 64;
+  if (auto s = args.option("--scenario-cycles")) {
+    scenario_cycles = to_count(*s, "--scenario-cycles");
+  }
 
   FPGADBG_ASSIGN_OR_RETURN(const debug::OfflineResult offline,
                            run_pipeline(nl, options));
@@ -373,6 +385,18 @@ support::Result<int> cmd_profile(const Args& args) {
       }
       session.step(inputs);
     }
+  }
+
+  // Batched scenario campaign over the same design: exercises the SoA
+  // engine (and its sim.batch.* counters) with a mix of clean and
+  // fault-injected universes.
+  debug::ScenarioBatchResult batch;
+  if (scenarios > 0) {
+    debug::ScenarioBatchOptions sopt;
+    sopt.scenarios = scenarios;
+    sopt.cycles = scenario_cycles;
+    sopt.auto_faults = 2;
+    batch = session.run_scenario_batch(sopt);
   }
 
   const telemetry::MetricsSnapshot snap = telemetry::metrics().snapshot();
@@ -430,6 +454,19 @@ support::Result<int> cmd_profile(const Args& args) {
   row_c("debug.journal.dropped_events");
   row_c("sim.evals");
   row_c("sim.ops_skipped");
+  row_c("sim.batch.blocks");
+  row_c("sim.batch.scenario_cycles");
+  row_c("sim.batch.faulted_scenarios");
+
+  if (scenarios > 0) {
+    std::printf("scenario batch (%zu scenarios x %zu cycles, %zu blocks/"
+                "pass):\n",
+                batch.scenarios, batch.cycles, batch.blocks_per_pass);
+    std::printf("  %-28s %12.0f\n", "scenario_cycles/sec",
+                batch.scenario_cycles_per_sec);
+    std::printf("  %-28s %12zu\n", "faulted scenarios",
+                batch.faulted_scenarios);
+  }
 
   std::printf("signal coverage:\n");
   row_g("debug.coverage.observed");

@@ -1,0 +1,109 @@
+// Campaign-level invariants of the batched scenario engine: per-scenario
+// signatures must not depend on how a campaign is chunked into batch passes
+// or sharded across threads, and fault differentials must isolate exactly
+// the scenarios that were faulted.
+#include "debug/scenario_batch.h"
+
+#include <gtest/gtest.h>
+
+#include "debug/flow.h"
+#include "debug/session.h"
+#include "genbench/genbench.h"
+#include "support/error.h"
+
+namespace fpgadbg::debug {
+namespace {
+
+using netlist::Netlist;
+
+Netlist campaign_design(std::uint64_t seed) {
+  genbench::CircuitSpec spec{"scnb", 12, 10, 8, 180, 5, 6, 331 * seed};
+  return genbench::generate(spec);
+}
+
+TEST(ScenarioBatch, SignaturesInvariantAcrossBatchWidths) {
+  const Netlist nl = campaign_design(1);
+  ScenarioBatchOptions options;
+  options.scenarios = 256;  // 4 scenario blocks
+  options.cycles = 32;
+  std::vector<ScenarioBatchResult> results;
+  for (std::size_t width : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    options.blocks_per_pass = width;
+    results.push_back(run_scenario_batch(nl, options));
+  }
+  EXPECT_EQ(results[0].passes, 4u);
+  EXPECT_EQ(results[2].passes, 1u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(diverging_scenarios(results[0], results[i]).empty())
+        << "blocks_per_pass " << results[i].blocks_per_pass;
+  }
+}
+
+TEST(ScenarioBatch, SignaturesInvariantAcrossThreadCounts) {
+  const Netlist nl = campaign_design(2);
+  ScenarioBatchOptions options;
+  options.scenarios = 512;
+  options.cycles = 24;
+  options.blocks_per_pass = 8;
+  options.auto_faults = 2;  // faulted universes must shard identically too
+  options.num_threads = 1;
+  const auto serial = run_scenario_batch(nl, options);
+  options.num_threads = 8;
+  const auto threaded = run_scenario_batch(nl, options);
+  EXPECT_GT(serial.faulted_scenarios, 0u);
+  EXPECT_EQ(serial.faulted_scenarios, threaded.faulted_scenarios);
+  EXPECT_TRUE(diverging_scenarios(serial, threaded).empty());
+}
+
+TEST(ScenarioBatch, FaultDifferentialIsolatesTargetScenarios) {
+  const Netlist nl = campaign_design(3);
+  ScenarioBatchOptions options;
+  options.scenarios = 128;
+  options.cycles = 48;
+  const auto clean = run_scenario_batch(nl, options);
+
+  // Invert an output driver in scenarios 5 and 77 only.
+  auto faulted_options = options;
+  for (std::size_t scenario : {std::size_t{5}, std::size_t{77}}) {
+    ScenarioFault f;
+    f.fault.node = nl.outputs()[0];
+    f.fault.type = sim::FaultType::kInvert;
+    f.scenario = scenario;
+    faulted_options.faults.push_back(f);
+  }
+  const auto faulted = run_scenario_batch(nl, faulted_options);
+  EXPECT_EQ(faulted.faulted_scenarios, 2u);
+  const auto div = diverging_scenarios(clean, faulted);
+  EXPECT_EQ(div, (std::vector<std::size_t>{5, 77}));
+}
+
+TEST(ScenarioBatch, DivergenceRequiresEqualScenarioCounts) {
+  const Netlist nl = campaign_design(4);
+  ScenarioBatchOptions options;
+  options.cycles = 4;
+  options.scenarios = 64;
+  const auto a = run_scenario_batch(nl, options);
+  options.scenarios = 128;
+  const auto b = run_scenario_batch(nl, options);
+  EXPECT_THROW(diverging_scenarios(a, b), Error);
+}
+
+TEST(ScenarioBatch, SessionEntryPointRunsOnMappedDut) {
+  genbench::CircuitSpec spec{"scns", 8, 6, 4, 36, 3, 5, 77};
+  OfflineOptions offline_options;
+  offline_options.instrument.trace_width = 6;
+  const auto offline = run_offline(genbench::generate(spec), offline_options);
+  DebugSession session(offline);
+  ScenarioBatchOptions options;
+  options.scenarios = 128;
+  options.cycles = 16;
+  options.auto_faults = 1;
+  const auto result = session.run_scenario_batch(options);
+  EXPECT_EQ(result.scenarios, 128u);
+  EXPECT_EQ(result.signatures.size(), 128u);
+  EXPECT_GE(result.faulted_scenarios, 1u);
+  EXPECT_GT(result.scenario_cycles_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace fpgadbg::debug

@@ -1,0 +1,286 @@
+// Differential tests pinning the SoA batch engine to the compiled engine:
+// a B-block batch must be bit-identical to B independent single-stream
+// CompiledSimulator runs fed the same per-block stimulus words — clean,
+// under block-granular faults, and under per-scenario faults.  Plus the
+// invariants that make batched campaigns trustworthy: thread-count
+// invisibility, snapshot shape checking, and loud bounds failures.
+#include "sim/batch_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "genbench/genbench.h"
+#include "sim/compiled_simulator.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace fpgadbg::sim {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+constexpr std::size_t kBlocks = 4;
+
+genbench::CircuitSpec small_spec(std::uint64_t seed) {
+  return genbench::CircuitSpec{"batch150", 12, 10, 8, 150, 4, 6,
+                               321 * seed};
+}
+
+/// Drives `cycles` of per-block random stimulus through one batch engine and
+/// kBlocks independent compiled engines, asserting every output word of
+/// every block matches every cycle.
+void expect_matches_compiled(const Netlist& nl, BatchSimulator& batch,
+                             std::vector<CompiledSimulator>& refs, int cycles,
+                             std::uint64_t seed) {
+  ASSERT_EQ(refs.size(), batch.blocks());
+  Rng rng(seed);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    for (NodeId p : nl.params()) {
+      for (std::size_t b = 0; b < refs.size(); ++b) {
+        const std::uint64_t w = rng.next_u64();
+        batch.set_param_word(p, b, w);
+        refs[b].set_param_word(p, w);
+      }
+    }
+    for (NodeId in : nl.inputs()) {
+      for (std::size_t b = 0; b < refs.size(); ++b) {
+        const std::uint64_t w = rng.next_u64();
+        batch.set_input_word(in, b, w);
+        refs[b].set_input_word(in, w);
+      }
+    }
+    batch.step();
+    for (std::size_t b = 0; b < refs.size(); ++b) refs[b].step();
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      for (std::size_t b = 0; b < refs.size(); ++b) {
+        ASSERT_EQ(batch.output_word(o, b), refs[b].output_word(o))
+            << "cycle " << cycle << " output " << o << " block " << b;
+      }
+    }
+  }
+}
+
+TEST(BatchSimulator, CleanBatchMatchesIndependentCompiledRuns) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Netlist nl = genbench::generate(small_spec(seed));
+    BatchSimulator batch(nl, BatchSimOptions{.blocks = kBlocks});
+    std::vector<CompiledSimulator> refs;
+    for (std::size_t b = 0; b < kBlocks; ++b) refs.emplace_back(nl);
+    expect_matches_compiled(nl, batch, refs, 30, seed + 5);
+  }
+}
+
+TEST(BatchSimulator, FaultedBlocksMatchFaultedCompiledRuns) {
+  // Fault universe: block 1 gets an invert, block 3 a stuck-at-1 plus a
+  // flip-on-cycle; blocks 0 and 2 stay clean.  The batch must reproduce all
+  // four universes in one pass.
+  const Netlist nl =
+      genbench::generate(genbench::CircuitSpec{"batch400", 16, 12, 12, 400,
+                                               5, 6, 322});
+  const auto& topo = nl.topo_order();
+  const Fault invert{topo[topo.size() / 2], FaultType::kInvert, 0};
+  const Fault stuck{topo[topo.size() / 3], FaultType::kStuckAt1, 0};
+  const Fault flip{topo[2 * topo.size() / 3], FaultType::kFlipOnCycle, 6};
+
+  BatchSimulator batch(nl, BatchSimOptions{.blocks = kBlocks});
+  std::vector<CompiledSimulator> refs;
+  for (std::size_t b = 0; b < kBlocks; ++b) refs.emplace_back(nl);
+
+  auto block_mask = [](std::size_t block) {
+    std::vector<std::uint64_t> mask(kBlocks, 0);
+    mask[block] = ~0ULL;
+    return mask;
+  };
+  batch.inject_fault_masked(invert, block_mask(1));
+  refs[1].inject_fault(invert);
+  batch.inject_fault_masked(stuck, block_mask(3));
+  batch.inject_fault_masked(flip, block_mask(3));
+  refs[3].inject_fault(stuck);
+  refs[3].inject_fault(flip);
+  EXPECT_EQ(batch.num_faulted_scenarios(), 2 * BatchSimulator::kLanesPerBlock);
+
+  expect_matches_compiled(nl, batch, refs, 16, 99);
+
+  // Clearing faults re-merges every universe with the clean references.
+  batch.clear_faults();
+  for (auto& ref : refs) ref.clear_faults();
+  EXPECT_EQ(batch.num_faulted_scenarios(), 0u);
+  expect_matches_compiled(nl, batch, refs, 8, 100);
+}
+
+TEST(BatchSimulator, PerScenarioFaultTouchesExactlyOneLane) {
+  const Netlist nl = genbench::generate(small_spec(7));
+  const Fault fault{nl.topo_order().back(), FaultType::kInvert, 0};
+  // faulted: scenario 70 only (block 1, lane 6); clean: no faults.
+  BatchSimulator clean(nl, BatchSimOptions{.blocks = kBlocks});
+  BatchSimulator faulted(nl, BatchSimOptions{.blocks = kBlocks});
+  const std::size_t scenario = BatchSimulator::kLanesPerBlock + 6;
+  faulted.inject_fault(fault, scenario);
+  EXPECT_EQ(faulted.num_faulted_scenarios(), 1u);
+
+  Rng rng(41);
+  bool diverged = false;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    for (NodeId in : nl.inputs()) {
+      for (std::size_t b = 0; b < kBlocks; ++b) {
+        const std::uint64_t w = rng.next_u64();
+        clean.set_input_word(in, b, w);
+        faulted.set_input_word(in, b, w);
+      }
+    }
+    clean.step();
+    faulted.step();
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      for (std::size_t s = 0; s < clean.num_scenarios(); ++s) {
+        if (s == scenario) {
+          diverged |= clean.output_value(o, s) != faulted.output_value(o, s);
+        } else {
+          ASSERT_EQ(clean.output_value(o, s), faulted.output_value(o, s))
+              << "cycle " << cycle << " output " << o << " scenario " << s;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(diverged) << "invert on an output driver never observed";
+}
+
+TEST(BatchSimulator, ThreadCountIsBitInvisible) {
+  // Same design, same stimulus, 1 worker vs an 8-worker pool with the
+  // sharding threshold forced to 1 block: every output word of every block
+  // identical on every cycle.  (The pool spawns real threads even on a
+  // single-core host, so this exercises genuine concurrent sweeps.)
+  const Netlist nl = genbench::generate(small_spec(9));
+  BatchSimulator serial(
+      nl, BatchSimOptions{.blocks = 16, .num_threads = 1});
+  BatchSimulator threaded(
+      nl, BatchSimOptions{
+              .blocks = 16, .num_threads = 8, .min_blocks_per_task = 1});
+  const Fault fault{nl.topo_order().back(), FaultType::kInvert, 0};
+  std::vector<std::uint64_t> odd(16, 0xaaaaaaaaaaaaaaaaULL);
+  serial.inject_fault_masked(fault, odd);
+  threaded.inject_fault_masked(fault, odd);
+  Rng rng(17);
+  for (int cycle = 0; cycle < 24; ++cycle) {
+    for (NodeId in : nl.inputs()) {
+      for (std::size_t b = 0; b < 16; ++b) {
+        const std::uint64_t w = rng.next_u64();
+        serial.set_input_word(in, b, w);
+        threaded.set_input_word(in, b, w);
+      }
+    }
+    serial.step();
+    threaded.step();
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      for (std::size_t b = 0; b < 16; ++b) {
+        ASSERT_EQ(serial.output_word(o, b), threaded.output_word(o, b))
+            << "cycle " << cycle << " output " << o << " block " << b;
+      }
+    }
+  }
+}
+
+TEST(BatchSimulator, SnapshotRoundTripReplays) {
+  const Netlist nl = genbench::generate(small_spec(3));
+  BatchSimulator batch(nl, BatchSimOptions{.blocks = kBlocks});
+  Rng rng(23);
+  std::vector<std::vector<std::uint64_t>> stimulus;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    auto& words = stimulus.emplace_back();
+    for (NodeId in : nl.inputs()) {
+      for (std::size_t b = 0; b < kBlocks; ++b) {
+        words.push_back(rng.next_u64());
+        batch.set_input_word(in, b, words.back());
+      }
+    }
+    batch.step();
+  }
+  const auto snap = batch.snapshot();
+  EXPECT_EQ(snap.version, BatchSimulator::kSnapshotVersion);
+  EXPECT_EQ(snap.blocks, kBlocks);
+  EXPECT_EQ(snap.cycle, 8u);
+
+  auto replay = [&](std::vector<std::uint64_t>& trace) {
+    for (int cycle = 0; cycle < 4; ++cycle) {
+      std::size_t w = 0;
+      for (NodeId in : nl.inputs()) {
+        for (std::size_t b = 0; b < kBlocks; ++b) {
+          batch.set_input_word(
+              in, b, stimulus[static_cast<std::size_t>(cycle)][w++]);
+        }
+      }
+      batch.step();
+      for (std::size_t b = 0; b < kBlocks; ++b) {
+        trace.push_back(batch.output_word(0, b));
+      }
+    }
+  };
+  std::vector<std::uint64_t> ahead, rewound;
+  replay(ahead);
+  batch.restore(snap);
+  EXPECT_EQ(batch.cycle(), 8u);
+  replay(rewound);
+  EXPECT_EQ(ahead, rewound);
+}
+
+TEST(BatchSimulator, RestoreRejectsWrongShape) {
+  const Netlist nl = genbench::generate(small_spec(2));
+  BatchSimulator batch(nl, BatchSimOptions{.blocks = kBlocks});
+  batch.step();
+  const auto good = batch.snapshot();
+  {
+    auto bad = good;
+    bad.version = 99;
+    EXPECT_THROW(batch.restore(bad), Error);
+  }
+  {
+    auto bad = good;  // snapshot from a different batch width
+    bad.blocks = kBlocks * 2;
+    EXPECT_THROW(batch.restore(bad), Error);
+  }
+  {
+    auto bad = good;
+    bad.latch_words.pop_back();
+    EXPECT_THROW(batch.restore(bad), Error);
+  }
+  batch.restore(good);  // the untampered snapshot still restores
+  EXPECT_EQ(batch.cycle(), 1u);
+}
+
+TEST(BatchSimulator, BoundsChecksFailLoudly) {
+  const Netlist nl = genbench::generate(small_spec(1));
+  BatchSimulator batch(nl, BatchSimOptions{.blocks = kBlocks});
+  const NodeId in = nl.inputs().front();
+  EXPECT_THROW(batch.set_input_word(1u << 20, 0, 0), Error);
+  EXPECT_THROW(batch.set_input_word(in, kBlocks, 0), Error);
+  EXPECT_THROW(batch.set_param_word(1u << 20, 0, 0), Error);
+  EXPECT_THROW(batch.word(1u << 20, 0), Error);
+  EXPECT_THROW(batch.output_word(nl.outputs().size(), 0), Error);
+  EXPECT_THROW(
+      batch.inject_fault({1u << 20, FaultType::kInvert, 0}, kAllScenarios),
+      Error);
+  EXPECT_THROW(batch.inject_fault({nl.topo_order().back(),
+                                   FaultType::kInvert, 0},
+                                  batch.num_scenarios()),
+               Error);
+  // Mask must carry exactly one word per block.
+  std::vector<std::uint64_t> short_mask(kBlocks - 1, ~0ULL);
+  EXPECT_THROW(batch.inject_fault_masked(
+                   {nl.topo_order().back(), FaultType::kInvert, 0},
+                   short_mask),
+               Error);
+}
+
+TEST(BatchSimulator, SingleBlockMatchesCompiledEngine) {
+  // Degenerate width B=1 is exactly the compiled engine's word mode.
+  const Netlist nl = genbench::generate(small_spec(6));
+  BatchSimulator batch(nl, BatchSimOptions{.blocks = 1});
+  std::vector<CompiledSimulator> refs;
+  refs.emplace_back(nl);
+  expect_matches_compiled(nl, batch, refs, 20, 61);
+}
+
+}  // namespace
+}  // namespace fpgadbg::sim

@@ -336,6 +336,36 @@ TEST(CompiledSimulator, FaultOnSourceIsNoOp) {
   }
 }
 
+TEST(CompiledSimulator, RestoreRejectsWrongSnapshotShape) {
+  // Snapshots carry a version and lane width; restoring one taken from an
+  // incompatible engine (or a corrupted blob) must fail loudly instead of
+  // silently loading garbage latch state.
+  genbench::CircuitSpec spec{"snapv", 8, 6, 6, 70, 5, 4, 909};
+  const Netlist nl = genbench::generate(spec);
+  CompiledSimulator comp(nl);
+  comp.step();
+  const auto good = comp.snapshot();
+  EXPECT_EQ(good.version, CompiledSimulator::kSnapshotVersion);
+  EXPECT_EQ(good.lanes, 64u);
+  {
+    auto bad = good;
+    bad.version = 7;
+    EXPECT_THROW(comp.restore(bad), Error);
+  }
+  {
+    auto bad = good;
+    bad.lanes = 32;
+    EXPECT_THROW(comp.restore(bad), Error);
+  }
+  {
+    auto bad = good;
+    bad.latch_words.push_back(0);
+    EXPECT_THROW(comp.restore(bad), Error);
+  }
+  comp.restore(good);
+  EXPECT_EQ(comp.cycle(), 1u);
+}
+
 TEST(CompiledSimulator, RejectsOutOfRangeFault) {
   Netlist nl;
   const NodeId a = nl.add_input("a");

@@ -109,6 +109,17 @@ TEST(ParallelSimulator, ParamsAreWords) {
   EXPECT_THROW(par.set_input_word(p, 0), Error);
 }
 
+TEST(ParallelSimulator, RejectsOutOfRangeNodeIds) {
+  // Node ids past the design must fail the precondition check, not index
+  // off the end of the value arrays.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.add_output(a, "o");
+  ParallelSimulator par(nl);
+  EXPECT_THROW(par.set_input_word(static_cast<NodeId>(1000), 0), Error);
+  EXPECT_THROW(par.set_param_word(static_cast<NodeId>(1000), 0), Error);
+}
+
 TEST(ParallelSimulator, ConstantsEvaluate) {
   Netlist nl;
   nl.add_input("a");
