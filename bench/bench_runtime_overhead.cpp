@@ -13,6 +13,7 @@
 #include "debug/session.h"
 #include "genbench/genbench.h"
 #include "sim/trigger.h"
+#include "support/introspect.h"
 #include "support/rng.h"
 #include "support/stopwatch.h"
 
@@ -156,6 +157,49 @@ int main() {
               "on -> %+.2f%% overhead (budget <= 5%%)\n",
               static_cast<unsigned long long>(jcycles),
               without_journal * 1e3, with_journal * 1e3, overhead);
+
+  // Live introspection cost on the same hot paths: the server thread sits
+  // in poll() and progress reporting is iteration-cadence, so running with
+  // --introspect but no client attached must stay within a ~1% budget.
+  const double run_plain = timed_run(false);
+  auto introspect =
+      support::IntrospectServer::start(support::IntrospectOptions{});
+  if (!introspect.ok()) {
+    std::fprintf(stderr, "introspect server failed to start: %s\n",
+                 introspect.status().to_string().c_str());
+    return 1;
+  }
+  const double run_serving = timed_run(false);
+  const double run_overhead = (run_serving - run_plain) / run_plain * 100.0;
+
+  // And a threaded route negotiation (progress + series at iteration
+  // cadence) with the idle server still up.
+  auto timed_route = [&] {
+    genbench::CircuitSpec rspec{"introroute", 13, 8, 8, 260, 5, 6, 977};
+    const auto rnl = genbench::generate(rspec);
+    debug::OfflineOptions ropt;
+    ropt.instrument.trace_width = 8;
+    ropt.compile.route.route_threads = 4;
+    Stopwatch timer;
+    const auto roffline = debug::run_offline(rnl, ropt);
+    (void)roffline;
+    return timer.elapsed_seconds();
+  };
+  const double route_serving = timed_route();
+  introspect.value()->stop();
+  const double route_plain = timed_route();
+  const double route_overhead =
+      (route_serving - route_plain) / route_plain * 100.0;
+
+  std::printf("\nlive introspection server (idle, no client connected):\n");
+  std::printf("  run() of %llu cycles: %.3f ms server off, %.3f ms server "
+              "on -> %+.2f%% overhead (budget <= 1%%)\n",
+              static_cast<unsigned long long>(jcycles), run_plain * 1e3,
+              run_serving * 1e3, run_overhead);
+  std::printf("  threaded route+flow:  %.3f s server off, %.3f s server "
+              "on -> %+.2f%% apparent overhead (single sample; includes "
+              "progress/series reporting)\n",
+              route_plain, route_serving, route_overhead);
 
   std::printf("\nfor larger designs, the overhead becomes smaller relative to "
               "the debugging turn (paper conclusion).\n");

@@ -31,6 +31,9 @@ ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$(nproc)"
 # which the gtest suites only approximate — run it explicitly.
 if [ "$SANITIZE" = "thread" ]; then
   tests/sim/run_batch_tsan_smoke.sh . "$BUILD_DIR/tsan_smoke"
+  # Same for the introspection server: HTTP scrapers against live telemetry
+  # writers is exactly the cross-thread pattern TSan exists to check.
+  tests/support/run_introspect_tsan_smoke.sh . "$BUILD_DIR/tsan_smoke"
 fi
 
 # Schema smoke: run a real debug session with the flight recorder and the
@@ -58,3 +61,54 @@ grep -q '^fpgadbg_debug_turns_total ' "$SMOKE_DIR/metrics.prom" || {
   exit 1
 }
 echo "schema smoke: OK ($SMOKE_DIR)"
+
+# Introspection smoke: run a profile with the live HTTP server on an
+# ephemeral port, scrape every endpoint while the process lingers, and shut
+# it down through /quitz.  Exercises the whole chain end to end: flag
+# peeling, port announcement on stderr, HTTP framing, Prometheus exposition,
+# and the progress registry.
+INTRO_ERR="$SMOKE_DIR/introspect.err"
+"$FPGADBG" profile "$SMOKE_DIR/design.blif" --turns 1 --cycles 16 \
+           --scenarios 64 --introspect 0 --introspect-linger 60 \
+           > /dev/null 2> "$INTRO_ERR" &
+INTRO_PID=$!
+PORT=""
+for _ in $(seq 1 200); do
+  PORT=$(sed -n 's/^fpgadbg: introspect: serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+         "$INTRO_ERR" | head -n 1)
+  [ -n "$PORT" ] && break
+  sleep 0.05
+done
+if [ -z "$PORT" ]; then
+  echo "introspect smoke: no port announcement on stderr" >&2
+  kill "$INTRO_PID" 2> /dev/null || true
+  exit 1
+fi
+for endpoint in healthz metrics statusz progressz tracez; do
+  if ! curl -sf --max-time 5 "http://127.0.0.1:$PORT/$endpoint" \
+       > "$SMOKE_DIR/introspect.$endpoint"; then
+    echo "introspect smoke: GET /$endpoint failed" >&2
+    kill "$INTRO_PID" 2> /dev/null || true
+    exit 1
+  fi
+done
+grep -q '^fpgadbg_' "$SMOKE_DIR/introspect.metrics" || {
+  echo "introspect smoke: /metrics has no fpgadbg_ samples" >&2
+  kill "$INTRO_PID" 2> /dev/null || true
+  exit 1
+}
+grep -q '"tasks"' "$SMOKE_DIR/introspect.progressz" || {
+  echo "introspect smoke: /progressz has no tasks document" >&2
+  kill "$INTRO_PID" 2> /dev/null || true
+  exit 1
+}
+curl -sf --max-time 5 "http://127.0.0.1:$PORT/quitz" > /dev/null || {
+  echo "introspect smoke: GET /quitz failed" >&2
+  kill "$INTRO_PID" 2> /dev/null || true
+  exit 1
+}
+wait "$INTRO_PID" || {
+  echo "introspect smoke: fpgadbg exited non-zero" >&2
+  exit 1
+}
+echo "introspect smoke: OK (port $PORT)"

@@ -75,6 +75,13 @@ ScenarioBatchResult drive(sim::BatchSimulator& sim,
   result.passes = passes;
   result.signatures.assign(scenarios, kFnvOffset);
 
+  // Live progress at pass cadence: a campaign of thousands of scenarios is
+  // exactly the long-running loop the introspection server exists for.
+  telemetry::ProgressReporter progress("debug.scenario_batch");
+  progress.set_total(scenarios);
+  static telemetry::Gauge& throughput_gauge =
+      telemetry::metrics().gauge("sim.batch.scenarios_per_sec");
+
   Stopwatch timer;
   for (std::size_t pass = 0; pass < passes; ++pass) {
     const std::size_t block0 = pass * B;
@@ -115,6 +122,17 @@ ScenarioBatchResult drive(sim::BatchSimulator& sim,
         }
       }
     }
+    const std::size_t scenarios_done =
+        std::min(scenarios, (block0 + valid) * kLanes);
+    const double elapsed = timer.elapsed_seconds();
+    const double rate = elapsed > 0.0
+                            ? static_cast<double>(scenarios_done) / elapsed
+                            : 0.0;
+    progress.advance(scenarios_done);
+    progress.field("faulted", static_cast<double>(result.faulted_scenarios));
+    progress.field("throughput_scenarios_per_sec", rate);
+    // High-water mark: concurrent campaigns race, the best rate wins.
+    throughput_gauge.set_max(rate);
   }
   result.seconds = timer.elapsed_seconds();
   result.scenario_cycles_per_sec =
@@ -170,6 +188,9 @@ std::vector<std::size_t> diverging_scenarios(const ScenarioBatchResult& a,
   for (std::size_t s = 0; s < a.signatures.size(); ++s) {
     if (a.signatures[s] != b.signatures[s]) out.push_back(s);
   }
+  telemetry::metrics()
+      .gauge("debug.scenario.diverging")
+      .set(static_cast<double>(out.size()));
   return out;
 }
 

@@ -124,10 +124,31 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
   Stopwatch total;
   Stopwatch stage;
 
+  // Live progress: one unit per stage, the current stage name in both the
+  // /statusz marker and a /progressz note, and running cache hit/miss
+  // telemetry so a scrape shows whether the run is recomputing or replaying.
+  telemetry::ProgressReporter progress("flow.pipeline");
+  progress.set_total(options_.run_pnr ? 6 : 2);
+  std::uint64_t stages_done = 0;
+  auto begin_stage = [&](const char* name) {
+    telemetry::set_current_stage(name);
+    progress.note("stage", name);
+  };
+  auto end_stage = [&] {
+    progress.advance(++stages_done);
+    progress.field("cache_hits", static_cast<double>(result.stages_from_cache));
+    progress.field("cache_misses", static_cast<double>(result.stages_executed));
+  };
+  // Clear the /statusz marker on every exit path, including error returns.
+  struct StageMarkerReset {
+    ~StageMarkerReset() { telemetry::set_current_stage(""); }
+  } stage_marker_reset;
+
   const std::uint64_t user_hash = netlist_content_hash(user);
 
   // --- instrument ----------------------------------------------------------
   std::uint64_t instrument_hash = 0;
+  begin_stage("instrument");
   {
     telemetry::TraceScope span("offline.instrument");
     const std::uint64_t key =
@@ -140,6 +161,7 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
             [&] { return parameterize_signals(user, options_.instrument); },
             serialize_instrumented, deserialize_instrumented));
   }
+  end_stage();
   offline.instrument_seconds =
       m.histogram("offline.instrument_seconds").observe(stage.elapsed_seconds());
   m.counter("instrument.observable_signals")
@@ -155,6 +177,7 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
   // --- tcon-map ------------------------------------------------------------
   std::uint64_t map_hash = 0;
   stage.restart();
+  begin_stage("tcon-map");
   {
     telemetry::TraceScope span("offline.map");
     const std::uint64_t key =
@@ -171,6 +194,7 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
             },
             serialize_map_result, deserialize_map_result));
   }
+  end_stage();
   offline.map_seconds =
       m.histogram("offline.map_seconds").observe(stage.elapsed_seconds());
   LOG_INFO << "offline: mapped to " << offline.mapping.stats.num_luts
@@ -191,6 +215,7 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
     // --- pack --------------------------------------------------------------
     std::uint64_t pack_hash = 0;
     stage.restart();
+    begin_stage("pack");
     {
       telemetry::TraceScope span("pnr.pack");
       const std::uint64_t key =
@@ -202,6 +227,7 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
               [&] { return pnr::pack(net, copt.arch); }, serialize_packing,
               deserialize_packing));
     }
+    end_stage();
     design->report.pack_seconds =
         m.histogram("pnr.pack_seconds").observe(stage.elapsed_seconds());
 
@@ -233,6 +259,7 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
     // --- place -------------------------------------------------------------
     std::uint64_t place_hash = 0;
     stage.restart();
+    begin_stage("place");
     {
       telemetry::TraceScope span("pnr.place");
       const std::uint64_t key =
@@ -247,12 +274,14 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
               },
               serialize_placement, deserialize_placement));
     }
+    end_stage();
     design->report.place_seconds =
         m.histogram("pnr.place_seconds").observe(stage.elapsed_seconds());
 
     // --- route -------------------------------------------------------------
     std::uint64_t route_hash = 0;
     stage.restart();
+    begin_stage("route");
     {
       telemetry::TraceScope span("pnr.route");
       const std::uint64_t key =
@@ -268,6 +297,7 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
               },
               serialize_route_result, deserialize_route_result));
     }
+    end_stage();
     design->report.route_seconds =
         m.histogram("pnr.route_seconds").observe(stage.elapsed_seconds());
 
@@ -290,6 +320,7 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
     // --- pconf-build -------------------------------------------------------
     std::uint64_t pconf_hash = 0;
     stage.restart();
+    begin_stage("pconf-build");
     {
       telemetry::TraceScope span("offline.bitstream");
       const std::uint64_t key = stage_key(
@@ -314,6 +345,7 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
       // derived state, so it is rebuilt on cache hits too.
       offline.pconf->prepare_incremental();
     }
+    end_stage();
     offline.bitstream_seconds =
         m.histogram("offline.bitstream_seconds").observe(stage.elapsed_seconds());
     LOG_INFO << "offline: generalized bitstream has "

@@ -466,6 +466,18 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
       telemetry::metrics().gauge("pnr.route.overused_nodes");
   static telemetry::Histogram& iter_hist =
       telemetry::metrics().histogram("pnr.route.iteration_seconds");
+  // Ordered convergence trajectory (one point per iteration), so the metrics
+  // JSON and a live /metrics scrape can show the negotiation closing in on
+  // zero overuse rather than only the final state.
+  static telemetry::Series& overused_series =
+      telemetry::metrics().series("pnr.route.iteration.overused_nodes");
+  static telemetry::Series& rerouted_series =
+      telemetry::metrics().series("pnr.route.iteration.rerouted_nets");
+  static telemetry::Series& pops_series =
+      telemetry::metrics().series("pnr.route.iteration.heap_pops");
+
+  telemetry::ProgressReporter progress("pnr.route");
+  progress.set_total(static_cast<std::uint64_t>(options.max_iterations));
 
   // One schedulable batch of nets.  Tasks of the same partition level own
   // spatially disjoint device regions, so they route concurrently; the nets
@@ -724,6 +736,15 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
     // falls iteration over iteration.
     overuse_gauge.set(static_cast<double>(overused_nodes));
     iter_hist.observe(iter_timer.elapsed_seconds());
+    const std::uint64_t iter_pops =
+        pops_total.load(std::memory_order_relaxed);
+    overused_series.append(static_cast<double>(overused_nodes));
+    rerouted_series.append(static_cast<double>(dirty.size()));
+    pops_series.append(static_cast<double>(iter_pops));
+    progress.advance(static_cast<std::uint64_t>(iter));
+    progress.field("overused_nodes", static_cast<double>(overused_nodes));
+    progress.field("rerouted_nets", static_cast<double>(dirty.size()));
+    progress.field("heap_pops", static_cast<double>(iter_pops));
     LOG_DEBUG << "pathfinder iteration " << iter << ": " << dirty.size()
               << " nets rerouted in " << num_tasks << " tasks, "
               << overused_nodes << " overused nodes, pres_fac "

@@ -1,0 +1,381 @@
+#include "support/introspect.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/telemetry.h"
+
+#ifndef FPGADBG_VERSION
+#define FPGADBG_VERSION "dev"
+#endif
+
+namespace fpgadbg::support {
+
+namespace {
+
+/// FNV-1a over the exposition text: the /statusz "registry digest" — two
+/// scrapes with the same digest saw identical metric values.
+std::uint64_t fnv1a_digest(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : s) {
+    h = (h ^ c) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// First line of an HTTP request: "GET /path?query HTTP/1.1".  Returns the
+/// path with any query string stripped, or "" on a malformed line.
+std::string parse_request_path(const std::string& request,
+                               std::string* method) {
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line = request.substr(
+      0, line_end == std::string::npos ? request.size() : line_end);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return "";
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return "";
+  *method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path;
+}
+
+}  // namespace
+
+struct IntrospectServer::Impl {
+  IntrospectOptions options;
+  int listen_fd = -1;
+  int wake_fd[2] = {-1, -1};  ///< self-pipe: stop() wakes the poll loop
+  int port = 0;
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> quit{false};
+  std::atomic<std::uint64_t> requests{0};
+  std::chrono::steady_clock::time_point start_time =
+      std::chrono::steady_clock::now();
+
+  std::mutex mounts_mutex;
+  /// path -> (content type, body)
+  std::map<std::string, std::pair<std::string, std::string>> mounts;
+
+  std::mutex quit_mutex;
+  std::condition_variable quit_cv;
+
+  void serve_loop();
+  void handle_connection(int fd);
+  /// nullopt-style: returns false when the path is unknown (404).
+  bool build_response(const std::string& path, std::string* content_type,
+                      std::string* body);
+  std::string statusz() const;
+  std::string tracez() const;
+};
+
+namespace {
+
+/// Writes the full buffer, tolerating partial writes; returns false on a
+/// client that went away (the server does not care).
+bool write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until the header terminator, a size cap, or a ~2 s deadline.
+std::string read_request(int fd) {
+  std::string request;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 8192) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) break;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (ready <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  return request;
+}
+
+}  // namespace
+
+void IntrospectServer::Impl::serve_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {wake_fd[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (stopping.load(std::memory_order_acquire)) return;
+    if (ready <= 0) continue;
+    if (fds[0].revents & POLLIN) {
+      const int conn = ::accept(listen_fd, nullptr, nullptr);
+      if (conn >= 0) {
+        handle_connection(conn);
+        ::close(conn);
+      }
+    }
+  }
+}
+
+void IntrospectServer::Impl::handle_connection(int fd) {
+  const std::string request = read_request(fd);
+  std::string method;
+  const std::string path = parse_request_path(request, &method);
+  if (path.empty()) return;  // malformed; just drop the connection
+  requests.fetch_add(1, std::memory_order_relaxed);
+
+  std::string content_type;
+  std::string body;
+  const char* status_line = "HTTP/1.1 200 OK";
+  if (!build_response(path, &content_type, &body)) {
+    status_line = "HTTP/1.1 404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found: " + path + "\n";
+  }
+
+  std::ostringstream os;
+  os << status_line << "\r\nContent-Type: " << content_type
+     << "\r\nContent-Length: " << body.size() << "\r\nConnection: close\r\n\r\n";
+  if (method != "HEAD") os << body;
+  const std::string response = os.str();
+  write_all(fd, response.data(), response.size());
+
+  if (path == "/quitz") {
+    {
+      std::lock_guard<std::mutex> lock(quit_mutex);
+      quit.store(true, std::memory_order_release);
+    }
+    quit_cv.notify_all();
+  }
+}
+
+bool IntrospectServer::Impl::build_response(const std::string& path,
+                                            std::string* content_type,
+                                            std::string* body) {
+  *content_type = "text/plain; charset=utf-8";
+  if (path == "/healthz") {
+    *body = "ok\n";
+    return true;
+  }
+  if (path == "/metrics") {
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    std::ostringstream os;
+    telemetry::metrics().write_prometheus(os);
+    *body = os.str();
+    return true;
+  }
+  if (path == "/statusz" || path == "/") {
+    *body = statusz();
+    return true;
+  }
+  if (path == "/tracez") {
+    *body = tracez();
+    return true;
+  }
+  if (path == "/progressz") {
+    *content_type = "application/json";
+    std::ostringstream os;
+    telemetry::write_progress_json(os);
+    *body = os.str();
+    return true;
+  }
+  if (path == "/quitz") {
+    *body = "shutting down\n";
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mounts_mutex);
+  const auto it = mounts.find(path);
+  if (it != mounts.end()) {
+    *content_type = it->second.first;
+    *body = it->second.second;
+    return true;
+  }
+  return false;
+}
+
+std::string IntrospectServer::Impl::statusz() const {
+  const telemetry::MetricsSnapshot snap = telemetry::metrics().snapshot();
+  std::ostringstream prom;
+  telemetry::metrics().write_prometheus(prom);
+  const auto tasks = telemetry::progress_snapshot();
+  std::size_t active_tasks = 0;
+  for (const auto& t : tasks) {
+    if (!t.done) ++active_tasks;
+  }
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  const char* stage = telemetry::current_stage();
+
+  char buf[256];
+  std::ostringstream os;
+  os << "fpgadbg statusz\n";
+  os << "version: " << FPGADBG_VERSION << "\n";
+  os << "pid: " << ::getpid() << "\n";
+  std::snprintf(buf, sizeof buf, "uptime_seconds: %.3f\n", uptime);
+  os << buf;
+  os << "active_stage: " << (*stage ? stage : "idle") << "\n";
+  os << "requests_served: " << requests.load(std::memory_order_relaxed)
+     << "\n";
+  os << "progress_tasks_active: " << active_tasks << "\n";
+  os << "registry: " << snap.counters.size() << " counters, "
+     << snap.gauges.size() << " gauges, " << snap.histograms.size()
+     << " histograms, " << snap.series.size() << " series\n";
+  std::snprintf(buf, sizeof buf, "registry_digest: %016llx\n",
+                static_cast<unsigned long long>(fnv1a_digest(prom.str())));
+  os << buf;
+  os << "span_ring: " << telemetry::recent_spans().size() << " spans / "
+     << telemetry::span_ring_capacity() << " capacity\n";
+  return os.str();
+}
+
+std::string IntrospectServer::Impl::tracez() const {
+  const std::vector<telemetry::SpanRecord> spans = telemetry::recent_spans();
+  std::ostringstream os;
+  os << "tracez: " << spans.size() << " most recent spans (ring capacity "
+     << telemetry::span_ring_capacity() << ", oldest first)\n";
+  os << "  start_us      dur_us  tid  category  name\n";
+  char buf[256];
+  for (const telemetry::SpanRecord& s : spans) {
+    std::snprintf(buf, sizeof buf, "  %-12.1f %9.1f %4u  %-8s  %s\n",
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.dur_ns) / 1e3, s.tid, s.category,
+                  s.name);
+    os << buf;
+  }
+  return os.str();
+}
+
+IntrospectServer::IntrospectServer() : impl_(std::make_unique<Impl>()) {}
+
+IntrospectServer::~IntrospectServer() { stop(); }
+
+Result<std::unique_ptr<IntrospectServer>> IntrospectServer::start(
+    const IntrospectOptions& options) {
+  auto server = std::unique_ptr<IntrospectServer>(new IntrospectServer());
+  Impl& impl = *server->impl_;
+  impl.options = options;
+
+  impl.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (impl.listen_fd < 0) {
+    return Status::io_error(std::string("introspect: socket: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(impl.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::invalid_argument("introspect: bad bind address: " +
+                                    options.bind_address);
+  }
+  if (::bind(impl.listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return Status::io_error("introspect: cannot bind " + options.bind_address +
+                            ":" + std::to_string(options.port) + ": " +
+                            std::strerror(errno));
+  }
+  if (::listen(impl.listen_fd, 16) != 0) {
+    return Status::io_error(std::string("introspect: listen: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(impl.listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return Status::io_error(std::string("introspect: getsockname: ") +
+                            std::strerror(errno));
+  }
+  impl.port = ntohs(bound.sin_port);
+
+  if (::pipe(impl.wake_fd) != 0) {
+    return Status::io_error(std::string("introspect: pipe: ") +
+                            std::strerror(errno));
+  }
+
+  // /tracez needs the bounded span ring; only grow/enable it — a caller who
+  // configured a wider ring (or a full --trace) keeps it.
+  if (telemetry::span_ring_capacity() < options.tracez_spans) {
+    telemetry::set_span_ring_capacity(options.tracez_spans);
+  }
+
+  impl.thread = std::thread([impl_ptr = &impl] { impl_ptr->serve_loop(); });
+  return server;
+}
+
+int IntrospectServer::port() const { return impl_->port; }
+
+const std::string& IntrospectServer::bind_address() const {
+  return impl_->options.bind_address;
+}
+
+void IntrospectServer::mount(const std::string& path, std::string body,
+                             std::string content_type) {
+  std::lock_guard<std::mutex> lock(impl_->mounts_mutex);
+  impl_->mounts[path] = {std::move(content_type), std::move(body)};
+}
+
+std::uint64_t IntrospectServer::requests_served() const {
+  return impl_->requests.load(std::memory_order_relaxed);
+}
+
+bool IntrospectServer::quit_requested() const {
+  return impl_->quit.load(std::memory_order_acquire);
+}
+
+bool IntrospectServer::wait_quit(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(impl_->quit_mutex);
+  impl_->quit_cv.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [this] { return impl_->quit.load(std::memory_order_acquire); });
+  return quit_requested();
+}
+
+void IntrospectServer::stop() {
+  Impl& impl = *impl_;
+  if (impl.listen_fd < 0) return;
+  impl.stopping.store(true, std::memory_order_release);
+  // Wake the poll loop; a failed write means the pipe is gone, which only
+  // happens when the loop already exited.
+  const char byte = 'q';
+  (void)!::write(impl.wake_fd[1], &byte, 1);
+  if (impl.thread.joinable()) impl.thread.join();
+  ::close(impl.listen_fd);
+  impl.listen_fd = -1;
+  ::close(impl.wake_fd[0]);
+  ::close(impl.wake_fd[1]);
+  impl.wake_fd[0] = impl.wake_fd[1] = -1;
+}
+
+}  // namespace fpgadbg::support

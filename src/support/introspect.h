@@ -1,0 +1,77 @@
+// Live introspection: a small dependency-free HTTP/1.1 server so a
+// long-running command (a 30-minute route, a 4096-scenario campaign, the
+// future `fpgadbg serve`) is observable WHILE it executes instead of only
+// through post-mortem dumps.  One background thread runs a blocking poll()
+// accept loop and answers:
+//
+//   /metrics    Prometheus text exposition, scraped live from the process
+//               MetricsRegistry (same bytes as --prom, but current)
+//   /healthz    "ok" — liveness probe
+//   /statusz    plain-text process summary: version, pid, uptime, active
+//               stage, instrument counts, registry digest
+//   /tracez     most recent N completed TraceScope spans (bounded ring,
+//               enabled by the server — no full --trace needed)
+//   /progressz  JSON snapshot of every registered ProgressReporter task
+//               (route iterations, pipeline stages, scenario campaigns)
+//   /quitz      requests shutdown: wait_quit() callers unblock, so a
+//               lingering CLI process can be stopped with one curl
+//
+// Additional plain-text pages (e.g. a finished `fpgadbg report`) can be
+// mounted at arbitrary paths.  The server binds 127.0.0.1 by default and
+// serves one request per connection (Connection: close); all handlers are
+// read-only over thread-safe telemetry state, so scrapes never block the
+// instrumented loops beyond their own mutexes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/status.h"
+
+namespace fpgadbg::support {
+
+struct IntrospectOptions {
+  int port = 0;                    ///< TCP port; 0 picks an ephemeral one
+  std::string bind_address = "127.0.0.1";
+  std::size_t tracez_spans = 64;   ///< recent-span ring capacity for /tracez
+};
+
+class IntrospectServer {
+ public:
+  /// Binds, listens, and starts the serving thread.  Fails with kIoError if
+  /// the socket cannot be bound (port in use, bad address).
+  static Result<std::unique_ptr<IntrospectServer>> start(
+      const IntrospectOptions& options = {});
+  ~IntrospectServer();
+  IntrospectServer(const IntrospectServer&) = delete;
+  IntrospectServer& operator=(const IntrospectServer&) = delete;
+
+  /// The actually bound port (resolves port 0 requests).
+  int port() const;
+  const std::string& bind_address() const;
+
+  /// Mounts a static page at `path` (must start with '/'); remounting a
+  /// path replaces its body.  Used by `fpgadbg report --serve`.
+  void mount(const std::string& path, std::string body,
+             std::string content_type = "text/plain; charset=utf-8");
+
+  std::uint64_t requests_served() const;
+
+  /// True once a client has hit /quitz.
+  bool quit_requested() const;
+  /// Blocks until /quitz arrives or `timeout_seconds` elapse; returns
+  /// quit_requested().
+  bool wait_quit(double timeout_seconds);
+
+  /// Stops the serving thread and closes the socket.  Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+ private:
+  IntrospectServer();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fpgadbg::support

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -97,6 +98,35 @@ void Histogram::reset() {
 }
 
 // ---------------------------------------------------------------------------
+// Series
+// ---------------------------------------------------------------------------
+
+void Series::append(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.push_back(value);
+}
+
+std::vector<double> Series::values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_;
+}
+
+std::size_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_.size();
+}
+
+double Series::last() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+void Series::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.clear();
+}
+
+// ---------------------------------------------------------------------------
 // MetricsSnapshot
 // ---------------------------------------------------------------------------
 
@@ -128,6 +158,11 @@ HistogramSummary MetricsSnapshot::histogram(const std::string& name) const {
   return e ? e->second : HistogramSummary{};
 }
 
+std::vector<double> MetricsSnapshot::series_of(const std::string& name) const {
+  const auto* e = find_named(series, name);
+  return e ? e->second : std::vector<double>{};
+}
+
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------
@@ -139,6 +174,7 @@ struct MetricsRegistry::Impl {
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::unique_ptr<Series>> series;
 };
 
 MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
@@ -165,6 +201,13 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+Series& MetricsRegistry::series(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->series[name];
+  if (!slot) slot = std::make_unique<Series>();
+  return *slot;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   std::lock_guard<std::mutex> lock(impl_->mutex);
@@ -177,6 +220,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, h] : impl_->histograms) {
     snap.histograms.emplace_back(name, h->summary());
   }
+  for (const auto& [name, s] : impl_->series) {
+    snap.series.emplace_back(name, s->values());
+  }
   return snap;
 }
 
@@ -185,6 +231,7 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : impl_->counters) c->reset();
   for (auto& [name, g] : impl_->gauges) g->reset();
   for (auto& [name, h] : impl_->histograms) h->reset();
+  for (auto& [name, s] : impl_->series) s->reset();
 }
 
 namespace {
@@ -257,7 +304,19 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     write_json_number(os, h.p99);
     os << "}";
   }
-  os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  os << (snap.histograms.empty() ? "" : "\n  ") << "},\n  \"series\": {";
+  for (std::size_t i = 0; i < snap.series.size(); ++i) {
+    const auto& [name, values] = snap.series[i];
+    os << (i ? ",\n    " : "\n    ");
+    write_json_string(os, name);
+    os << ": [";
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      if (j) os << ", ";
+      write_json_number(os, values[j]);
+    }
+    os << "]";
+  }
+  os << (snap.series.empty() ? "" : "\n  ") << "}\n}\n";
 }
 
 bool MetricsRegistry::write_json_file(const std::string& path) const {
@@ -310,17 +369,32 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
   for (const auto& [name, h] : snap.histograms) {
     const std::string pname = prometheus_name(name);
     os << "# TYPE " << pname << " summary\n";
-    const std::pair<const char*, double> quantiles[] = {
-        {"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}};
-    for (const auto& [q, value] : quantiles) {
-      os << pname << "{quantile=\"" << q << "\"} ";
-      write_prometheus_number(os, value);
-      os << '\n';
+    // An empty summary has no order statistics: per the exposition-format
+    // contract the quantile samples are omitted (a scraper would otherwise
+    // ingest fabricated zeros) while _sum/_count still report 0.
+    if (h.count > 0) {
+      const std::pair<const char*, double> quantiles[] = {
+          {"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}};
+      for (const auto& [q, value] : quantiles) {
+        os << pname << "{quantile=\"" << q << "\"} ";
+        write_prometheus_number(os, value);
+        os << '\n';
+      }
     }
     os << pname << "_sum ";
     write_prometheus_number(os, h.sum);
     os << '\n';
     os << pname << "_count " << h.count << '\n';
+  }
+  // Series surface as gauges carrying their most recent point (the full
+  // trajectory lives in the JSON export; Prometheus keeps history itself).
+  for (const auto& [name, values] : snap.series) {
+    if (values.empty()) continue;
+    const std::string pname = prometheus_name(name);
+    os << "# TYPE " << pname << " gauge\n";
+    os << pname << ' ';
+    write_prometheus_number(os, values.back());
+    os << '\n';
   }
 }
 
@@ -334,6 +408,165 @@ bool MetricsRegistry::write_prometheus_file(const std::string& path) const {
 MetricsRegistry& metrics() {
   static MetricsRegistry registry;
   return registry;
+}
+
+// ---------------------------------------------------------------------------
+// Progress
+// ---------------------------------------------------------------------------
+
+struct ProgressReporter::Task {
+  std::mutex mutex;
+  std::string name;
+  std::uint64_t id = 0;
+  bool done = false;
+  std::uint64_t units_done = 0;
+  std::uint64_t units_total = 0;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  double final_elapsed_seconds = 0.0;  ///< valid once done
+  std::map<std::string, double> fields;
+  std::map<std::string, std::string> notes;
+
+  ProgressSnapshot snapshot_locked() const {
+    ProgressSnapshot s;
+    s.name = name;
+    s.id = id;
+    s.done = done;
+    s.units_done = units_done;
+    s.units_total = units_total;
+    s.elapsed_seconds =
+        done ? final_elapsed_seconds
+             : std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count();
+    s.fields.assign(fields.begin(), fields.end());
+    s.notes.assign(notes.begin(), notes.end());
+    return s;
+  }
+};
+
+namespace {
+
+/// Registered tasks: the live ones plus a bounded tail of finished ones so a
+/// scrape landing just after completion still sees the final state.
+struct ProgressState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ProgressReporter::Task>> active;
+  std::vector<ProgressSnapshot> finished;  ///< oldest first, bounded
+  std::uint64_t next_id = 1;
+  static constexpr std::size_t kKeepFinished = 16;
+};
+
+ProgressState& progress_state() {
+  static ProgressState* state = new ProgressState;  // leaked: see TraceState
+  return *state;
+}
+
+std::atomic<const char*> g_current_stage{""};
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(std::string name)
+    : task_(std::make_shared<Task>()) {
+  task_->name = std::move(name);
+  ProgressState& st = progress_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  task_->id = st.next_id++;
+  st.active.push_back(task_);
+}
+
+ProgressReporter::~ProgressReporter() {
+  ProgressSnapshot last;
+  {
+    std::lock_guard<std::mutex> lock(task_->mutex);
+    task_->done = true;
+    task_->final_elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      task_->start)
+            .count();
+    last = task_->snapshot_locked();
+  }
+  ProgressState& st = progress_state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.active.erase(std::remove(st.active.begin(), st.active.end(), task_),
+                  st.active.end());
+  st.finished.push_back(std::move(last));
+  if (st.finished.size() > ProgressState::kKeepFinished) {
+    st.finished.erase(st.finished.begin());
+  }
+}
+
+void ProgressReporter::set_total(std::uint64_t total) {
+  std::lock_guard<std::mutex> lock(task_->mutex);
+  task_->units_total = total;
+}
+
+void ProgressReporter::advance(std::uint64_t done) {
+  std::lock_guard<std::mutex> lock(task_->mutex);
+  task_->units_done = done;
+}
+
+void ProgressReporter::field(const std::string& key, double value) {
+  std::lock_guard<std::mutex> lock(task_->mutex);
+  task_->fields[key] = value;
+}
+
+void ProgressReporter::note(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(task_->mutex);
+  task_->notes[key] = std::move(value);
+}
+
+std::vector<ProgressSnapshot> progress_snapshot() {
+  ProgressState& st = progress_state();
+  std::vector<ProgressSnapshot> out;
+  std::lock_guard<std::mutex> lock(st.mutex);
+  for (const auto& task : st.active) {
+    std::lock_guard<std::mutex> tlock(task->mutex);
+    out.push_back(task->snapshot_locked());
+  }
+  out.insert(out.end(), st.finished.begin(), st.finished.end());
+  return out;
+}
+
+void write_progress_json(std::ostream& os) {
+  const std::vector<ProgressSnapshot> tasks = progress_snapshot();
+  os << "{\"tasks\": [";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const ProgressSnapshot& t = tasks[i];
+    os << (i ? ",\n  " : "\n  ");
+    os << "{\"name\": ";
+    write_json_string(os, t.name);
+    os << ", \"id\": " << t.id
+       << ", \"done\": " << (t.done ? "true" : "false")
+       << ", \"units_done\": " << t.units_done
+       << ", \"units_total\": " << t.units_total << ", \"elapsed_seconds\": ";
+    write_json_number(os, t.elapsed_seconds);
+    os << ", \"fields\": {";
+    for (std::size_t j = 0; j < t.fields.size(); ++j) {
+      if (j) os << ", ";
+      write_json_string(os, t.fields[j].first);
+      os << ": ";
+      write_json_number(os, t.fields[j].second);
+    }
+    os << "}, \"notes\": {";
+    for (std::size_t j = 0; j < t.notes.size(); ++j) {
+      if (j) os << ", ";
+      write_json_string(os, t.notes[j].first);
+      os << ": ";
+      write_json_string(os, t.notes[j].second);
+    }
+    os << "}}";
+  }
+  os << (tasks.empty() ? "" : "\n") << "]}\n";
+}
+
+void set_current_stage(const char* name) {
+  g_current_stage.store(name ? name : "", std::memory_order_relaxed);
+}
+
+const char* current_stage() {
+  const char* s = g_current_stage.load(std::memory_order_relaxed);
+  return s ? s : "";
 }
 
 // ---------------------------------------------------------------------------
@@ -365,6 +598,12 @@ struct TraceState {
   std::uint32_t next_tid = 1;
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
+  // Bounded recent-span ring behind /tracez — independent of `enabled` so a
+  // live server can show spans without an unbounded full trace collection.
+  std::atomic<std::size_t> ring_capacity{0};
+  std::mutex ring_mutex;  ///< guards ring + ring_head
+  std::vector<SpanRecord> ring;
+  std::size_t ring_head = 0;  ///< next overwrite position once full
 };
 
 TraceState& trace_state() {
@@ -426,9 +665,43 @@ std::size_t trace_event_count() {
   return n;
 }
 
+void set_span_ring_capacity(std::size_t capacity) {
+  TraceState& st = trace_state();
+  std::lock_guard<std::mutex> lock(st.ring_mutex);
+  st.ring_capacity.store(capacity, std::memory_order_relaxed);
+  st.ring.clear();
+  st.ring_head = 0;
+}
+
+std::size_t span_ring_capacity() {
+  return trace_state().ring_capacity.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> recent_spans() {
+  TraceState& st = trace_state();
+  std::lock_guard<std::mutex> lock(st.ring_mutex);
+  std::vector<SpanRecord> out;
+  out.reserve(st.ring.size());
+  const std::size_t cap = st.ring_capacity.load(std::memory_order_relaxed);
+  const bool wrapped = cap != 0 && st.ring.size() == cap;
+  const std::size_t first = wrapped ? st.ring_head : 0;
+  for (std::size_t i = 0; i < st.ring.size(); ++i) {
+    out.push_back(st.ring[(first + i) % st.ring.size()]);
+  }
+  return out;
+}
+
 TraceScope::TraceScope(const char* name, const char* category)
     : name_(name), category_(category), start_ns_(0), active_(false) {
-  if (!tracing_enabled()) return;
+  TraceState& st = trace_state();
+  if (!st.enabled.load(std::memory_order_relaxed)) {
+    if (st.ring_capacity.load(std::memory_order_relaxed) == 0) return;
+    // Ring-only mode (live /tracez, no full trace sink): skip the "sim"
+    // category.  Those spans fire per emulated cycle, so the two clock
+    // reads here would dominate the emulation hot path — and a ring of a
+    // few dozen slots holding nothing but sim.eval is useless anyway.
+    if (category[0] == 's' && std::strcmp(category, "sim") == 0) return;
+  }
   active_ = true;
   start_ns_ = now_ns();
 }
@@ -437,9 +710,26 @@ TraceScope::~TraceScope() {
   if (!active_) return;
   const std::uint64_t end_ns = now_ns();
   ThreadTraceBuffer& buf = thread_buffer();
-  std::lock_guard<std::mutex> lock(buf.mutex);
-  buf.events.push_back(
-      TraceEvent{name_, category_, start_ns_, end_ns - start_ns_});
+  if (tracing_enabled()) {
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.push_back(
+        TraceEvent{name_, category_, start_ns_, end_ns - start_ns_});
+  }
+  TraceState& st = trace_state();
+  if (st.ring_capacity.load(std::memory_order_relaxed) != 0) {
+    std::lock_guard<std::mutex> lock(st.ring_mutex);
+    const std::size_t cap = st.ring_capacity.load(std::memory_order_relaxed);
+    if (cap != 0) {
+      const SpanRecord rec{name_, category_, start_ns_, end_ns - start_ns_,
+                           buf.tid};
+      if (st.ring.size() < cap) {
+        st.ring.push_back(rec);
+      } else {
+        st.ring[st.ring_head] = rec;
+        st.ring_head = (st.ring_head + 1) % cap;
+      }
+    }
+  }
 }
 
 void write_chrome_trace(std::ostream& os) {

@@ -25,7 +25,10 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fpgadbg::telemetry {
@@ -53,11 +56,41 @@ class Counter {
 class Gauge {
  public:
   void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// High-water-mark update: keeps max(current, value).  Races between
+  /// writers resolve to the maximum, so throughput gauges report the best
+  /// rate seen rather than whichever sample landed last.
+  void set_max(double value) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !value_.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
+};
+
+/// Append-only numeric series: one point per route iteration, per pipeline
+/// stage, per campaign pass.  Unlike a Histogram it keeps the ORDER of the
+/// observations, so convergence trajectories (overused nodes falling to 0)
+/// survive into the metrics JSON.  append() takes a mutex — use at
+/// iteration cadence, never per-item on a hot path.
+class Series {
+ public:
+  void append(double value);
+  std::vector<double> values() const;
+  std::size_t size() const;
+  /// Last appended value (0.0 while empty) — what the Prometheus exposition
+  /// reports, as a gauge.
+  double last() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> values_;
 };
 
 struct HistogramSummary {
@@ -113,11 +146,13 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramSummary>> histograms;
+  std::vector<std::pair<std::string, std::vector<double>>> series;
 
   /// Lookup helpers (return 0-value defaults for absent names).
   std::uint64_t counter(const std::string& name) const;
   double gauge(const std::string& name) const;
   HistogramSummary histogram(const std::string& name) const;
+  std::vector<double> series_of(const std::string& name) const;
 };
 
 /// Owns all instruments.  Lookup by name is mutex-guarded (cache the
@@ -134,6 +169,7 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+  Series& series(const std::string& name);
 
   /// Consistent-enough snapshot of every instrument, names sorted.
   MetricsSnapshot snapshot() const;
@@ -164,6 +200,63 @@ class MetricsRegistry {
 MetricsRegistry& metrics();
 
 // ---------------------------------------------------------------------------
+// Progress — live introspection of long-running work
+// ---------------------------------------------------------------------------
+
+/// Point-in-time view of one registered long-running task, as served by the
+/// introspection server's /progressz endpoint.
+struct ProgressSnapshot {
+  std::string name;
+  std::uint64_t id = 0;           ///< registration order, unique per process
+  bool done = false;
+  std::uint64_t units_done = 0;
+  std::uint64_t units_total = 0;  ///< 0 = indeterminate
+  double elapsed_seconds = 0.0;   ///< frozen at completion for finished tasks
+  std::vector<std::pair<std::string, double>> fields;       ///< sorted by key
+  std::vector<std::pair<std::string, std::string>> notes;   ///< sorted by key
+};
+
+/// RAII handle that registers a long-running task (a route negotiation, a
+/// pipeline run, a scenario campaign) with the process-wide progress
+/// registry.  The owning loop calls advance()/field()/note() at iteration
+/// cadence; any thread (the introspection server's, in practice) can
+/// snapshot all tasks concurrently via progress_snapshot().  Destruction
+/// marks the task finished and retires it into a bounded recently-finished
+/// list so a scrape just after completion still sees the final state.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(std::string name);
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  void set_total(std::uint64_t total);
+  /// Absolute units completed so far (monotone by convention; not enforced).
+  void advance(std::uint64_t done);
+  /// Named numeric detail (overused nodes, cache hits, throughput...).
+  void field(const std::string& key, double value);
+  /// Named text detail (current stage name, design name...).
+  void note(const std::string& key, std::string value);
+
+  struct Task;  ///< opaque; public so the registry internals can hold it
+
+ private:
+  std::shared_ptr<Task> task_;
+};
+
+/// Active tasks (registration order) followed by the most recently finished
+/// ones (oldest first; bounded).
+std::vector<ProgressSnapshot> progress_snapshot();
+/// {"tasks": [...]} — the /progressz document.
+void write_progress_json(std::ostream& os);
+
+/// Coarse "what is the process doing" marker for /statusz.  `name` must be
+/// a string literal (or otherwise outlive all readers); nullptr and ""
+/// both mean idle.
+void set_current_stage(const char* name);
+const char* current_stage();  ///< never nullptr; "" when idle
+
+// ---------------------------------------------------------------------------
 // Tracing
 // ---------------------------------------------------------------------------
 
@@ -182,6 +275,31 @@ std::size_t trace_event_count();
 /// dur in microseconds).  Loadable in chrome://tracing and Perfetto.
 void write_chrome_trace(std::ostream& os);
 bool write_chrome_trace_file(const std::string& path);
+
+/// One completed span as kept by the bounded recent-span ring (the /tracez
+/// endpoint's source).  Unlike the full tracer this ring is always bounded:
+/// it holds the most recent `capacity` spans and drops the oldest.
+struct SpanRecord {
+  const char* name = "";
+  const char* category = "";
+  std::uint64_t start_ns = 0;  ///< since the process trace epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+};
+
+/// Enables (capacity > 0) or disables (capacity == 0) the recent-span ring.
+/// Independent of start_tracing(): the introspection server turns the ring
+/// on so /tracez works on runs that never asked for a full --trace dump.
+/// Changing the capacity discards previously ringed spans.
+///
+/// In ring-only mode (no full trace sink) spans in the "sim" category are
+/// NOT recorded: they fire per emulated cycle, so timing them would put two
+/// clock reads on the emulation hot path.  They still appear in full traces
+/// collected via start_tracing().
+void set_span_ring_capacity(std::size_t capacity);
+std::size_t span_ring_capacity();
+/// Ringed spans, oldest first.
+std::vector<SpanRecord> recent_spans();
 
 /// RAII span.  `name` and `category` MUST be string literals (or otherwise
 /// outlive the trace export) — they are stored by pointer.  Nesting is

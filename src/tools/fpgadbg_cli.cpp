@@ -22,11 +22,13 @@
 //       emit one of the paper's synthetic benchmark circuits
 //   fpgadbg export <design.blif> <out.v> [--par f.par] [--mapper sm|abc|tcon]
 //       technology-map and write structural Verilog
-//   fpgadbg report <session.jsonl> [<metrics.json>] [--top N]
+//   fpgadbg report <session.jsonl> [<metrics.json>] [--top N] [--serve PORT]
 //       analyse a session journal (--journal output): per-turn SCG/DPR
 //       table against the paper's §V-C2 constants (50 us SCG, 176 ms /
 //       23712-frame full config), the signal-coverage curve, the top-N
-//       churned frames, and the trigger timeline
+//       churned frames, and the trigger timeline; --serve additionally
+//       mounts the finished report at /report on the introspection server
+//       and keeps serving (default linger 3600 s, GET /quitz to stop)
 //
 // Global options (valid with every subcommand, --flag value or --flag=value):
 //   --cache-dir <dir>      artifact cache for the offline pipeline (flow,
@@ -42,17 +44,29 @@
 //   --log-level <level>    debug|info|warn|error|off (default: warn, or the
 //                          FPGADBG_LOG_LEVEL environment variable)
 //   --log-format <fmt>     text|json (JSON-lines structured logging)
+//   --introspect <port>    start the live introspection HTTP server
+//                          (support/introspect.h) on 127.0.0.1:<port> for
+//                          the duration of the command: /metrics scrapes the
+//                          registry live, /progressz streams route/pipeline/
+//                          campaign progress, /statusz + /healthz + /tracez
+//                          round out the surface.  Port 0 picks an ephemeral
+//                          port; the bound address is printed on stderr.
+//   --introspect-linger <seconds>  keep the introspection server up after
+//                          the command finishes — until the timeout expires
+//                          or a client GETs /quitz
 //
 // Errors are reported as one structured line on stderr
 // (`fpgadbg: code=<name> ...: <message>`) and a per-StatusCode exit code
 // (see support/status.h); usage errors keep the conventional exit code 2.
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -70,6 +84,7 @@
 #include "netlist/par.h"
 #include "netlist/stats.h"
 #include "support/error.h"
+#include "support/introspect.h"
 #include "support/json.h"
 #include "support/log.h"
 #include "support/rng.h"
@@ -83,6 +98,26 @@ namespace {
 
 /// Exit code for command-line misuse (bad arguments, unknown command).
 constexpr int kUsageExit = 2;
+
+/// Global --introspect server.  Started in main() before the subcommand
+/// dispatch; `report --serve` starts it on demand and mounts the report.
+/// main() owns the linger-then-stop at the end of the run.
+std::unique_ptr<support::IntrospectServer> g_introspect;
+double g_introspect_linger = 0.0;       ///< --introspect-linger seconds
+bool g_introspect_linger_set = false;
+
+/// Starts the global introspection server (idempotent) and announces the
+/// bound address on stderr, so scripts can discover an ephemeral port.
+support::Status start_introspect(int port) {
+  if (g_introspect) return support::Status();
+  support::IntrospectOptions iopt;
+  iopt.port = port;
+  FPGADBG_ASSIGN_OR_RETURN(g_introspect,
+                           support::IntrospectServer::start(iopt));
+  std::fprintf(stderr, "fpgadbg: introspect: serving on %s:%d\n",
+               g_introspect->bind_address().c_str(), g_introspect->port());
+  return support::Status();
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -101,8 +136,15 @@ int usage() {
                "  gen <benchname|list> [<out.blif>]\n"
                "  export <design.blif> <out.v> [--par f.par]"
                " [--mapper sm|abc|tcon]\n"
-               "  report <session.jsonl> [<metrics.json>] [--top N]\n"
+               "  report <session.jsonl> [<metrics.json>] [--top N]"
+               " [--serve PORT]\n"
                "global options (any command):\n"
+               "  --introspect <port>    live HTTP introspection on"
+               " 127.0.0.1 while the command runs: /metrics /healthz"
+               " /statusz /tracez /progressz (port 0 = ephemeral; bound"
+               " address printed on stderr)\n"
+               "  --introspect-linger <seconds>  keep serving after the"
+               " command finishes, until the timeout or a GET /quitz\n"
                "  --cache-dir <dir>      artifact cache for the offline"
                " pipeline (flow, profile)\n"
                "  --trace <file.json>    write Chrome-trace/Perfetto span"
@@ -458,6 +500,25 @@ support::Result<int> cmd_profile(const Args& args) {
   row_c("sim.batch.scenario_cycles");
   row_c("sim.batch.faulted_scenarios");
 
+  // Convergence trajectory of the PathFinder negotiation, one row per
+  // iteration (empty when the route stage was replayed from cache).
+  const std::vector<double> conv =
+      snap.series_of("pnr.route.iteration.overused_nodes");
+  if (!conv.empty()) {
+    const std::vector<double> rerouted =
+        snap.series_of("pnr.route.iteration.rerouted_nets");
+    const std::vector<double> pops =
+        snap.series_of("pnr.route.iteration.heap_pops");
+    std::printf("route convergence (%zu iterations):\n", conv.size());
+    std::printf("  %4s %14s %14s %14s\n", "iter", "overused", "rerouted",
+                "heap pops");
+    for (std::size_t i = 0; i < conv.size(); ++i) {
+      std::printf("  %4zu %14.0f %14.0f %14.0f\n", i + 1, conv[i],
+                  i < rerouted.size() ? rerouted[i] : 0.0,
+                  i < pops.size() ? pops[i] : 0.0);
+    }
+  }
+
   if (scenarios > 0) {
     std::printf("scenario batch (%zu scenarios x %zu cycles, %zu blocks/"
                 "pass):\n",
@@ -491,6 +552,25 @@ support::Result<int> cmd_profile(const Args& args) {
 // fpgadbg report — session-journal post-mortem
 // ---------------------------------------------------------------------------
 
+/// printf-append onto a string: the report body is built once, then written
+/// to stdout and (with --serve) also mounted on the introspection server.
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void appendf(std::string& out, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    out.append(buf.data(), static_cast<std::size_t>(n));
+  }
+  va_end(ap2);
+}
+
 /// Linear-interpolated percentile of an unsorted sample set (p in [0,1]).
 double percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0.0;
@@ -505,7 +585,8 @@ double percentile(std::vector<double> v, double p) {
 /// Cross-checks a --metrics JSON snapshot against the journal: parses it
 /// (schema errors are fatal — that is the point) and prints the counters and
 /// histogram summaries the report cares about.
-support::Result<int> report_metrics_snapshot(const std::string& path,
+support::Result<int> report_metrics_snapshot(std::string& out,
+                                             const std::string& path,
                                              std::size_t journal_turns) {
   std::ifstream in(path);
   if (!in) return support::Status::not_found("cannot open " + path);
@@ -524,7 +605,7 @@ support::Result<int> report_metrics_snapshot(const std::string& path,
     return support::Status::corrupt_artifact(
         path + ": not a metrics snapshot (want counters/gauges/histograms)");
   }
-  std::printf("metrics snapshot (%s):\n", path.c_str());
+  appendf(out, "metrics snapshot (%s):\n", path.c_str());
   auto counter = [&](const char* name) -> double {
     const support::JsonValue* v = counters->find(name);
     return v && v->is_number() ? v->number : 0.0;
@@ -532,14 +613,14 @@ support::Result<int> report_metrics_snapshot(const std::string& path,
   for (const char* name :
        {"debug.turns", "debug.cycles_emulated", "debug.journal.events",
         "icap.frame_writes", "scg.bits_reevaluated"}) {
-    std::printf("  %-28s %12.0f\n", name, counter(name));
+    appendf(out, "  %-28s %12.0f\n", name, counter(name));
   }
   if (const support::JsonValue* h = histograms->find("debug.turn_seconds")) {
     const support::JsonValue* p50 = h->find("p50");
     const support::JsonValue* p99 = h->find("p99");
     const support::JsonValue* count = h->find("count");
     if (p50 && p99 && count) {
-      std::printf("  %-28s n=%.0f, p50 %.1f us, p99 %.1f us\n",
+      appendf(out, "  %-28s n=%.0f, p50 %.1f us, p99 %.1f us\n",
                   "debug.turn_seconds", count->number, p50->number * 1e6,
                   p99->number * 1e6);
     }
@@ -547,7 +628,7 @@ support::Result<int> report_metrics_snapshot(const std::string& path,
   const double turns = counter("debug.turns");
   if (journal_turns != 0 && turns != 0.0 &&
       turns != static_cast<double>(journal_turns)) {
-    std::printf("  note: snapshot counts %.0f turns, journal records %zu "
+    appendf(out, "  note: snapshot counts %.0f turns, journal records %zu "
                 "(snapshot may span several sessions)\n",
                 turns, journal_turns);
   }
@@ -561,6 +642,10 @@ support::Result<int> cmd_report(const Args& args) {
       debug::SessionJournal::load_file(args.positional[0]));
   std::size_t top_n = 8;
   if (auto t = args.option("--top")) top_n = to_count(*t, "--top");
+
+  // The report is built into a string so one rendering feeds both stdout and
+  // (with --serve) the introspection server's /report mount.
+  std::string out;
 
   using debug::SessionEvent;
   using debug::SessionEventKind;
@@ -638,18 +723,18 @@ support::Result<int> cmd_report(const Args& args) {
     }
   }
 
-  std::printf("session journal %s: %zu events (%llu recorded, %llu "
+  appendf(out, "session journal %s: %zu events (%llu recorded, %llu "
               "dropped), %zu turns, %llu emulated cycles\n",
               args.positional[0].c_str(), journal.size(),
               static_cast<unsigned long long>(journal.total_events()),
               static_cast<unsigned long long>(journal.dropped_events()),
               turns.size(), static_cast<unsigned long long>(cycles));
 
-  std::printf("\nper-turn breakdown:\n");
-  std::printf("  %4s %-5s %10s %8s %10s %10s %9s\n", "turn", "mode", "bits",
+  appendf(out, "\nper-turn breakdown:\n");
+  appendf(out, "  %4s %-5s %10s %8s %10s %10s %9s\n", "turn", "mode", "bits",
               "frames", "scg[us]", "dpr[us]", "coverage");
   for (const auto& [turn, row] : turns) {
-    std::printf("  %4llu %-5s %10llu %8llu %10.1f %10.1f %8.1f%%\n",
+    appendf(out, "  %4llu %-5s %10llu %8llu %10.1f %10.1f %8.1f%%\n",
                 static_cast<unsigned long long>(turn),
                 row.incremental ? "incr" : "full",
                 static_cast<unsigned long long>(row.bits),
@@ -666,7 +751,7 @@ support::Result<int> cmd_report(const Args& args) {
   if (!scg_samples.empty()) {
     const double p50 = percentile(scg_samples, 0.50);
     const double p99 = percentile(scg_samples, 0.99);
-    std::printf("\nSCG evaluation: p50 %.1f us, p99 %.1f us over %zu "
+    appendf(out, "\nSCG evaluation: p50 %.1f us, p99 %.1f us over %zu "
                 "incremental evals (paper bound ~%.0f us): %s\n",
                 p50 * 1e6, p99 * 1e6, scg_samples.size(),
                 kPaperScgBoundSeconds * 1e6,
@@ -676,7 +761,7 @@ support::Result<int> cmd_report(const Args& args) {
   if (!dpr_partial_samples.empty()) {
     const double p50 = percentile(dpr_partial_samples, 0.50);
     const double p99 = percentile(dpr_partial_samples, 0.99);
-    std::printf("DPR (partial): p50 %.1f us, p99 %.1f us over %zu "
+    appendf(out, "DPR (partial): p50 %.1f us, p99 %.1f us over %zu "
                 "reconfigurations; reference full config %.0f ms / %zu "
                 "frames -> %.0fx faster at p50\n",
                 p50 * 1e6, p99 * 1e6, dpr_partial_samples.size(),
@@ -685,7 +770,7 @@ support::Result<int> cmd_report(const Args& args) {
                 p50 > 0.0 ? reference.reference_full_seconds / p50 : 0.0);
   }
   if (full_configs > 0) {
-    std::printf("full configurations: %llu (device %llu frames, %.1f ms "
+    appendf(out, "full configurations: %llu (device %llu frames, %.1f ms "
                 "each)\n",
                 static_cast<unsigned long long>(full_configs),
                 static_cast<unsigned long long>(full_frames),
@@ -699,23 +784,23 @@ support::Result<int> cmd_report(const Args& args) {
     if (row.ended) curve.push_back(row.coverage);
   }
   if (!curve.empty()) {
-    std::printf("\nsignal coverage after %zu turns: %.1f%%\n", curve.size(),
+    appendf(out, "\nsignal coverage after %zu turns: %.1f%%\n", curve.size(),
                 curve.back() * 100.0);
-    std::printf("  curve:");
+    appendf(out, "  curve:");
     const std::size_t max_points = 16;
     const std::size_t stride =
         curve.size() > max_points ? (curve.size() + max_points - 1) / max_points
                                   : 1;
     for (std::size_t i = 0; i < curve.size(); i += stride) {
-      std::printf(" %.1f%%", curve[i] * 100.0);
+      appendf(out, " %.1f%%", curve[i] * 100.0);
     }
-    if (stride > 1) std::printf(" ... %.1f%%", curve.back() * 100.0);
-    std::printf("\n");
+    if (stride > 1) appendf(out, " ... %.1f%%", curve.back() * 100.0);
+    appendf(out, "\n");
   }
 
   const auto hot = churn.top(top_n);
   if (!hot.empty()) {
-    std::printf("\nframe churn: %llu writes over %zu frames touched; "
+    appendf(out, "\nframe churn: %llu writes over %zu frames touched; "
                 "top %zu:\n",
                 static_cast<unsigned long long>(churn.total_writes()),
                 churn.frames_touched(), hot.size());
@@ -723,16 +808,16 @@ support::Result<int> cmd_report(const Args& args) {
     for (const auto& h : hot) {
       const std::size_t bar =
           peak > 0 ? static_cast<std::size_t>(40 * h.writes / peak) : 0;
-      std::printf("  frame %-6zu %6llu %s\n", h.frame,
+      appendf(out, "  frame %-6zu %6llu %s\n", h.frame,
                   static_cast<unsigned long long>(h.writes),
                   std::string(bar, '#').c_str());
     }
   }
 
   if (!fires.empty()) {
-    std::printf("\ntrigger timeline:\n");
+    appendf(out, "\ntrigger timeline:\n");
     for (const Fire& f : fires) {
-      std::printf("  turn %llu: fired at run cycle %llu (session cycle "
+      appendf(out, "  turn %llu: fired at run cycle %llu (session cycle "
                   "%llu, %llu samples frozen)\n",
                   static_cast<unsigned long long>(f.turn),
                   static_cast<unsigned long long>(f.fire_cycle),
@@ -742,9 +827,33 @@ support::Result<int> cmd_report(const Args& args) {
   }
 
   if (args.positional.size() >= 2) {
-    std::printf("\n");
-    auto snapshot = report_metrics_snapshot(args.positional[1], turns.size());
-    if (!snapshot.ok()) return snapshot;
+    appendf(out, "\n");
+    auto snapshot =
+        report_metrics_snapshot(out, args.positional[1], turns.size());
+    if (!snapshot.ok()) {
+      std::fputs(out.c_str(), stdout);  // partial report still has value
+      return snapshot;
+    }
+  }
+  std::fputs(out.c_str(), stdout);
+
+  // --serve: expose the finished report (and the usual telemetry endpoints)
+  // over HTTP until /quitz or the linger timeout.  Reuses the global
+  // --introspect server when one is already up.
+  if (auto serve = args.option("--serve")) {
+    const std::size_t port = to_count(*serve, "--serve");
+    if (port > 65535) {
+      return support::Status::invalid_argument("--serve: port out of range: " +
+                                               *serve);
+    }
+    FPGADBG_RETURN_IF_ERROR(start_introspect(static_cast<int>(port)));
+    g_introspect->mount("/report", out);
+    if (!g_introspect_linger_set) {
+      g_introspect_linger = 3600.0;
+      g_introspect_linger_set = true;
+    }
+    std::fprintf(stderr, "fpgadbg: report: mounted at http://%s:%d/report\n",
+                 g_introspect->bind_address().c_str(), g_introspect->port());
   }
   return 0;
 }
@@ -816,12 +925,15 @@ int main(int argc, char** argv) {
 
   // Peel global options off the token stream; the rest is command + args.
   std::string trace_path, metrics_path, prom_path, cache_dir, journal_path;
+  bool introspect = false;
+  int introspect_port = 0;
   std::vector<std::string> rest;
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const std::string t = tokens[i];
     if (t == "--trace" || t == "--metrics" || t == "--prom" ||
         t == "--journal" || t == "--log-level" || t == "--log-format" ||
-        t == "--cache-dir") {
+        t == "--cache-dir" || t == "--introspect" ||
+        t == "--introspect-linger") {
       if (i + 1 >= tokens.size()) {
         std::fprintf(stderr, "fpgadbg: %s requires a value\n", t.c_str());
         return kUsageExit;
@@ -837,6 +949,30 @@ int main(int argc, char** argv) {
         journal_path = value;
       } else if (t == "--cache-dir") {
         cache_dir = value;
+      } else if (t == "--introspect") {
+        char* end = nullptr;
+        const long port = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || port < 0 || port > 65535) {
+          std::fprintf(stderr,
+                       "fpgadbg: invalid --introspect port '%s' (want "
+                       "0-65535)\n",
+                       value.c_str());
+          return kUsageExit;
+        }
+        introspect = true;
+        introspect_port = static_cast<int>(port);
+      } else if (t == "--introspect-linger") {
+        char* end = nullptr;
+        const double seconds = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || seconds < 0.0) {
+          std::fprintf(stderr,
+                       "fpgadbg: invalid --introspect-linger '%s' (want "
+                       "seconds >= 0)\n",
+                       value.c_str());
+          return kUsageExit;
+        }
+        g_introspect_linger = seconds;
+        g_introspect_linger_set = true;
       } else if (t == "--log-level") {
         const auto parsed = parse_log_level(value);
         if (!parsed) {
@@ -864,6 +1000,14 @@ int main(int argc, char** argv) {
   if (rest.empty()) return usage();
 
   if (!trace_path.empty()) telemetry::start_tracing();
+
+  if (introspect) {
+    const support::Status started = start_introspect(introspect_port);
+    if (!started.ok()) {
+      std::fprintf(stderr, "fpgadbg: %s\n", started.to_string().c_str());
+      return support::status_code_exit_code(started.code());
+    }
+  }
 
   const std::string command = rest[0];
   Args args = parse(rest, 1);
@@ -905,6 +1049,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fpgadbg: %s\n",
                  result.status().to_string().c_str());
     code = support::status_code_exit_code(result.status().code());
+  }
+
+  // Linger: keep the introspection server answering scrapes after the
+  // command body finished (scripts use this to curl a short-lived run; a
+  // GET /quitz ends the wait early).  The server is stopped before the
+  // telemetry artifacts are written so file output reflects final state.
+  if (g_introspect) {
+    if (g_introspect_linger > 0.0) {
+      std::fprintf(stderr,
+                   "fpgadbg: introspect: lingering %.0f s on %s:%d "
+                   "(GET /quitz to stop)\n",
+                   g_introspect_linger, g_introspect->bind_address().c_str(),
+                   g_introspect->port());
+      g_introspect->wait_quit(g_introspect_linger);
+    }
+    g_introspect.reset();
   }
 
   // Telemetry artifacts are written even when the command failed: a partial

@@ -1,0 +1,148 @@
+// ThreadSanitizer smoke for the live introspection server: HTTP clients
+// scraping /metrics, /progressz, /statusz, and /tracez at full speed while
+// writer threads hammer the telemetry registry, the progress registry, the
+// stage marker, and the span ring — the exact sharing pattern of a real
+// `fpgadbg profile --introspect` run.  Compiled standalone with
+// -fsanitize=thread by run_introspect_tsan_smoke.sh; any data race aborts.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/introspect.h"
+#include "support/telemetry.h"
+
+namespace {
+
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+int main() {
+  namespace telemetry = fpgadbg::telemetry;
+  namespace support = fpgadbg::support;
+
+  auto server = support::IntrospectServer::start(support::IntrospectOptions{});
+  if (!server.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", server.status().to_string().c_str());
+    return 1;
+  }
+  const int port = server.value()->port();
+
+  constexpr int kWriters = 3;
+  constexpr int kScrapers = 2;
+  constexpr int kRoundsPerScraper = 40;
+  std::atomic<bool> stop{false};
+
+  // Writers: each runs a fake route negotiation — counter/histogram at item
+  // cadence, series/progress/gauge at iteration cadence, spans throughout.
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&stop, w] {
+      telemetry::Counter& counter =
+          telemetry::metrics().counter("tsan.introspect_counter");
+      telemetry::Histogram& hist =
+          telemetry::metrics().histogram("tsan.introspect_hist");
+      telemetry::Series& series =
+          telemetry::metrics().series("tsan.introspect.iteration.overused");
+      telemetry::Gauge& gauge =
+          telemetry::metrics().gauge("tsan.introspect_rate");
+      telemetry::ProgressReporter progress(
+          "tsan.route_" + std::to_string(w));
+      progress.set_total(0);
+      std::uint64_t iter = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        telemetry::TraceScope span("tsan.introspect_span", "tsan");
+        telemetry::set_current_stage(w % 2 ? "route" : "pack");
+        ++iter;
+        for (int i = 0; i < 64; ++i) {
+          counter.add(1);
+          hist.observe(1e-5);
+        }
+        series.append(static_cast<double>(1000 / iter));
+        gauge.set_max(static_cast<double>(iter));
+        progress.advance(iter);
+        progress.field("overused_nodes", static_cast<double>(1000 / iter));
+      }
+    });
+  }
+
+  // Scrapers: clients reading every endpoint while the writers run.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < kScrapers; ++s) {
+    scrapers.emplace_back([&failures, port] {
+      const char* paths[] = {"/metrics", "/progressz", "/statusz", "/tracez",
+                             "/healthz"};
+      for (int round = 0; round < kRoundsPerScraper; ++round) {
+        for (const char* path : paths) {
+          const std::string response = http_get(port, path);
+          if (response.find("HTTP/1.1 200 OK") == std::string::npos) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  for (std::thread& t : scrapers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+  telemetry::set_current_stage("");
+  server.value()->stop();
+
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "FAIL: %d non-200 scrapes\n", failures.load());
+    return 1;
+  }
+  const std::uint64_t count =
+      telemetry::metrics().counter("tsan.introspect_counter").value();
+  if (count == 0) {
+    std::fprintf(stderr, "FAIL: writers made no progress\n");
+    return 1;
+  }
+  std::printf("introspect tsan smoke passed: %llu counter increments, "
+              "%d scrapes\n",
+              static_cast<unsigned long long>(count),
+              kScrapers * kRoundsPerScraper * 5);
+  return 0;
+}

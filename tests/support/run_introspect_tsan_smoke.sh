@@ -1,0 +1,26 @@
+#!/bin/sh
+# Builds and runs the ThreadSanitizer smoke for the introspection server:
+# HTTP scraper threads against telemetry/progress/span-ring writer threads.
+# Compiles only the support core (not the whole tree) with -fsanitize=thread,
+# so the tier-1 flow can afford to run it on every invocation.
+# Usage: run_introspect_tsan_smoke.sh <source-dir> <work-dir>
+set -eu
+
+SRC="$1"
+WORK="$2"
+CXX="${CXX:-c++}"
+
+mkdir -p "$WORK"
+BIN="$WORK/introspect_tsan_smoke"
+
+"$CXX" -std=c++20 -O1 -g -fsanitize=thread -fno-omit-frame-pointer \
+  -I "$SRC/src" \
+  "$SRC/tests/support/introspect_tsan_smoke.cpp" \
+  "$SRC/src/support/error.cpp" \
+  "$SRC/src/support/introspect.cpp" \
+  "$SRC/src/support/log.cpp" \
+  "$SRC/src/support/status.cpp" \
+  "$SRC/src/support/telemetry.cpp" \
+  -lpthread -o "$BIN"
+
+exec "$BIN"

@@ -184,6 +184,165 @@ TEST(Metrics, PrometheusExposition) {
   }
 }
 
+TEST(Metrics, GaugeSetMaxKeepsHighWaterMark) {
+  telemetry::Gauge& g = metrics().gauge("test.gauge_max");
+  g.reset();
+  g.set_max(3.0);
+  g.set_max(1.0);  // lower sample must not regress the mark
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  // Racing writers must converge on the maximum.
+  ThreadPool pool(4);
+  pool.parallel_for(64, [&](std::size_t i) {
+    g.set_max(static_cast<double>(i));
+  });
+  EXPECT_DOUBLE_EQ(g.value(), 63.0);
+}
+
+TEST(Metrics, SeriesKeepsOrder) {
+  telemetry::Series& s = metrics().series("test.series_order");
+  s.reset();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_DOUBLE_EQ(s.last(), 0.0);
+  for (int i = 5; i >= 1; --i) s.append(i);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s.last(), 1.0);
+  const std::vector<double> v = s.values();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 5.0);  // order preserved, not sorted
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+
+  const auto snap = metrics().snapshot();
+  const std::vector<double> from_snap = snap.series_of("test.series_order");
+  EXPECT_EQ(from_snap, v);
+  EXPECT_TRUE(snap.series_of("test.absent_series").empty());
+}
+
+TEST(Metrics, SeriesJsonExport) {
+  metrics().series("test.series_json").reset();
+  metrics().series("test.series_json").append(2.0);
+  metrics().series("test.series_json").append(1.0);
+  std::ostringstream os;
+  metrics().write_json(os);
+  const JsonValue doc = parse_json(os.str());
+  const JsonValue* series = doc.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_TRUE(series->is_object());
+  const JsonValue* v = series->find("test.series_json");
+  ASSERT_NE(v, nullptr);
+  ASSERT_TRUE(v->is_array());
+  ASSERT_EQ(v->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(v->array[0].number, 2.0);
+  EXPECT_DOUBLE_EQ(v->array[1].number, 1.0);
+}
+
+TEST(Metrics, PrometheusEmptyHistogramOmitsQuantiles) {
+  auto& h = metrics().histogram("test.prom_empty_hist");
+  h.reset();
+  std::ostringstream os;
+  metrics().write_prometheus(os);
+  const std::string text = os.str();
+  // An empty summary has no meaningful quantiles; exporting 0-valued ones
+  // would poison Prometheus dashboards.  _count/_sum stay, as zeros.
+  EXPECT_EQ(text.find("fpgadbg_test_prom_empty_hist{quantile"),
+            std::string::npos);
+  EXPECT_NE(text.find("fpgadbg_test_prom_empty_hist_count 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("fpgadbg_test_prom_empty_hist_sum 0"),
+            std::string::npos);
+}
+
+TEST(Metrics, PrometheusSeriesExportsLastValue) {
+  telemetry::Series& s = metrics().series("test.prom_series");
+  s.reset();
+  s.append(9.0);
+  s.append(4.0);
+  std::ostringstream os;
+  metrics().write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE fpgadbg_test_prom_series gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("fpgadbg_test_prom_series 4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Progress
+// ---------------------------------------------------------------------------
+
+const telemetry::ProgressSnapshot* find_task(
+    const std::vector<telemetry::ProgressSnapshot>& tasks,
+    const std::string& name) {
+  for (const auto& t : tasks) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+TEST(Progress, ReporterLifecycle) {
+  {
+    telemetry::ProgressReporter r("test.progress_lifecycle");
+    r.set_total(10);
+    r.advance(3);
+    r.field("overused", 42.0);
+    r.note("stage", "route");
+
+    const auto live = telemetry::progress_snapshot();
+    const auto* t = find_task(live, "test.progress_lifecycle");
+    ASSERT_NE(t, nullptr);
+    EXPECT_FALSE(t->done);
+    EXPECT_EQ(t->units_done, 3u);
+    EXPECT_EQ(t->units_total, 10u);
+    ASSERT_EQ(t->fields.size(), 1u);
+    EXPECT_EQ(t->fields[0].first, "overused");
+    EXPECT_DOUBLE_EQ(t->fields[0].second, 42.0);
+    ASSERT_EQ(t->notes.size(), 1u);
+    EXPECT_EQ(t->notes[0].second, "route");
+  }
+  // Destruction retires the task into the recently-finished list, with its
+  // final counters and a frozen elapsed time.
+  const auto after = telemetry::progress_snapshot();
+  const auto* t = find_task(after, "test.progress_lifecycle");
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->done);
+  EXPECT_EQ(t->units_done, 3u);
+  EXPECT_GE(t->elapsed_seconds, 0.0);
+}
+
+TEST(Progress, JsonDocumentParses) {
+  telemetry::ProgressReporter r("test.progress_json");
+  r.set_total(4);
+  r.advance(2);
+  r.field("throughput", 123.5);
+  std::ostringstream os;
+  telemetry::write_progress_json(os);
+  const JsonValue doc = parse_json(os.str());
+  const JsonValue* tasks = doc.find("tasks");
+  ASSERT_NE(tasks, nullptr);
+  ASSERT_TRUE(tasks->is_array());
+  const JsonValue* mine = nullptr;
+  for (const JsonValue& t : tasks->array) {
+    if (t.find("name") && t.find("name")->str == "test.progress_json") {
+      mine = &t;
+    }
+  }
+  ASSERT_NE(mine, nullptr);
+  EXPECT_DOUBLE_EQ(mine->find("units_done")->number, 2.0);
+  EXPECT_DOUBLE_EQ(mine->find("units_total")->number, 4.0);
+  const JsonValue* fields = mine->find("fields");
+  ASSERT_NE(fields, nullptr);
+  ASSERT_NE(fields->find("throughput"), nullptr);
+  EXPECT_DOUBLE_EQ(fields->find("throughput")->number, 123.5);
+}
+
+TEST(Progress, CurrentStageMarker) {
+  EXPECT_STREQ(telemetry::current_stage(), "");
+  telemetry::set_current_stage("route");
+  EXPECT_STREQ(telemetry::current_stage(), "route");
+  telemetry::set_current_stage(nullptr);  // nullptr means idle, like ""
+  EXPECT_STREQ(telemetry::current_stage(), "");
+}
+
 // ---------------------------------------------------------------------------
 // Tracer
 // ---------------------------------------------------------------------------
@@ -287,6 +446,58 @@ TEST(Trace, ClearDiscardsEvents) {
   EXPECT_EQ(telemetry::trace_event_count(), 0u);
   const JsonValue doc = parse_json(exported_trace());
   EXPECT_TRUE(doc.find("traceEvents")->array.empty());
+}
+
+TEST(Trace, SpanRingKeepsMostRecentSpans) {
+  telemetry::stop_tracing();
+  telemetry::set_span_ring_capacity(4);
+  EXPECT_EQ(telemetry::span_ring_capacity(), 4u);
+  for (int i = 0; i < 7; ++i) {
+    TraceScope span("trace_test.ringed", "test");
+  }
+  // The ring records even though full tracing is off, and stays bounded.
+  EXPECT_EQ(telemetry::trace_event_count(), 0u);
+  const auto spans = telemetry::recent_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_STREQ(spans[i].name, "trace_test.ringed");
+    EXPECT_STREQ(spans[i].category, "test");
+    if (i > 0) {
+      EXPECT_GE(spans[i].start_ns, spans[i - 1].start_ns);
+    }
+  }
+  telemetry::set_span_ring_capacity(0);
+  EXPECT_TRUE(telemetry::recent_spans().empty());
+  {
+    TraceScope span("trace_test.ring_disabled", "test");
+  }
+  EXPECT_TRUE(telemetry::recent_spans().empty());
+}
+
+TEST(Trace, RingOnlyModeSkipsPerCycleSimSpans) {
+  // "sim" spans fire per emulated cycle; with only the /tracez ring enabled
+  // (no full trace sink) they must not pay for clock reads or ring slots.
+  telemetry::stop_tracing();
+  telemetry::set_span_ring_capacity(8);
+  {
+    TraceScope hot("trace_test.sim_span", "sim");
+    TraceScope cold("trace_test.flow_span", "test");
+  }
+  auto spans = telemetry::recent_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "trace_test.flow_span");
+  // With a full sink active the same "sim" span IS collected (and ringed):
+  // the caller opted into tracing cost for the whole run.
+  telemetry::start_tracing();
+  {
+    TraceScope hot("trace_test.sim_span", "sim");
+  }
+  telemetry::stop_tracing();
+  EXPECT_EQ(telemetry::trace_event_count(), 1u);
+  spans = telemetry::recent_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[1].name, "trace_test.sim_span");
+  telemetry::set_span_ring_capacity(0);
 }
 
 TEST(Trace, ManySpansFromPoolThreads) {

@@ -1,6 +1,9 @@
 // End-to-end tests of the fpgadbg command-line tool (via subprocess).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -420,6 +423,135 @@ TEST(Cli, PromFlagWritesPrometheusExposition) {
   EXPECT_NE(text.find("fpgadbg_debug_coverage_fraction"), std::string::npos);
   EXPECT_NE(text.find("fpgadbg_debug_turn_seconds{quantile=\"0.99\"}"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// --introspect: the live HTTP server
+// ---------------------------------------------------------------------------
+
+/// Minimal HTTP GET against 127.0.0.1:<port>; "" on any socket failure.
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// Launches `args` in the background (stderr captured to a file), polls the
+/// stderr announcement for the bound introspection port.  Returns 0 on
+/// timeout.
+int spawn_and_find_port(const std::string& args, const std::string& err_path) {
+  const std::string cmd = std::string(FPGADBG_CLI_PATH) + " " + args + " 2> " +
+                          err_path + " > /dev/null &";
+  std::system(cmd.c_str());
+  const std::string needle = "serving on 127.0.0.1:";
+  for (int i = 0; i < 200; ++i) {
+    ::usleep(50 * 1000);
+    const std::string text = read_file(err_path);
+    const auto pos = text.find(needle);
+    if (pos != std::string::npos) {
+      return std::atoi(text.c_str() + pos + needle.size());
+    }
+  }
+  return 0;
+}
+
+TEST(Cli, IntrospectServesLiveEndpointsAndQuits) {
+  const std::string blif = write_profile_blif("intro.blif");
+  const std::string err = tmp_path("intro_err.txt");
+  // Linger keeps the server up after the (fast) command body finishes; the
+  // final /quitz shuts the process down deterministically.
+  const int port = spawn_and_find_port(
+      "profile " + blif +
+          " --width 2 --turns 1 --cycles 8 --scenarios 64"
+          " --introspect 0 --introspect-linger 60",
+      err);
+  ASSERT_GT(port, 0) << read_file(err);
+
+  EXPECT_NE(http_get(port, "/healthz").find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("fpgadbg_"), std::string::npos);
+  const std::string statusz = http_get(port, "/statusz");
+  EXPECT_NE(statusz.find("uptime_seconds:"), std::string::npos);
+  const std::string progressz = http_get(port, "/progressz");
+  EXPECT_NE(progressz.find("\"tasks\""), std::string::npos);
+  // The instrumented loops registered under their canonical names.
+  EXPECT_NE(progressz.find("flow.pipeline"), std::string::npos);
+  EXPECT_NE(progressz.find("debug.scenario_batch"), std::string::npos);
+  EXPECT_NE(http_get(port, "/quitz").find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  // After /quitz the linger wait returns and the process exits; give it a
+  // moment and confirm the port is closed.
+  for (int i = 0; i < 100; ++i) {
+    ::usleep(50 * 1000);
+    if (http_get(port, "/healthz").empty()) break;
+  }
+  EXPECT_TRUE(http_get(port, "/healthz").empty());
+}
+
+TEST(Cli, ReportServeMountsReport) {
+  const std::string blif = write_profile_blif("serve.blif");
+  const std::string journal = tmp_path("serve.jsonl");
+  ASSERT_EQ(run("profile " + blif +
+                " --width 2 --turns 1 --cycles 8 --scenarios 0 --journal " +
+                journal)
+                .exit_code,
+            0);
+  const std::string err = tmp_path("serve_err.txt");
+  const int port = spawn_and_find_port(
+      "report " + journal + " --serve 0 --introspect-linger 60", err);
+  ASSERT_GT(port, 0) << read_file(err);
+  const std::string report = http_get(port, "/report");
+  EXPECT_NE(report.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(report.find("per-turn breakdown"), std::string::npos);
+  // The standard telemetry endpoints ride along with the mounted report.
+  EXPECT_NE(http_get(port, "/metrics").find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  EXPECT_NE(http_get(port, "/quitz").find("HTTP/1.1 200 OK"),
+            std::string::npos);
+}
+
+TEST(Cli, InvalidIntrospectValuesRejected) {
+  EXPECT_EQ(run("--introspect notaport gen list").exit_code, 2);
+  EXPECT_EQ(run("--introspect 70000 gen list").exit_code, 2);
+  EXPECT_EQ(run("--introspect-linger -1 gen list").exit_code, 2);
+}
+
+TEST(Cli, UsageMentionsIntrospect) {
+  const auto r = run("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--introspect"), std::string::npos);
+  EXPECT_NE(r.output.find("/quitz"), std::string::npos);
+  EXPECT_NE(r.output.find("--serve"), std::string::npos);
 }
 
 }  // namespace
