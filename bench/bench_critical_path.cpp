@@ -9,6 +9,7 @@
 #include "debug/signal_param.h"
 #include "genbench/genbench.h"
 #include "map/mappers.h"
+#include "pnr/flow.h"
 #include "pnr/timing.h"
 
 using namespace fpgadbg;

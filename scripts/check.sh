@@ -62,6 +62,23 @@ grep -q '^fpgadbg_debug_turns_total ' "$SMOKE_DIR/metrics.prom" || {
 }
 echo "schema smoke: OK ($SMOKE_DIR)"
 
+# Timing smoke: the timing-driven flow must run end to end and surface its
+# STA summary on stdout and the Fmax gauge in the Prometheus exposition.
+TIMING_OUT=$("$FPGADBG" --prom "$SMOKE_DIR/timing.prom" \
+             profile "$SMOKE_DIR/design.blif" --turns 1 --cycles 16 \
+             --scenarios 0 --timing-driven)
+for needle in "Fmax" "worst slack" "critical path" "timing-driven"; do
+  if ! grep -q "$needle" <<< "$TIMING_OUT"; then
+    echo "timing smoke: profile output is missing \"$needle\"" >&2
+    exit 1
+  fi
+done
+grep -q '^fpgadbg_timing_fmax_mhz ' "$SMOKE_DIR/timing.prom" || {
+  echo "timing smoke: prometheus exposition is missing fpgadbg_timing_fmax_mhz" >&2
+  exit 1
+}
+echo "timing smoke: OK"
+
 # Introspection smoke: run a profile with the live HTTP server on an
 # ephemeral port, scrape every endpoint while the process lingers, and shut
 # it down through /quitz.  Exercises the whole chain end to end: flag

@@ -554,6 +554,20 @@ std::uint64_t hash_device_options(const pnr::CompileOptions& o) {
   return w.content_hash();
 }
 
+std::uint64_t hash_timing_options(const pnr::TimingOptions& t) {
+  ByteWriter w;
+  w.boolean(t.timing_driven);
+  w.f64(t.place_tradeoff);
+  w.f64(t.crit_exp);
+  w.f64(t.route_crit_weight);
+  w.f64(t.delays.lut_ns);
+  w.f64(t.delays.pin_ns);
+  w.f64(t.delays.segment_ns);
+  w.f64(t.delays.fanout_ns);
+  w.f64(t.delays.tile_ns);
+  return w.content_hash();
+}
+
 std::uint64_t hash_place_options(const pnr::CompileOptions& o) {
   ByteWriter w;
   w.u64(hash_device_options(o));
@@ -561,6 +575,9 @@ std::uint64_t hash_place_options(const pnr::CompileOptions& o) {
   w.f64(o.place.moves_per_cell);
   w.f64(o.place.initial_accept);
   w.f64(o.place.exit_temperature);
+  w.boolean(o.place.analytic_seed);
+  w.i32(o.place.seed_iterations);
+  w.u64(hash_timing_options(o.timing));
   return w.content_hash();
 }
 
@@ -574,6 +591,7 @@ std::uint64_t hash_route_options(const pnr::CompileOptions& o) {
   w.f64(o.route.astar_fac);
   w.i32(o.route.bb_margin);
   w.boolean(o.route.incremental);
+  w.u64(hash_timing_options(o.timing));
   // route_threads is deliberately NOT hashed: the router guarantees
   // bit-identical results for every thread count, so a cached route artifact
   // stays valid when only the parallelism changes.

@@ -73,6 +73,13 @@ std::uint64_t hash_map_options(int lut_size, int max_param_leaves);
 std::uint64_t hash_arch_params(const arch::ArchParams& a);
 /// Device geometry inputs shared by place/route/pconf-build (arch + slack).
 std::uint64_t hash_device_options(const pnr::CompileOptions& o);
+/// Timing knobs + delay model.  Folded into the place, route AND pconf-build
+/// options hashes: editing any --delay-* / --timing-driven knob invalidates
+/// exactly those three stages (pconf-build chains CONTENT hashes, so it is
+/// included there explicitly — a knob change whose place/route outputs happen
+/// to be byte-identical must still miss deterministically, not depend on how
+/// the optimizers reacted).
+std::uint64_t hash_timing_options(const pnr::TimingOptions& t);
 std::uint64_t hash_place_options(const pnr::CompileOptions& o);
 std::uint64_t hash_route_options(const pnr::CompileOptions& o);
 

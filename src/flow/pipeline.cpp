@@ -270,7 +270,7 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
               ctx, "place", key, &place_hash,
               [&] {
                 return pnr::place(net, design->packing, design->nets,
-                                  *design->device, copt.place);
+                                  *design->device, copt.place, copt.timing);
               },
               serialize_placement, deserialize_placement));
     }
@@ -293,7 +293,8 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
               ctx, "route", key, &route_hash,
               [&] {
                 return pnr::route(*design->rr, net, design->packing,
-                                  design->nets, design->placement, copt.route);
+                                  design->nets, design->placement, copt.route,
+                                  copt.timing);
               },
               serialize_route_result, deserialize_route_result));
     }
@@ -310,6 +311,13 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
     design->report.route_iterations = design->routing.iterations;
     design->report.wire_nodes_used = design->routing.wire_nodes_used;
     design->report.total_wirelength = design->routing.total_wirelength;
+    // Routed-fidelity STA runs on cache hits too: the route artifact stores
+    // routes, not timing, and the analysis is far cheaper than a replay.
+    try {
+      pnr::finalize_timing(*design, copt.timing);
+    } catch (...) {
+      return status_from_exception("route");
+    }
     design->report.total_seconds = pnr_timer.elapsed_seconds();
     offline.compiled = std::move(design);
 
@@ -323,10 +331,14 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
     begin_stage("pconf-build");
     {
       telemetry::TraceScope span("offline.bitstream");
+      // Timing options join the key even though place/route CONTENT hashes
+      // are chained: a timing-knob edit must invalidate this stage
+      // deterministically, not only when the optimizers' outputs changed.
       const std::uint64_t key = stage_key(
           "pconf-build",
           hash_combine(hash_combine(physical_hash, place_hash), route_hash),
-          hash_device_options(copt));
+          hash_combine(hash_device_options(copt),
+                       hash_timing_options(copt.timing)));
       FPGADBG_ASSIGN_OR_RETURN(
           PconfArtifact artifact,
           run_stage<PconfArtifact>(

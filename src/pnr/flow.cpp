@@ -45,7 +45,7 @@ CompiledDesign compile(map::MappedNetlist mn,
   {
     telemetry::TraceScope span("pnr.place");
     design.placement = place(net, design.packing, design.nets, *design.device,
-                             options.place);
+                             options.place, options.timing);
   }
   design.report.place_seconds =
       m.histogram("pnr.place_seconds").observe(stage_timer.elapsed_seconds());
@@ -54,7 +54,7 @@ CompiledDesign compile(map::MappedNetlist mn,
   {
     telemetry::TraceScope span("pnr.route");
     design.routing = route(*design.rr, net, design.packing, design.nets,
-                           design.placement, options.route);
+                           design.placement, options.route, options.timing);
   }
   design.report.route_seconds =
       m.histogram("pnr.route_seconds").observe(stage_timer.elapsed_seconds());
@@ -68,8 +68,23 @@ CompiledDesign compile(map::MappedNetlist mn,
   design.report.route_iterations = design.routing.iterations;
   design.report.wire_nodes_used = design.routing.wire_nodes_used;
   design.report.total_wirelength = design.routing.total_wirelength;
+  finalize_timing(design, options.timing);
   design.report.total_seconds = total_timer.elapsed_seconds();
   return design;
+}
+
+void finalize_timing(CompiledDesign& design, const TimingOptions& timing) {
+  telemetry::TraceScope span("pnr.timing");
+  const TimingReport sta = analyze_timing(design, timing.delays);
+  design.report.timing_driven = timing.timing_driven;
+  design.report.critical_path_ns = sta.critical_path_ns;
+  design.report.max_frequency_mhz = sta.max_frequency_mhz;
+  design.report.worst_slack_ns = sta.worst_slack_ns;
+  // Named so the Prometheus exposition yields exactly fpgadbg_timing_fmax_mhz.
+  telemetry::metrics().gauge("timing.fmax_mhz").set(sta.max_frequency_mhz);
+  telemetry::metrics()
+      .gauge("timing.critical_path_ns")
+      .set(sta.critical_path_ns);
 }
 
 support::Result<CompiledDesign> try_compile(

@@ -18,6 +18,8 @@ struct CompileOptions {
   arch::ArchParams arch;
   PlaceOptions place;
   RouteOptions route;
+  /// Timing-driven knobs + delay model, threaded into place() and route().
+  TimingOptions timing;
   /// CLB capacity slack: the device provides clusters * slack CLB tiles.
   double device_slack = 1.4;
 };
@@ -32,6 +34,12 @@ struct CompileReport {
   int route_iterations = 0;
   std::size_t wire_nodes_used = 0;
   std::size_t total_wirelength = 0;
+  // Routed-fidelity STA of the final implementation (always filled; the
+  // timing_driven flag records whether the optimizers were steered by it).
+  bool timing_driven = false;
+  double critical_path_ns = 0.0;
+  double max_frequency_mhz = 0.0;
+  double worst_slack_ns = 0.0;
   double pack_seconds = 0.0;
   double place_seconds = 0.0;
   double route_seconds = 0.0;
@@ -55,6 +63,13 @@ struct CompiledDesign {
 CompiledDesign compile(map::MappedNetlist mn,
                        const std::vector<std::string>& trace_output_names,
                        const CompileOptions& options = {});
+
+/// Runs the routed-fidelity STA over a compiled design, fills the report's
+/// timing fields and publishes the `timing.fmax_mhz` gauge (exposed as
+/// `fpgadbg_timing_fmax_mhz` on /metrics).  compile() calls it; the cached
+/// pipeline calls it too so replayed place/route artifacts still report
+/// timing.
+void finalize_timing(CompiledDesign& design, const TimingOptions& timing);
 
 /// Result form of compile: an unroutable or otherwise failing physical flow
 /// comes back as a Status (kUnroutable for FlowError) instead of throwing.

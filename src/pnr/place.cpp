@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "support/error.h"
 #include "support/rng.h"
@@ -63,11 +64,106 @@ double hpwl(const NetGeom& net,
   return static_cast<double>((max_x - min_x) + (max_y - min_y));
 }
 
+/// Analytic placement seed (HeAP spirit, Jacobi form): every cluster moves to
+/// the weighted centroid of the centroids of its nets, with the fixed IO/BRAM
+/// endpoints anchoring the system so it does not collapse to a point.  Pure
+/// sequential arithmetic over deterministic inputs — fully reproducible.
+std::vector<std::pair<double, double>> analytic_positions(
+    const std::vector<NetGeom>& geoms,
+    const std::vector<std::vector<std::size_t>>& nets_of_cluster,
+    const std::vector<double>& net_weight, const arch::Device& device,
+    int iterations) {
+  const std::size_t num_clusters = nets_of_cluster.size();
+  // Start everything at the CLB-region center.
+  double cx = 0.0, cy = 0.0;
+  const auto& clbs = device.clb_positions();
+  for (const auto& p : clbs) {
+    cx += p.first;
+    cy += p.second;
+  }
+  if (!clbs.empty()) {
+    cx /= static_cast<double>(clbs.size());
+    cy /= static_cast<double>(clbs.size());
+  }
+  std::vector<std::pair<double, double>> pos(num_clusters, {cx, cy});
+  std::vector<std::pair<double, double>> next(num_clusters);
+
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+      double sx = 0.0, sy = 0.0, sw = 0.0;
+      for (std::size_t n : nets_of_cluster[c]) {
+        const NetGeom& g = geoms[n];
+        // Net centroid over the other endpoints (self included is fine: it
+        // only damps the update, it cannot bias the fixed point).
+        double nx = 0.0, ny = 0.0;
+        const std::size_t ends = g.clusters.size() + g.fixed.size();
+        if (ends == 0) continue;
+        for (int other : g.clusters) {
+          nx += pos[static_cast<std::size_t>(other)].first;
+          ny += pos[static_cast<std::size_t>(other)].second;
+        }
+        for (const auto& f : g.fixed) {
+          nx += f.first;
+          ny += f.second;
+        }
+        const double w = net_weight.empty() ? 1.0 : net_weight[n];
+        sx += w * nx / static_cast<double>(ends);
+        sy += w * ny / static_cast<double>(ends);
+        sw += w;
+      }
+      next[c] = sw > 0.0 ? std::pair<double, double>{sx / sw, sy / sw}
+                         : std::pair<double, double>{cx, cy};
+    }
+    pos.swap(next);
+  }
+  return pos;
+}
+
+/// Snaps analytic positions to distinct CLB tiles: clusters are visited in a
+/// deterministic spatial order and each takes the nearest still-free slot
+/// (squared distance, ties by slot order — the device's position list is
+/// itself deterministic).
+std::vector<std::pair<int, int>> legalize(
+    const std::vector<std::pair<double, double>>& desired,
+    const std::vector<std::pair<int, int>>& slots) {
+  std::vector<std::size_t> order(desired.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (desired[a].first != desired[b].first) {
+      return desired[a].first < desired[b].first;
+    }
+    if (desired[a].second != desired[b].second) {
+      return desired[a].second < desired[b].second;
+    }
+    return a < b;
+  });
+  std::vector<char> taken(slots.size(), 0);
+  std::vector<std::pair<int, int>> result(desired.size(), {0, 0});
+  for (std::size_t c : order) {
+    double best = 0.0;
+    std::size_t best_slot = slots.size();
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (taken[s]) continue;
+      const double dx = desired[c].first - slots[s].first;
+      const double dy = desired[c].second - slots[s].second;
+      const double d = dx * dx + dy * dy;
+      if (best_slot == slots.size() || d < best) {
+        best = d;
+        best_slot = s;
+      }
+    }
+    FPGADBG_ASSERT(best_slot < slots.size(), "legalize: out of CLB slots");
+    taken[best_slot] = 1;
+    result[c] = slots[best_slot];
+  }
+  return result;
+}
+
 }  // namespace
 
 Placement place(const MappedNetlist& mn, const Packing& packing,
                 const NetExtraction& nets, const arch::Device& device,
-                const PlaceOptions& options) {
+                const PlaceOptions& options, const TimingOptions& timing) {
   FPGADBG_REQUIRE(packing.num_clusters() <= device.num_clbs(),
                   "design does not fit: " +
                       std::to_string(packing.num_clusters()) + " clusters > " +
@@ -102,18 +198,6 @@ Placement place(const MappedNetlist& mn, const Packing& packing,
     pl.bram_of_lane[l] =
         brams.empty() ? next_io() : brams[l % brams.size()];
   }
-
-  // --- initial random cluster placement ---------------------------------
-  std::vector<std::pair<int, int>> slots = device.clb_positions();
-  rng.shuffle(slots);
-  pl.cluster_pos.assign(packing.num_clusters(), {0, 0});
-  for (std::size_t c = 0; c < packing.num_clusters(); ++c) {
-    pl.cluster_pos[c] = slots[c];
-  }
-  // Free slots beyond the used ones remain available as move targets.
-  std::vector<std::pair<int, int>> free_slots(
-      slots.begin() + static_cast<std::ptrdiff_t>(packing.num_clusters()),
-      slots.end());
 
   // --- net geometry ------------------------------------------------------
   std::vector<NetGeom> geoms;
@@ -177,17 +261,79 @@ Placement place(const MappedNetlist& mn, const Packing& packing,
     geoms.push_back(std::move(geom));
   }
 
-  std::vector<double> net_cost(geoms.size());
-  double total = 0.0;
-  for (std::size_t n = 0; n < geoms.size(); ++n) {
-    net_cost[n] = hpwl(geoms[n], pl.cluster_pos);
-    total += net_cost[n];
+  // --- timing: criticality-derived net weights ---------------------------
+  // Timing-driven cost per net is hpwl * ((1-λ) + λ·crit^crit_exp): the
+  // geometric extent IS the delay estimate at this fidelity, so weighting the
+  // extent by criticality is exactly the blended (1-λ)·HPWL + λ·crit·delay of
+  // the classic formulation, net by net.  Wirelength-driven runs keep every
+  // weight at 1 and never build the analyzer.
+  std::unique_ptr<TimingAnalyzer> sta;
+  std::vector<double> net_weight;
+  auto refresh_weights = [&]() {
+    if (!sta) return;
+    if (!pl.cluster_pos.empty()) {
+      sta->use_placed_delays(packing, pl);
+    }
+    sta->update();
+    const double lambda = timing.place_tradeoff;
+    for (std::size_t n = 0; n < geoms.size(); ++n) {
+      net_weight[n] = (1.0 - lambda) +
+                      lambda * std::pow(sta->net_criticality(n),
+                                        timing.crit_exp);
+    }
+  };
+  if (timing.timing_driven) {
+    sta = std::make_unique<TimingAnalyzer>(mn, nets, timing.delays);
+    net_weight.assign(geoms.size(), 1.0);
+    // Pre-place fidelity: fanout-estimated criticality seeds the analytic
+    // pass before any position exists.
+    refresh_weights();
   }
 
+  // --- initial cluster placement -----------------------------------------
+  std::vector<std::pair<int, int>> slots = device.clb_positions();
+  if (options.analytic_seed && packing.num_clusters() > 0) {
+    const auto desired =
+        analytic_positions(geoms, nets_of_cluster, net_weight, device,
+                           options.seed_iterations);
+    pl.cluster_pos = legalize(desired, slots);
+  } else {
+    rng.shuffle(slots);
+    pl.cluster_pos.assign(packing.num_clusters(), {0, 0});
+    for (std::size_t c = 0; c < packing.num_clusters(); ++c) {
+      pl.cluster_pos[c] = slots[c];
+    }
+  }
+
+  auto final_hpwl = [&]() {
+    double wl = 0.0;
+    for (const NetGeom& g : geoms) wl += hpwl(g, pl.cluster_pos);
+    return wl;
+  };
+
   if (packing.num_clusters() <= 1) {
-    pl.total_hpwl = total;
+    pl.total_hpwl = final_hpwl();
     return pl;
   }
+
+  // Placed fidelity is now available: re-derive the weights the annealer
+  // will price moves against.
+  refresh_weights();
+
+  std::vector<double> net_cost(geoms.size());
+  double total = 0.0;
+  auto weighted = [&](std::size_t n) {
+    const double w = net_weight.empty() ? 1.0 : net_weight[n];
+    return w * hpwl(geoms[n], pl.cluster_pos);
+  };
+  auto rebase_costs = [&]() {
+    total = 0.0;
+    for (std::size_t n = 0; n < geoms.size(); ++n) {
+      net_cost[n] = weighted(n);
+      total += net_cost[n];
+    }
+  };
+  rebase_costs();
 
   // --- simulated annealing ----------------------------------------------
   // Which slot (if any) holds each position is tracked via a map from
@@ -205,7 +351,7 @@ Placement place(const MappedNetlist& mn, const Packing& packing,
   auto delta_for = [&](const std::vector<std::size_t>& affected) {
     double delta = 0.0;
     for (std::size_t n : affected) {
-      delta += hpwl(geoms[n], pl.cluster_pos) - net_cost[n];
+      delta += weighted(n) - net_cost[n];
     }
     return delta;
   };
@@ -242,8 +388,13 @@ Placement place(const MappedNetlist& mn, const Packing& packing,
     if (b >= 0) pl.cluster_pos[static_cast<std::size_t>(b)] = target;
     ++samples;
   }
+  // A cold random start needs enough heat to escape it; the analytic seed is
+  // already in a good basin, so the anneal starts at a quarter of that and
+  // refines instead of scrambling.
+  const double heat = options.analytic_seed ? 0.5 : 2.0;
+  const double floor = options.analytic_seed ? 0.25 : 1.0;
   double temperature =
-      samples > 0 ? std::max(1.0, 2.0 * sum_abs / samples) : 1.0;
+      samples > 0 ? std::max(floor, heat * sum_abs / samples) : floor;
 
   const std::size_t moves_per_step = std::max<std::size_t>(
       16, static_cast<std::size_t>(
@@ -273,7 +424,7 @@ Placement place(const MappedNetlist& mn, const Packing& packing,
           delta <= 0.0 || rng.next_double() < std::exp(-delta / temperature);
       if (accept) {
         for (std::size_t n : affected) {
-          const double fresh = hpwl(geoms[n], pl.cluster_pos);
+          const double fresh = weighted(n);
           total += fresh - net_cost[n];
           net_cost[n] = fresh;
         }
@@ -300,9 +451,16 @@ Placement place(const MappedNetlist& mn, const Packing& packing,
       alpha = 0.8;
     }
     temperature *= alpha;
+    // Criticality drifts as the placement moves; refresh the weights (and
+    // re-baseline the incremental costs against them) once per temperature
+    // step — the sweep is O(cells + nets), far below the move loop's cost.
+    if (sta) {
+      refresh_weights();
+      rebase_costs();
+    }
   }
 
-  pl.total_hpwl = total;
+  pl.total_hpwl = final_hpwl();
   return pl;
 }
 

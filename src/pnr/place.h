@@ -1,9 +1,15 @@
-// TPlace: simulated-annealing placement (VPR lineage).
+// TPlace: analytic seed + simulated-annealing placement (VPR/HeAP lineage).
 //
 // Clusters are assigned to CLB tiles, primary I/O and parameters to the IO
-// ring, trace lanes to BRAM tiles.  The annealer minimises total half-
-// perimeter wirelength (HPWL) over the extracted physical nets with the
-// classic swap/move + adaptive temperature schedule.
+// ring, trace lanes to BRAM tiles.  An analytic pass (iterate the quadratic
+// wirelength system's Jacobi form: every cluster moves to the weighted
+// centroid of its nets, anchored by the fixed IO ring, then legalize to
+// distinct CLB tiles) replaces the cold random start; the annealer then
+// refines from that seed at reduced temperature with the classic swap/move +
+// adaptive schedule.  The cost is HPWL over the extracted physical nets,
+// or — timing-driven — the per-net blend
+// hpwl * ((1-λ) + λ·criticality^crit_exp), with criticality refreshed from
+// the STA (pnr/timing.h) at placed fidelity every temperature step.
 #pragma once
 
 #include <unordered_map>
@@ -12,6 +18,7 @@
 #include "arch/device.h"
 #include "pnr/nets.h"
 #include "pnr/pack.h"
+#include "pnr/timing.h"
 
 namespace fpgadbg::pnr {
 
@@ -21,6 +28,13 @@ struct PlaceOptions {
   double moves_per_cell = 10.0;
   double initial_accept = 0.8;  ///< target initial acceptance ratio
   double exit_temperature = 0.005;
+  /// Seed the annealer with the analytic (centroid-iteration + legalize)
+  /// placement instead of a random shuffle.  The anneal then starts at a
+  /// quarter of the cold-start temperature: the seed is already good, so the
+  /// schedule refines rather than scrambles.
+  bool analytic_seed = true;
+  /// Centroid iterations of the analytic pass.
+  int seed_iterations = 30;
 };
 
 struct Placement {
@@ -41,6 +55,7 @@ struct Placement {
 
 Placement place(const map::MappedNetlist& mn, const Packing& packing,
                 const NetExtraction& nets, const arch::Device& device,
-                const PlaceOptions& options = {});
+                const PlaceOptions& options = {},
+                const TimingOptions& timing = {});
 
 }  // namespace fpgadbg::pnr

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "support/error.h"
 #include "support/log.h"
@@ -160,6 +161,11 @@ class ContextPool {
 struct Terminals {
   RRNodeId source = 0;
   std::vector<RRNodeId> sinks;
+  /// NetSink indices (into PhysNet::sinks) merged into each kept sink: two
+  /// logical connections landing on the same IPIN dedupe into one routed
+  /// sink, and timing-driven costing takes the worst criticality of the
+  /// merged set.
+  std::vector<std::vector<std::size_t>> sink_conns;
   int group = 0;
   int source_group = 0;  ///< keyed by driver: all fanout nets share the OPIN
 };
@@ -209,6 +215,17 @@ struct Router {
   RouteResult* result = nullptr;
   double pres_fac = 0.0;
 
+  // Timing-driven state, refreshed once per iteration at the sequential
+  // barrier (read-only while bins route concurrently).
+  bool timing_driven = false;
+  double crit_weight = 1.0;      ///< TimingOptions::route_crit_weight
+  double pin_delay_units = 1.0;  ///< pin_ns / segment_ns (wire segment = 1)
+  /// Effective criticality (crit^crit_exp, capped below 1 so congestion
+  /// pressure never vanishes) per net per kept sink.
+  std::vector<std::vector<double>> conn_crit;
+  /// Per-net sink visit order: most critical first, ties by sink index.
+  std::vector<std::vector<std::uint32_t>> sink_order;
+
   std::atomic<std::size_t> heap_pops{0};
   std::atomic<std::size_t> bbox_expansions{0};
 
@@ -220,21 +237,39 @@ struct Router {
                                              : terms[n].group;
   }
 
-  double node_cost(RRNodeId id, int group) const {
+  /// Intrinsic delay of entering a node, in units of one wire segment's
+  /// delay (so the congestion base cost of 1.0 and a segment's delay cost of
+  /// 1.0 share a scale).
+  double delay_units(RRNodeId id) const {
+    const RRKind kind = rr.node(id).kind;
+    return (kind == RRKind::kChanX || kind == RRKind::kChanY)
+               ? 1.0
+               : pin_delay_units;
+  }
+
+  /// Node cost for a sink of criticality `crit` (0 in wirelength mode): the
+  /// VPR blend crit·delay + (1-crit)·congestion.  Critical connections price
+  /// wires by delay and shrug at congestion; non-critical ones detour around
+  /// it — the negotiation moves shareable slack onto the nets that have it.
+  double node_cost(RRNodeId id, int group, double crit) const {
     const auto& node = rr.node(id);
     int occupancy = occ[id].occupancy();
     if (!occ[id].holds(group)) occupancy += 1;  // cost as if we were added
     const int over = std::max(0, occupancy - node.capacity);
-    const double congestion = 1.0 + pres_fac * over;
-    return (1.0 + history[id]) * congestion;
+    const double congestion =
+        (1.0 + history[id]) * (1.0 + pres_fac * over);
+    if (crit <= 0.0) return congestion;
+    return (1.0 - crit) * congestion + crit * crit_weight * delay_units(id);
   }
 
   /// Admissible A* lookahead: the minimum number of RR nodes still to be
-  /// entered before the target tile (each costs >= 1.0).  A channel wire
-  /// borders two tiles, so its distance is the min over both; that keeps the
-  /// estimate a true lower bound and consistent (it drops by at most 1 per
-  /// edge while every entered node costs at least 1).
-  double lookahead(RRNodeId id, int tx, int ty) const {
+  /// entered before the target tile, times `scale` — the cheapest possible
+  /// per-node cost of the current search (1.0 in wirelength mode, where
+  /// every node costs at least 1.0).  A channel wire borders two tiles, so
+  /// its distance is the min over both; that keeps the estimate a true lower
+  /// bound and consistent (it drops by at most 1 per edge while every
+  /// entered node costs at least `scale`).
+  double lookahead(RRNodeId id, int tx, int ty, double scale) const {
     if (options.astar_fac <= 0.0) return 0.0;
     const RRNode& nd = rr.node(id);
     int d = std::abs(nd.x - tx) + std::abs(nd.y - ty);
@@ -243,7 +278,17 @@ struct Router {
     } else if (nd.kind == RRKind::kChanY) {
       d = std::min(d, std::abs(nd.x - tx) + std::abs(nd.y + 1 - ty));
     }
-    return options.astar_fac * static_cast<double>(d);
+    return options.astar_fac * scale * static_cast<double>(d);
+  }
+
+  /// Lower bound on node_cost() over every node kind for a sink of
+  /// criticality `crit`: congestion cost is >= 1.0, delay cost is >= the
+  /// cheapest delay unit.  Scaling the lookahead by it keeps A* admissible
+  /// under the timing blend.
+  double min_node_cost(double crit) const {
+    if (crit <= 0.0) return 1.0;
+    const double min_units = std::min(1.0, pin_delay_units);
+    return (1.0 - crit) + crit * crit_weight * min_units;
   }
 
   void rip_up(std::size_t n) {
@@ -282,7 +327,15 @@ struct Router {
     ++ctx.tree_token;
     ctx.tree_stamp[terms[n].source] = ctx.tree_token;
 
-    for (RRNodeId target : terms[n].sinks) {
+    // Timing-driven: most critical sink first, so the scarce direct wires go
+    // to the connections that need them; the rest share what remains.
+    const std::size_t num_sinks = terms[n].sinks.size();
+    for (std::size_t si = 0; si < num_sinks; ++si) {
+      const std::size_t k =
+          timing_driven ? sink_order[n][si] : si;
+      const RRNodeId target = terms[n].sinks[k];
+      const double crit = timing_driven ? conn_crit[n][k] : 0.0;
+      const double la_scale = min_node_cost(crit);
       const RRNode& tnode = rr.node(target);
       const int tx = tnode.x;
       const int ty = tnode.y;
@@ -295,7 +348,7 @@ struct Router {
         ctx.dist[t] = 0.0;
         ctx.stamp[t] = ctx.now;
         ctx.prev_edge[t] = static_cast<RREdgeId>(-1);
-        queue.push(QueueEntry{lookahead(t, tx, ty), 0.0, t});
+        queue.push(QueueEntry{lookahead(t, tx, ty, la_scale), 0.0, t});
       }
       bool reached = false;
       while (!queue.empty()) {
@@ -318,12 +371,13 @@ struct Router {
           }
           const RRNode& nnode = rr.node(next);
           if (!bb.contains(nnode.x, nnode.y)) continue;
-          const double g = top.g + node_cost(next, group_at(n, next));
+          const double g = top.g + node_cost(next, group_at(n, next), crit);
           if (ctx.stamp[next] != ctx.now || g < ctx.dist[next]) {
             ctx.stamp[next] = ctx.now;
             ctx.dist[next] = g;
             ctx.prev_edge[next] = e;
-            queue.push(QueueEntry{g + lookahead(next, tx, ty), g, next});
+            queue.push(
+                QueueEntry{g + lookahead(next, tx, ty, la_scale), g, next});
           }
         }
       }
@@ -376,7 +430,8 @@ struct Router {
 
 RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
                   const Packing& packing, const NetExtraction& nets,
-                  const Placement& placement, const RouteOptions& options) {
+                  const Placement& placement, const RouteOptions& options,
+                  const TimingOptions& timing) {
   Stopwatch timer;
   RouteResult result;
   result.routes.resize(nets.nets.size());
@@ -394,8 +449,9 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
     // A physical output pin drives arbitrary fanout: every net of the same
     // driver occupies the OPIN once, together.
     t.source_group = -(static_cast<int>(net.driver) + 2);
-    std::unordered_set<RRNodeId> seen;
-    for (const NetSink& sink : net.sinks) {
+    std::unordered_map<RRNodeId, std::size_t> seen;  // ipin -> kept index
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      const NetSink& sink = net.sinks[s];
       std::pair<int, int> pos;
       switch (sink.kind) {
         case SinkKind::kCellPin:
@@ -410,7 +466,13 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
       }
       if (pos == dpos) continue;  // intra-tile connection: no routing needed
       const RRNodeId ipin = rr.ipin_at(pos.first, pos.second);
-      if (seen.insert(ipin).second) t.sinks.push_back(ipin);
+      const auto [it, inserted] = seen.emplace(ipin, t.sinks.size());
+      if (inserted) {
+        t.sinks.push_back(ipin);
+        t.sink_conns.push_back({s});
+      } else {
+        t.sink_conns[it->second].push_back(s);
+      }
     }
     router.terms[n] = std::move(t);
   }
@@ -447,6 +509,51 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
       bb.clamp(router.width, router.height);
       router.net_bb[n] = bb;
     }
+  }
+
+  // Timing-driven setup: the STA starts at placed fidelity (no routes yet)
+  // and its critical-path estimate becomes the clock budget the slack series
+  // converges against.  Criticalities are refreshed only at the sequential
+  // per-iteration barrier, so the concurrent bins read frozen values and the
+  // result stays bit-identical for every thread count.
+  std::unique_ptr<TimingAnalyzer> sta;
+  auto refresh_criticalities = [&]() {
+    for (std::size_t n = 0; n < router.terms.size(); ++n) {
+      const Terminals& t = router.terms[n];
+      auto& crit = router.conn_crit[n];
+      auto& order = router.sink_order[n];
+      crit.assign(t.sinks.size(), 0.0);
+      order.resize(t.sinks.size());
+      for (std::size_t k = 0; k < t.sinks.size(); ++k) {
+        double worst = 0.0;
+        for (std::size_t conn : t.sink_conns[k]) {
+          worst = std::max(worst, sta->connection_criticality(n, conn));
+        }
+        // Sharpen, then cap below 1: a connection must never go fully blind
+        // to congestion or the negotiation cannot evict it from overuse.
+        crit[k] = std::min(0.95, std::pow(worst, timing.crit_exp));
+        order[k] = static_cast<std::uint32_t>(k);
+      }
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  if (crit[a] != crit[b]) return crit[a] > crit[b];
+                  return a < b;
+                });
+    }
+  };
+  if (timing.timing_driven) {
+    router.timing_driven = true;
+    router.crit_weight = timing.route_crit_weight;
+    router.pin_delay_units = timing.delays.segment_ns > 0.0
+                                 ? timing.delays.pin_ns / timing.delays.segment_ns
+                                 : 1.0;
+    router.conn_crit.resize(nets.nets.size());
+    router.sink_order.resize(nets.nets.size());
+    sta = std::make_unique<TimingAnalyzer>(mn, nets, timing.delays);
+    sta->use_placed_delays(packing, placement);
+    sta->update();
+    sta->set_clock_budget_ns(sta->critical_path_ns());
+    refresh_criticalities();
   }
 
   const int threads = resolve_threads(options);
@@ -745,6 +852,23 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
     progress.field("overused_nodes", static_cast<double>(overused_nodes));
     progress.field("rerouted_nets", static_cast<double>(dirty.size()));
     progress.field("heap_pops", static_cast<double>(iter_pops));
+    // Timing refresh at the barrier: re-derive routed delays from the routes
+    // this iteration produced, record the slack trajectory, and hand the next
+    // iteration its updated criticalities.  Worst slack is measured against
+    // the placed-fidelity budget captured before iteration 1, so the series
+    // shows the router winning back (or conceding) the placer's plan.
+    if (sta) {
+      sta->use_routed_delays(rr, result.routes);
+      sta->update();
+      telemetry::metrics()
+          .series("pnr.timing.iteration.worst_slack_ns")
+          .append(sta->worst_slack_ns());
+      telemetry::metrics()
+          .series("pnr.timing.iteration.fmax_mhz")
+          .append(sta->max_frequency_mhz());
+      progress.field("worst_slack_ns", sta->worst_slack_ns());
+      refresh_criticalities();
+    }
     LOG_DEBUG << "pathfinder iteration " << iter << ": " << dirty.size()
               << " nets rerouted in " << num_tasks << " tasks, "
               << overused_nodes << " overused nodes, pres_fac "

@@ -16,6 +16,12 @@
 //     node are rerouted,
 //   * parallel routing of spatially disjoint net bins on a thread pool,
 //     bit-identical for every thread count.
+//
+// Timing-driven mode (TimingOptions.timing_driven) blends a per-connection
+// criticality term into the node cost — critical sinks buy short wires,
+// non-critical sinks absorb congestion — with the STA refreshed once per
+// iteration at the sequential barrier, so determinism across thread counts
+// is untouched.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +31,7 @@
 #include "arch/rr_graph.h"
 #include "pnr/nets.h"
 #include "pnr/place.h"
+#include "pnr/timing.h"
 
 namespace fpgadbg::pnr {
 
@@ -71,7 +78,7 @@ struct RouteResult {
 
 RouteResult route(const arch::RRGraph& rr, const map::MappedNetlist& mn,
                   const Packing& packing, const NetExtraction& nets,
-                  const Placement& placement,
-                  const RouteOptions& options = {});
+                  const Placement& placement, const RouteOptions& options = {},
+                  const TimingOptions& timing = {});
 
 }  // namespace fpgadbg::pnr

@@ -1,7 +1,15 @@
 #include "pnr/timing.h"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
+#include "pnr/flow.h"
+#include "pnr/nets.h"
+#include "pnr/pack.h"
+#include "pnr/place.h"
 #include "support/error.h"
 
 namespace fpgadbg::pnr {
@@ -11,76 +19,304 @@ using map::kNullCell;
 using map::MappedNetlist;
 using map::MKind;
 
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+constexpr std::uint32_t kNoPred = 0xffffffffu;
+/// Required-time sentinel for cells with no path to any endpoint: their
+/// slack is unbounded, so any finite arrival leaves them fully non-critical.
+constexpr double kUnconstrained = 1e30;
+
+int manhattan(std::pair<int, int> a, std::pair<int, int> b) {
+  return std::abs(a.first - b.first) + std::abs(a.second - b.second);
+}
+
+}  // namespace
+
+TimingAnalyzer::TimingAnalyzer(const MappedNetlist& mn,
+                               const NetExtraction& nets,
+                               const DelayModel& model)
+    : mn_(mn), nets_(nets), model_(model) {
+  // One timing edge per physical connection, contiguous per net and in sink
+  // order so edge(net, sink) = net_first_[net] + sink.
+  net_first_.reserve(nets.nets.size() + 1);
+  for (const PhysNet& net : nets.nets) {
+    net_first_.push_back(edges_.size());
+    const std::size_t n = net_first_.size() - 1;
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      const NetSink& sink = net.sinks[s];
+      Edge e;
+      e.from = net.driver;
+      // A cell-pin sink on a SOURCE cell is a latch D pin (extract_nets
+      // models the D connection as a pin of the latch-output cell): that is
+      // a register capture — a timing endpoint, NOT a through edge.  Wiring
+      // it through would close a combinational loop around every register.
+      e.to = sink.kind == SinkKind::kCellPin && !mn.is_source(sink.cell)
+                 ? sink.cell
+                 : kNullCell;
+      e.net = n;
+      e.sink = s;
+      edges_.push_back(e);
+    }
+  }
+  net_first_.push_back(edges_.size());
+  edge_delay_.assign(edges_.size(), 0.0);
+  edge_crit_.assign(edges_.size(), 0.0);
+  edge_slack_.assign(edges_.size(), 0.0);
+
+  // CSR adjacency over cells (endpoint edges have no `to` row).
+  const std::size_t cells = mn.num_cells();
+  in_offset_.assign(cells + 1, 0);
+  out_offset_.assign(cells + 1, 0);
+  for (const Edge& e : edges_) {
+    ++out_offset_[e.from + 1];
+    if (e.to != kNullCell) ++in_offset_[e.to + 1];
+  }
+  for (std::size_t c = 0; c < cells; ++c) {
+    in_offset_[c + 1] += in_offset_[c];
+    out_offset_[c + 1] += out_offset_[c];
+  }
+  in_edges_.resize(in_offset_[cells]);
+  out_edges_.resize(out_offset_[cells]);
+  std::vector<std::uint32_t> in_fill(in_offset_.begin(),
+                                     in_offset_.end() - 1);
+  std::vector<std::uint32_t> out_fill(out_offset_.begin(),
+                                      out_offset_.end() - 1);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    out_edges_[out_fill[e.from]++] = static_cast<std::uint32_t>(i);
+    if (e.to != kNullCell) {
+      in_edges_[in_fill[e.to]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Sweep order: sources first (arrival 0 launch points), then logic cells
+  // in topological order.  A flattened connection's driver topologically
+  // precedes the TCONs it was flattened through, which precede the consumer,
+  // so the filtered order stays valid for the connection graph.
+  order_.reserve(cells);
+  for (CellId id = 0; id < cells; ++id) {
+    if (mn.is_source(id)) order_.push_back(id);
+  }
+  for (CellId id : mn.topo_order()) {
+    if (mn.cell(id).kind != MKind::kTcon) order_.push_back(id);
+  }
+
+  arrival_.assign(cells, 0.0);
+  required_.assign(cells, kUnconstrained);
+  pred_edge_.assign(cells, kNoPred);
+
+  use_preplace_delays();
+}
+
+double TimingAnalyzer::cell_delay(CellId id) const {
+  const MKind k = mn_.cell(id).kind;
+  return (k == MKind::kLut || k == MKind::kTlut) ? model_.lut_ns : 0.0;
+}
+
+void TimingAnalyzer::use_preplace_delays() {
+  fidelity_ = TimingFidelity::kPreplace;
+  for (std::size_t n = 0; n + 1 < net_first_.size(); ++n) {
+    const double fanout =
+        static_cast<double>(net_first_[n + 1] - net_first_[n]);
+    const double wire = 2.0 * model_.pin_ns + model_.fanout_ns * fanout;
+    for (std::size_t i = net_first_[n]; i < net_first_[n + 1]; ++i) {
+      edge_delay_[i] = wire;
+    }
+  }
+  // Latch capture edges (after the last net) stay at 0: intra-BLE.
+}
+
+void TimingAnalyzer::use_placed_delays(const Packing& packing,
+                                       const Placement& placement) {
+  fidelity_ = TimingFidelity::kPlaced;
+  for (std::size_t n = 0; n + 1 < net_first_.size(); ++n) {
+    const PhysNet& net = nets_.nets[n];
+    const auto dpos = placement.cell_pos(mn_, packing, net.driver);
+    for (std::size_t i = net_first_[n]; i < net_first_[n + 1]; ++i) {
+      const NetSink& sink = net.sinks[edges_[i].sink];
+      std::pair<int, int> spos;
+      switch (sink.kind) {
+        case SinkKind::kCellPin:
+          spos = placement.cell_pos(mn_, packing, sink.cell);
+          break;
+        case SinkKind::kPrimaryOutput:
+          spos = placement.io_of_output[sink.index];
+          break;
+        case SinkKind::kTraceBuffer:
+          spos = placement.bram_of_lane[sink.index];
+          break;
+      }
+      edge_delay_[i] = 2.0 * model_.pin_ns +
+                       model_.tile_ns * static_cast<double>(
+                                            manhattan(dpos, spos));
+    }
+  }
+}
+
+void TimingAnalyzer::use_routed_delays(
+    const arch::RRGraph& rr,
+    const std::vector<std::vector<arch::RREdgeId>>& routes) {
+  fidelity_ = TimingFidelity::kRouted;
+  // Scratch reused across nets; the tree walk below is O(route edges).
+  std::unordered_map<arch::RRNodeId, std::vector<arch::RRNodeId>> children;
+  std::unordered_set<arch::RRNodeId> has_parent;
+  std::vector<std::pair<arch::RRNodeId, double>> stack;
+  const auto is_chan = [&](arch::RRNodeId id) {
+    const arch::RRKind kind = rr.node(id).kind;
+    return kind == arch::RRKind::kChanX || kind == arch::RRKind::kChanY;
+  };
+  for (std::size_t n = 0; n + 1 < net_first_.size(); ++n) {
+    // Wire length of the net at routed fidelity: the deepest root-to-leaf
+    // segment count of the route tree.  Per-net rather than per-sink —
+    // exact for the single-sink nets TCON flattening produces in droves and
+    // for the farthest sink of a fanout net, mildly pessimistic for its
+    // nearer sinks (shared-trunk branches are NOT summed, only the longest
+    // path counts).
+    double segments = 0.0;
+    if (n < routes.size() && !routes[n].empty()) {
+      children.clear();
+      has_parent.clear();
+      for (arch::RREdgeId e : routes[n]) {
+        const auto& edge = rr.edge(e);
+        children[edge.from].push_back(edge.to);
+        has_parent.insert(edge.to);
+      }
+      stack.clear();
+      for (const auto& [node, kids] : children) {
+        if (!has_parent.count(node)) stack.push_back({node, 0.0});
+      }
+      while (!stack.empty()) {
+        const auto [node, depth] = stack.back();
+        stack.pop_back();
+        const auto it = children.find(node);
+        if (it == children.end()) continue;
+        for (arch::RRNodeId kid : it->second) {
+          const double d = depth + (is_chan(kid) ? 1.0 : 0.0);
+          segments = std::max(segments, d);
+          stack.push_back({kid, d});
+        }
+      }
+    }
+    const double wire = 2.0 * model_.pin_ns + segments * model_.segment_ns;
+    for (std::size_t i = net_first_[n]; i < net_first_[n + 1]; ++i) {
+      edge_delay_[i] = wire;
+    }
+  }
+}
+
+void TimingAnalyzer::update() { propagate(); }
+
+void TimingAnalyzer::propagate() {
+  // Forward sweep: arrival at a cell's output.
+  for (CellId c : order_) {
+    double worst_in = 0.0;
+    std::uint32_t worst_edge = kNoPred;
+    for (std::uint32_t i = in_offset_[c]; i < in_offset_[c + 1]; ++i) {
+      const std::uint32_t e = in_edges_[i];
+      const double t = arrival_[edges_[e].from] + edge_delay_[e];
+      if (worst_edge == kNoPred || t > worst_in) {
+        worst_in = t;
+        worst_edge = e;
+      }
+    }
+    arrival_[c] = worst_in + cell_delay(c);
+    pred_edge_[c] = worst_edge;
+  }
+
+  // Implied clock: the worst endpoint arrival.
+  critical_path_ns_ = 0.0;
+  worst_edge_ = kNpos;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].to != kNullCell) continue;
+    const double t = arrival_[edges_[i].from] + edge_delay_[i];
+    if (worst_edge_ == kNpos || t > critical_path_ns_) {
+      critical_path_ns_ = t;
+      worst_edge_ = i;
+    }
+  }
+  const double tmax = critical_path_ns_;
+  const double constraint = clock_budget_ns_ > 0.0 ? clock_budget_ns_ : tmax;
+  worst_slack_ns_ = constraint - tmax;
+
+  // Reverse sweep: required time at a cell's output is the tightest demand
+  // of its consumers; endpoint edges demand the implied clock.
+  for (std::size_t i = order_.size(); i-- > 0;) {
+    const CellId c = order_[i];
+    double req = kUnconstrained;
+    for (std::uint32_t j = out_offset_[c]; j < out_offset_[c + 1]; ++j) {
+      const std::uint32_t e = out_edges_[j];
+      const Edge& edge = edges_[e];
+      const double at_input = edge.to == kNullCell
+                                  ? tmax
+                                  : required_[edge.to] - cell_delay(edge.to);
+      req = std::min(req, at_input - edge_delay_[e]);
+    }
+    required_[c] = req;
+  }
+
+  // Per-connection slack and normalized criticality (VPR convention:
+  // crit = 1 - slack / Tmax, clamped into [0, 1]).
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    const double at_input =
+        e.to == kNullCell ? tmax : required_[e.to] - cell_delay(e.to);
+    const double slack = at_input - (arrival_[e.from] + edge_delay_[i]);
+    edge_slack_[i] = slack;
+    double crit = tmax > 0.0 ? 1.0 - slack / tmax : 0.0;
+    edge_crit_[i] = std::clamp(crit, 0.0, 1.0);
+  }
+}
+
+double TimingAnalyzer::connection_criticality(std::size_t net,
+                                              std::size_t sink_idx) const {
+  const std::size_t i = net_first_[net] + sink_idx;
+  FPGADBG_ASSERT(i < net_first_[net + 1], "connection index out of range");
+  return edge_crit_[i];
+}
+
+double TimingAnalyzer::net_criticality(std::size_t net) const {
+  double crit = 0.0;
+  for (std::size_t i = net_first_[net]; i < net_first_[net + 1]; ++i) {
+    crit = std::max(crit, edge_crit_[i]);
+  }
+  return crit;
+}
+
+double TimingAnalyzer::connection_slack_ns(std::size_t net,
+                                           std::size_t sink_idx) const {
+  const std::size_t i = net_first_[net] + sink_idx;
+  FPGADBG_ASSERT(i < net_first_[net + 1], "connection index out of range");
+  return edge_slack_[i];
+}
+
+TimingReport TimingAnalyzer::report() const {
+  TimingReport rep;
+  rep.critical_path_ns = critical_path_ns_;
+  rep.max_frequency_mhz = max_frequency_mhz();
+  rep.worst_slack_ns = worst_slack_ns_;
+  rep.fidelity = fidelity_;
+  rep.arrival_ns = arrival_;
+  rep.required_ns = required_;
+  if (worst_edge_ != kNpos) {
+    std::uint32_t e = static_cast<std::uint32_t>(worst_edge_);
+    for (;;) {
+      const CellId c = edges_[e].from;
+      rep.critical_path.push_back(mn_.cell(c).name);
+      if (pred_edge_[c] == kNoPred) break;
+      e = pred_edge_[c];
+    }
+    std::reverse(rep.critical_path.begin(), rep.critical_path.end());
+  }
+  return rep;
+}
+
 TimingReport analyze_timing(const CompiledDesign& design,
                             const DelayModel& model) {
-  const MappedNetlist& mn = design.netlist;
-  TimingReport report;
-  report.arrival_ns.assign(mn.num_cells(), 0.0);
-  std::vector<CellId> pred(mn.num_cells(), kNullCell);
-
-  // Per-driver routed wire delay: the net's segment count scaled by the
-  // model.  Nets were split per TCON branch; charge each driver the worst
-  // of its nets (pessimistic but consistent across flows).
-  std::vector<double> net_delay(mn.num_cells(), model.pin_ns);
-  std::vector<std::size_t> worst_segments(mn.num_cells(), 0);
-  for (std::size_t n = 0; n < design.nets.nets.size(); ++n) {
-    const CellId driver = design.nets.nets[n].driver;
-    std::size_t segments = 0;
-    for (arch::RREdgeId e : design.routing.routes[n]) {
-      const auto kind = design.rr->node(design.rr->edge(e).to).kind;
-      if (kind == arch::RRKind::kChanX || kind == arch::RRKind::kChanY) {
-        ++segments;
-      }
-    }
-    worst_segments[driver] = std::max(worst_segments[driver], segments);
-  }
-  for (CellId id = 0; id < mn.num_cells(); ++id) {
-    net_delay[id] = 2 * model.pin_ns +
-                    static_cast<double>(worst_segments[id]) * model.segment_ns;
-  }
-
-  // Arrival propagation in topological order; TCONs add routing delay only
-  // (their wires were already charged to their drivers' nets).
-  for (CellId id : mn.topo_order()) {
-    const auto& cell = mn.cell(id);
-    double worst_in = 0.0;
-    CellId worst_pred = kNullCell;
-    for (CellId in : cell.data_inputs) {
-      const double t = report.arrival_ns[in] + net_delay[in];
-      if (t > worst_in) {
-        worst_in = t;
-        worst_pred = in;
-      }
-    }
-    const double cell_delay = cell.kind == MKind::kTcon ? 0.0 : model.lut_ns;
-    report.arrival_ns[id] = worst_in + cell_delay;
-    pred[id] = worst_pred;
-  }
-
-  // Endpoints: primary outputs and latch D pins.
-  CellId worst_end = kNullCell;
-  auto consider = [&](CellId id) {
-    const double t = report.arrival_ns[id] + net_delay[id];
-    if (worst_end == kNullCell ||
-        t > report.arrival_ns[worst_end] + net_delay[worst_end]) {
-      worst_end = id;
-    }
-  };
-  for (CellId out : mn.outputs()) consider(out);
-  for (const auto& latch : mn.latches()) consider(latch.input);
-  if (worst_end == kNullCell) return report;
-
-  report.critical_path_ns =
-      report.arrival_ns[worst_end] + net_delay[worst_end];
-  report.max_frequency_mhz =
-      report.critical_path_ns > 0 ? 1e3 / report.critical_path_ns : 0.0;
-
-  // Unwind the worst path.
-  for (CellId cur = worst_end; cur != kNullCell; cur = pred[cur]) {
-    report.critical_path.push_back(mn.cell(cur).name);
-  }
-  std::reverse(report.critical_path.begin(), report.critical_path.end());
-  return report;
+  TimingAnalyzer sta(design.netlist, design.nets, model);
+  sta.use_routed_delays(*design.rr, design.routing.routes);
+  sta.update();
+  return sta.report();
 }
 
 }  // namespace fpgadbg::pnr

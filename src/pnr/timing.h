@@ -1,34 +1,204 @@
-// Routed timing analysis (paper §V-B: critical path delay).
+// Static timing analysis over the mapped design, at any flow fidelity.
 //
-// Table II's logic depth is the architecture-independent proxy; this
-// analysis weights the real placed-and-routed design: every LUT/TLUT costs a
-// cell delay, every net costs pin delay plus wire delay proportional to its
-// routed segment count.  TCONs contribute only their routing (that is the
-// §V-B argument for why the proposed flow leaves the critical path alone).
+// The paper's §V-B argument — parameterized reconfiguration leaves the
+// critical path alone because TCONs live entirely in the routing fabric — is
+// checked here, but the analyzer is no longer a post-route report: it is the
+// timing layer the whole flow optimizes against (nextpnr common/timing.cc
+// lineage).  One TimingAnalyzer instance is built per mapped design and
+// refreshed in place as the physical picture sharpens:
+//
+//   kPreplace — net delays from fanout estimates (nothing placed yet);
+//               seeds criticality weights for the analytic placement pass.
+//   kPlaced   — net delays from Manhattan distance between placed endpoints;
+//               drives the annealer's blended HPWL/timing cost.
+//   kRouted   — net delays from the actual routed segment counts; drives the
+//               router's per-iteration renegotiation and the final report.
+//
+// The timing graph is built over the *flattened physical connections*
+// (pnr::NetExtraction), not the raw mapped-cell edges: a TCON chain is a
+// parameterized wire, so a connection driver -> consumer-through-TCONs is one
+// timing edge carrying one net's wire delay.  That makes per-connection
+// slack exactly the quantity the placer and router price, and it encodes the
+// §V-B claim structurally: TCONs add zero cell delay and no extra edges.
+//
+// update() re-propagates arrival and required times over cached CSR arrays
+// with no allocation — cheap enough to run once per annealing temperature
+// step and once per PathFinder iteration.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
-#include "pnr/flow.h"
+#include "arch/rr_graph.h"
+#include "map/mapped_netlist.h"
 
 namespace fpgadbg::pnr {
 
+// This header sits below the rest of pnr (place.h and route.h include it for
+// TimingOptions), so the physical-design types are forward-declared and only
+// touched by reference here.
+struct NetExtraction;
+struct Packing;
+struct Placement;
+struct CompiledDesign;  // pnr/flow.h; analyze_timing() is defined over it
+
+/// Delay constants of the architecture model.  All knobs are exposed on the
+/// CLI (--delay-*) and folded into the pipeline options hash: editing one
+/// invalidates exactly the placed/routed cached stages.
 struct DelayModel {
   double lut_ns = 0.9;       ///< K-LUT cell delay
   double pin_ns = 0.05;      ///< OPIN/IPIN transfer
   double segment_ns = 0.18;  ///< one unit-length routed wire segment
+  /// kPreplace fidelity: estimated wire delay per sink of a net's fanout.
+  double fanout_ns = 0.10;
+  /// kPlaced fidelity: estimated wire delay per tile of Manhattan distance
+  /// between placed endpoints (a routed unit segment spans one tile, but the
+  /// router usually finds near-direct paths, so this sits below segment_ns).
+  double tile_ns = 0.12;
 };
+
+/// Knobs for the timing-driven flow, threaded through CompileOptions into
+/// both optimizers.  timing_driven=false keeps the classic wirelength-driven
+/// behaviour bit-for-bit (the analyzer never runs inside place/route).
+struct TimingOptions {
+  bool timing_driven = false;
+  /// λ of the placer's blended cost
+  /// (1-λ)·HPWL + λ·Σ criticality^crit_exp · delay_estimate.
+  double place_tradeoff = 0.5;
+  /// Criticality sharpening exponent (VPR lineage): cost terms use
+  /// criticality^crit_exp, so larger values focus effort on the worst paths.
+  double crit_exp = 2.0;
+  /// Weight of the delay term in the router's per-connection blended node
+  /// cost; the congestion term is weighted by (1 - criticality).
+  double route_crit_weight = 1.0;
+  DelayModel delays;
+};
+
+/// How the analyzer's current net delays were derived.
+enum class TimingFidelity : std::uint8_t { kPreplace, kPlaced, kRouted };
 
 struct TimingReport {
   double critical_path_ns = 0.0;
   double max_frequency_mhz = 0.0;
-  /// Cell names along the critical path, source to endpoint.
+  /// Worst endpoint slack against the critical path as the implied clock
+  /// constraint: 0 for the critical endpoint itself, > 0 elsewhere.
+  double worst_slack_ns = 0.0;
+  TimingFidelity fidelity = TimingFidelity::kPreplace;
+  /// Cell names along the critical path, source to endpoint (placeable cells
+  /// only: TCONs are wires and do not appear).
   std::vector<std::string> critical_path;
   /// Arrival time per cell (ns), indexed by CellId.
   std::vector<double> arrival_ns;
+  /// Required time per cell output (ns), indexed by CellId.  Cells with no
+  /// path to an endpoint hold a large sentinel (their slack is unbounded).
+  std::vector<double> required_ns;
 };
 
+/// The STA engine.  Construction builds the timing graph (one edge per
+/// physical connection; connections into primary outputs, trace lanes and
+/// latch D pins are timing endpoints); the use_*_delays() setters re-derive
+/// edge delays at a fidelity; update() re-propagates arrival/required/
+/// criticality.
+/// All state lives in flat arrays sized once — refresh allocates nothing.
+class TimingAnalyzer {
+ public:
+  TimingAnalyzer(const map::MappedNetlist& mn, const NetExtraction& nets,
+                 const DelayModel& model = {});
+
+  // --- delay fidelities ----------------------------------------------------
+  void use_preplace_delays();
+  void use_placed_delays(const Packing& packing, const Placement& placement);
+  void use_routed_delays(const arch::RRGraph& rr,
+                         const std::vector<std::vector<arch::RREdgeId>>& routes);
+
+  /// Re-propagates arrival and required times and refreshes per-edge
+  /// criticality.  O(cells + connections), allocation-free.
+  void update();
+
+  /// Optional clock budget (ns).  Slack is reported against it; 0 (default)
+  /// means unconstrained, where the implied clock is the critical path
+  /// itself and the worst slack is 0 by construction.  The router sets the
+  /// placed-fidelity estimate as the budget so its per-iteration worst-slack
+  /// series shows convergence against the plan the placer left behind.
+  /// Criticality always normalizes against the implied clock, keeping it in
+  /// [0, 1] regardless of the budget.
+  void set_clock_budget_ns(double ns) { clock_budget_ns_ = ns; }
+  double clock_budget_ns() const { return clock_budget_ns_; }
+
+  // --- analysis results (valid after update()) -----------------------------
+  TimingFidelity fidelity() const { return fidelity_; }
+  double critical_path_ns() const { return critical_path_ns_; }
+  double max_frequency_mhz() const {
+    return critical_path_ns_ > 0.0 ? 1e3 / critical_path_ns_ : 0.0;
+  }
+  double worst_slack_ns() const { return worst_slack_ns_; }
+  const std::vector<double>& arrival_ns() const { return arrival_; }
+  const std::vector<double>& required_ns() const { return required_; }
+
+  /// Normalized criticality of connection `sink_idx` of physical net `net`
+  /// (same indexing as NetExtraction::nets[net].sinks).  Always in [0, 1]:
+  /// 1 on the critical path, 0 for connections with >= critical-path slack.
+  double connection_criticality(std::size_t net, std::size_t sink_idx) const;
+  /// Worst (max) criticality over a physical net's connections.
+  double net_criticality(std::size_t net) const;
+  /// Slack of one connection (ns); large positive for unconstrained cones.
+  double connection_slack_ns(std::size_t net, std::size_t sink_idx) const;
+
+  /// Full report (copies the per-cell arrays and unwinds the worst path).
+  TimingReport report() const;
+
+ private:
+  struct Edge {
+    map::CellId from;
+    /// Consuming cell, or map::kNullCell for a timing endpoint: a primary
+    /// output, a trace-buffer lane, or a latch D pin (extract_nets models
+    /// the D connection as a pin sink on the latch-output source cell;
+    /// treating it as a through edge would close a loop around every
+    /// register, so it captures here instead).
+    map::CellId to;
+    std::size_t net;   ///< physical net carrying the connection
+    std::size_t sink;  ///< sink index within the net
+  };
+
+  double cell_delay(map::CellId id) const;
+  void propagate();
+
+  const map::MappedNetlist& mn_;
+  const NetExtraction& nets_;
+  DelayModel model_;
+  TimingFidelity fidelity_ = TimingFidelity::kPreplace;
+
+  std::vector<Edge> edges_;
+  std::vector<double> edge_delay_;
+  std::vector<double> edge_crit_;
+  std::vector<double> edge_slack_;
+  /// First edge index per physical net; a net's connections are contiguous
+  /// and in sink order, so edge(net, sink) = net_first_[net] + sink.
+  std::vector<std::size_t> net_first_;
+  /// In/out edges per cell in CSR form, for the arrival/required sweeps.
+  std::vector<std::uint32_t> in_offset_;
+  std::vector<std::uint32_t> in_edges_;
+  std::vector<std::uint32_t> out_offset_;
+  std::vector<std::uint32_t> out_edges_;
+  /// Sources first, then placeable cells in topological order (TCONs
+  /// excluded: they are wires).  Forward sweeps walk it, reverse sweeps walk
+  /// it backwards.
+  std::vector<map::CellId> order_;
+
+  std::vector<double> arrival_;
+  std::vector<double> required_;
+  std::vector<std::uint32_t> pred_edge_;  ///< worst in-edge per cell
+  double critical_path_ns_ = 0.0;
+  double worst_slack_ns_ = 0.0;
+  double clock_budget_ns_ = 0.0;
+  std::size_t worst_edge_ = 0;  ///< endpoint edge closing the critical path
+};
+
+/// Routed-fidelity convenience wrapper over the compiled design: builds an
+/// analyzer, loads the routed segment delays and returns the report.  This is
+/// the ONE timing truth — bench_critical_path, the §V-B tests and the flow
+/// report all go through it.
 TimingReport analyze_timing(const CompiledDesign& design,
                             const DelayModel& model = {});
 

@@ -9,15 +9,18 @@
 //       the K best signals
 //   fpgadbg map <design.blif> [--par <file.par>] [--mapper sm|abc|tcon] [-k K]
 //       technology-map and print area/depth (paper Tables I/II metrics)
-//   fpgadbg flow <design.blif> [--width N]
-//       full offline stage + a sample online debugging turn, with timing
+//   fpgadbg flow <design.blif> [--width N] [--timing-driven] [--crit-exp F]
+//       full offline stage + a sample online debugging turn, with timing;
+//       --timing-driven steers place and route by STA criticality and the
+//       report prints critical path / Fmax / worst slack
 //   fpgadbg profile <design.blif> [--width N] [--turns T] [--cycles C]
-//              [--scenarios S] [--scenario-cycles C]
+//              [--scenarios S] [--scenario-cycles C] [--timing-driven]
 //       run the offline stage plus T debugging turns of C emulated cycles
 //       each and a batched scenario campaign of S stimulus universes
 //       (--scenarios 0 skips it), then print a stage-time / metric table
-//       from the telemetry registry (combine with --trace/--metrics for
-//       machine-readable output)
+//       from the telemetry registry, the route and slack convergence
+//       trajectories, and the final STA summary (combine with
+//       --trace/--metrics for machine-readable output)
 //   fpgadbg gen <benchname|list> [<out.blif>]
 //       emit one of the paper's synthetic benchmark circuits
 //   fpgadbg export <design.blif> <out.v> [--par f.par] [--mapper sm|abc|tcon]
@@ -129,10 +132,10 @@ int usage() {
                "  map <design.blif> [--par f.par] [--mapper sm|abc|tcon]"
                " [-k K]\n"
                "  flow <design.blif> [--width N] [--route-threads N]"
-               " [--astar-fac F]\n"
+               " [--astar-fac F] [timing options]\n"
                "  profile <design.blif> [--width N] [--turns T] [--cycles C]"
                " [--scenarios S] [--scenario-cycles C]"
-               " [--route-threads N] [--astar-fac F]\n"
+               " [--route-threads N] [--astar-fac F] [timing options]\n"
                "  gen <benchname|list> [<out.blif>]\n"
                "  export <design.blif> <out.v> [--par f.par]"
                " [--mapper sm|abc|tcon]\n"
@@ -157,8 +160,29 @@ int usage() {
                " (flow, profile) as JSONL\n"
                "  --log-level <level>    debug|info|warn|error|off (default"
                " warn; FPGADBG_LOG_LEVEL env var also honored)\n"
-               "  --log-format <fmt>     text|json (JSON-lines logging)\n");
+               "  --log-format <fmt>     text|json (JSON-lines logging)\n"
+               "timing options (flow, profile):\n"
+               "  --timing-driven        steer placement and routing by STA"
+               " criticality instead of pure wirelength/congestion\n"
+               "  --timing-tradeoff F    placer blend: 0 = wirelength only,"
+               " 1 = criticality only (default 0.5)\n"
+               "  --crit-exp F           criticality sharpening exponent"
+               " (default 2.0)\n"
+               "  --route-crit-weight F  router delay-cost weight for critical"
+               " connections (default 1.0)\n"
+               "  --delay-lut/--delay-pin/--delay-segment/--delay-fanout/"
+               "--delay-tile <ns>\n"
+               "                         override the delay-model constants;"
+               " each participates in the place/route/pconf-build cache"
+               " keys\n");
   return kUsageExit;
+}
+
+/// Valueless (boolean) flags.  The positional scan in parse() must know
+/// them: every other "-"-prefixed token swallows the next token as its
+/// value, which would silently eat a positional after e.g. --timing-driven.
+bool is_boolean_flag(const std::string& t) {
+  return t == "--timing-driven";
 }
 
 struct Args {
@@ -168,6 +192,12 @@ struct Args {
       if (raw[i] == name) return raw[i + 1];
     }
     return std::nullopt;
+  }
+  bool has_flag(const std::string& name) const {
+    for (const std::string& t : raw) {
+      if (t == name) return true;
+    }
+    return false;
   }
   std::vector<std::string> raw;
   std::string cache_dir;     ///< global --cache-dir, empty = caching disabled
@@ -197,7 +227,7 @@ Args parse(const std::vector<std::string>& tokens, std::size_t skip) {
   }
   for (std::size_t i = 0; i < args.raw.size(); ++i) {
     if (args.raw[i].rfind("-", 0) == 0) {
-      ++i;  // skip option value
+      if (!is_boolean_flag(args.raw[i])) ++i;  // skip option value
     } else {
       args.positional.push_back(args.raw[i]);
     }
@@ -231,6 +261,38 @@ void apply_route_options(const Args& args, pnr::RouteOptions& route) {
   }
   if (auto f = args.option("--astar-fac")) {
     route.astar_fac = to_factor(*f, "--astar-fac");
+  }
+}
+
+/// Timing knobs shared by flow/profile: --timing-driven turns on the
+/// criticality-blended place/route costs; the --delay-* flags override the
+/// DelayModel constants (every one participates in the stage cache keys, so
+/// editing a knob re-runs place/route/pconf-build and nothing else).
+void apply_timing_options(const Args& args, pnr::TimingOptions& timing) {
+  if (args.has_flag("--timing-driven")) timing.timing_driven = true;
+  if (auto v = args.option("--timing-tradeoff")) {
+    timing.place_tradeoff = to_factor(*v, "--timing-tradeoff");
+  }
+  if (auto v = args.option("--crit-exp")) {
+    timing.crit_exp = to_factor(*v, "--crit-exp");
+  }
+  if (auto v = args.option("--route-crit-weight")) {
+    timing.route_crit_weight = to_factor(*v, "--route-crit-weight");
+  }
+  if (auto v = args.option("--delay-lut")) {
+    timing.delays.lut_ns = to_factor(*v, "--delay-lut");
+  }
+  if (auto v = args.option("--delay-pin")) {
+    timing.delays.pin_ns = to_factor(*v, "--delay-pin");
+  }
+  if (auto v = args.option("--delay-segment")) {
+    timing.delays.segment_ns = to_factor(*v, "--delay-segment");
+  }
+  if (auto v = args.option("--delay-fanout")) {
+    timing.delays.fanout_ns = to_factor(*v, "--delay-fanout");
+  }
+  if (auto v = args.option("--delay-tile")) {
+    timing.delays.tile_ns = to_factor(*v, "--delay-tile");
   }
 }
 
@@ -353,6 +415,7 @@ support::Result<int> cmd_flow(const Args& args) {
     options.instrument.trace_width = to_count(*w, "--width");
   }
   apply_route_options(args, options.compile.route);
+  apply_timing_options(args, options.compile.timing);
   FPGADBG_ASSIGN_OR_RETURN(const debug::OfflineResult offline,
                            run_pipeline(nl, options));
   std::printf("offline stage: instrument %.2fs, map %.2fs, P&R %.2fs, "
@@ -365,6 +428,13 @@ support::Result<int> cmd_flow(const Args& args) {
   std::printf("  device %s, routed: %s\n",
               offline.compiled->report.device.c_str(),
               offline.compiled->report.route_success ? "yes" : "NO");
+  std::printf("  timing (%s): critical path %.3f ns, Fmax %.1f MHz, "
+              "worst slack %.3f ns\n",
+              offline.compiled->report.timing_driven ? "timing-driven"
+                                                     : "wirelength-driven",
+              offline.compiled->report.critical_path_ns,
+              offline.compiled->report.max_frequency_mhz,
+              offline.compiled->report.worst_slack_ns);
   std::printf("  PConf: %zu bits, %zu parameterized, %zu touchable frames\n",
               offline.pconf->total_bits(),
               offline.pconf->num_parameterized_bits(),
@@ -392,6 +462,7 @@ support::Result<int> cmd_profile(const Args& args) {
     options.instrument.trace_width = to_count(*w, "--width");
   }
   apply_route_options(args, options.compile.route);
+  apply_timing_options(args, options.compile.timing);
   std::size_t turns = 4;
   if (auto t = args.option("--turns")) turns = to_count(*t, "--turns");
   std::size_t cycles = 256;
@@ -516,6 +587,33 @@ support::Result<int> cmd_profile(const Args& args) {
       std::printf("  %4zu %14.0f %14.0f %14.0f\n", i + 1, conv[i],
                   i < rerouted.size() ? rerouted[i] : 0.0,
                   i < pops.size() ? pops[i] : 0.0);
+    }
+  }
+
+  // Timing: the final routed-fidelity STA, plus (when the router ran
+  // timing-driven this process) the per-iteration slack trajectory against
+  // the placed-fidelity clock budget.
+  std::printf("timing (%s):\n", offline.compiled->report.timing_driven
+                                    ? "timing-driven"
+                                    : "wirelength-driven");
+  std::printf("  %-28s %12.3f ns\n", "critical path",
+              offline.compiled->report.critical_path_ns);
+  std::printf("  %-28s %12.1f MHz\n", "Fmax",
+              offline.compiled->report.max_frequency_mhz);
+  std::printf("  %-28s %12.3f ns\n", "worst slack",
+              offline.compiled->report.worst_slack_ns);
+  const std::vector<double> slack =
+      snap.series_of("pnr.timing.iteration.worst_slack_ns");
+  if (!slack.empty()) {
+    const std::vector<double> fmax =
+        snap.series_of("pnr.timing.iteration.fmax_mhz");
+    std::printf("slack convergence (%zu iterations, budget = placed-fidelity "
+                "critical path):\n",
+                slack.size());
+    std::printf("  %4s %18s %14s\n", "iter", "worst slack[ns]", "Fmax[MHz]");
+    for (std::size_t i = 0; i < slack.size(); ++i) {
+      std::printf("  %4zu %18.3f %14.1f\n", i + 1, slack[i],
+                  i < fmax.size() ? fmax[i] : 0.0);
     }
   }
 

@@ -140,6 +140,67 @@ TEST(RouteDeterminism, WarmCacheReusesRouteAcrossThreadCounts) {
   EXPECT_EQ(warm.value().stages_from_cache, 6u);
 }
 
+TEST(RouteDeterminism, TimingDrivenBitIdenticalAcrossThreadCounts) {
+  // The criticality-blended node costs add a shared STA refreshed at the
+  // sequential per-iteration barrier; thread count must still not leak into
+  // the result.
+  const Placed p = placed_design(23);
+  TimingOptions timing;
+  timing.timing_driven = true;
+
+  auto route_threads = [&](int threads) {
+    RouteOptions options;
+    options.route_threads = threads;
+    return route(*p.rr, p.net, p.packing, p.nets, p.placement, options,
+                 timing);
+  };
+  const RouteResult r1 = route_threads(1);
+  ASSERT_TRUE(r1.success);
+  for (const int threads : {2, 8}) {
+    const RouteResult rt = route_threads(threads);
+    EXPECT_EQ(rt.success, r1.success) << threads << " threads";
+    EXPECT_EQ(rt.iterations, r1.iterations) << threads << " threads";
+    EXPECT_EQ(rt.routes, r1.routes) << threads << " threads";
+    EXPECT_EQ(rt.total_wirelength, r1.total_wirelength)
+        << threads << " threads";
+    EXPECT_EQ(rt.heap_pops, r1.heap_pops) << threads << " threads";
+    EXPECT_EQ(rt.rerouted_nets, r1.rerouted_nets) << threads << " threads";
+  }
+}
+
+TEST(RouteDeterminism, DelayKnobInvalidatesExactlyPlaceRoutePconf) {
+  // The delay model steers both optimizers, so editing one knob must re-run
+  // place -> route -> pconf-build and nothing earlier — even though
+  // pconf-build chains content hashes (a knob change whose place/route
+  // outputs happen to be byte-identical must still miss deterministically).
+  TempCacheDir cache("delay");
+  genbench::CircuitSpec spec{"rdc3", 8, 6, 4, 36, 3, 5, 33};
+  const auto user = genbench::generate(spec);
+
+  debug::OfflineOptions options;
+  options.instrument.trace_width = 6;
+  options.cache_dir = cache.path;
+  options.compile.timing.timing_driven = true;
+  {
+    auto cold = flow::Pipeline(options).run(user);
+    ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+    ASSERT_EQ(cold.value().stages_executed, 6u);
+  }
+
+  options.compile.timing.delays.segment_ns *= 2.0;
+  auto rerun = flow::Pipeline(options).run(user);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().to_string();
+  EXPECT_EQ(rerun.value().stages_from_cache, 3u);
+  EXPECT_EQ(rerun.value().stages_executed, 3u);
+  ASSERT_EQ(rerun.value().stages.size(), 6u);
+  EXPECT_TRUE(rerun.value().stages[0].from_cache);   // instrument
+  EXPECT_TRUE(rerun.value().stages[1].from_cache);   // tcon-map
+  EXPECT_TRUE(rerun.value().stages[2].from_cache);   // pack
+  EXPECT_FALSE(rerun.value().stages[3].from_cache);  // place
+  EXPECT_FALSE(rerun.value().stages[4].from_cache);  // route
+  EXPECT_FALSE(rerun.value().stages[5].from_cache);  // pconf-build
+}
+
 TEST(RouteDeterminism, RouteOptionChangeInvalidatesExactlyRouteAndPconf) {
   TempCacheDir cache("inval");
   genbench::CircuitSpec spec{"rdc2", 8, 6, 4, 36, 3, 5, 32};

@@ -93,6 +93,32 @@ int main() {
                  rs.total_wirelength, rp.heap_pops, rs.heap_pops);
     rc = 1;
   }
+
+  // Timing-driven leg: the criticality-blended costs add a shared STA that
+  // refreshes at the per-iteration barrier; the determinism contract (and
+  // race-freedom) must hold there too.
+  pnr::TimingOptions timing;
+  timing.timing_driven = true;
+  const pnr::RouteResult tp =
+      pnr::route(rr, mn, packing, nets, placement, parallel, timing);
+  const pnr::RouteResult ts =
+      pnr::route(rr, mn, packing, nets, placement, sequential, timing);
+  if (!tp.success || !ts.success) {
+    std::fprintf(stderr, "timing-driven route failed (parallel=%d "
+                 "sequential=%d)\n", tp.success ? 1 : 0, ts.success ? 1 : 0);
+    rc = 1;
+  }
+  if (tp.routes != ts.routes || tp.iterations != ts.iterations ||
+      tp.total_wirelength != ts.total_wirelength ||
+      tp.heap_pops != ts.heap_pops) {
+    std::fprintf(stderr,
+                 "timing-driven parallel result differs from sequential "
+                 "(iters %d/%d, wirelength %zu/%zu, pops %zu/%zu)\n",
+                 tp.iterations, ts.iterations, tp.total_wirelength,
+                 ts.total_wirelength, tp.heap_pops, ts.heap_pops);
+    rc = 1;
+  }
+
   if (rc == 0) std::puts("route tsan smoke: OK");
   return rc;
 }

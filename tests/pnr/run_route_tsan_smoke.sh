@@ -31,6 +31,7 @@ BIN="$WORK/route_tsan_smoke"
   "$SRC/src/pnr/pack.cpp" \
   "$SRC/src/pnr/place.cpp" \
   "$SRC/src/pnr/route.cpp" \
+  "$SRC/src/pnr/timing.cpp" \
   -lpthread -o "$BIN"
 
 exec "$BIN"
