@@ -40,10 +40,101 @@ int PConf::param_index(const std::string& name) const {
   return it->second;
 }
 
+void PConf::sync_functions() const {
+  if (!map_dirty_) return;
+  fn_bits_owned_.clear();
+  fn_refs_owned_.clear();
+  fn_bits_owned_.reserve(build_map_.size());
+  fn_refs_owned_.reserve(build_map_.size());
+  std::vector<std::size_t> bits;
+  bits.reserve(build_map_.size());
+  for (const auto& [bit, f] : build_map_) bits.push_back(bit);
+  std::sort(bits.begin(), bits.end());
+  for (std::size_t bit : bits) {
+    fn_bits_owned_.push_back(bit);
+    fn_refs_owned_.push_back(build_map_.at(bit));
+  }
+  build_map_.clear();
+  map_dirty_ = false;
+}
+
+void PConf::thaw_functions() {
+  if (map_dirty_) return;
+  const FunctionView view = functions();
+  build_map_.clear();
+  build_map_.reserve(view.count);
+  for (std::size_t i = 0; i < view.count; ++i) {
+    build_map_.emplace(static_cast<std::size_t>(view.bits[i]), view.refs[i]);
+  }
+  fn_bits_owned_.clear();
+  fn_refs_owned_.clear();
+  fn_bits_b_ = nullptr;
+  fn_refs_b_ = nullptr;
+  fn_count_b_ = 0;
+  fn_backing_.reset();
+  map_dirty_ = true;
+}
+
+FunctionView PConf::functions() const {
+  sync_functions();
+  if (fn_backing_) return FunctionView{fn_bits_b_, fn_refs_b_, fn_count_b_};
+  return FunctionView{fn_bits_owned_.data(), fn_refs_owned_.data(),
+                      fn_bits_owned_.size()};
+}
+
+bool PConf::is_parameterized(std::size_t bit) const {
+  if (map_dirty_) return build_map_.contains(bit);
+  const FunctionView view = functions();
+  const std::uint64_t* end = view.bits + view.count;
+  const std::uint64_t* it = std::lower_bound(view.bits, end, bit);
+  return it != end && *it == bit;
+}
+
+logic::BddRef PConf::ref_of(std::size_t bit) const {
+  const FunctionView view = functions();
+  const std::uint64_t* end = view.bits + view.count;
+  const std::uint64_t* it = std::lower_bound(view.bits, end, bit);
+  FPGADBG_REQUIRE(it != end && *it == bit, "bit is not parameterized");
+  return view.refs[it - view.bits];
+}
+
+support::Status PConf::adopt_functions(const std::uint64_t* bits,
+                                       const std::uint32_t* refs,
+                                       std::size_t count,
+                                       std::shared_ptr<const void> backing) {
+  using support::Status;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (bits[i] >= total_bits()) {
+      return Status::corrupt_artifact(
+          "PConf function table: bit address out of range");
+    }
+    if (i > 0 && bits[i] <= bits[i - 1]) {
+      return Status::corrupt_artifact(
+          "PConf function table: bit addresses not strictly ascending");
+    }
+    // Constant functions are folded into the constant plane at build time,
+    // so every stored ref must name a decision node.
+    if (refs[i] < 2 || refs[i] >= bdd_.size()) {
+      return Status::corrupt_artifact(
+          "PConf function table: BDD ref out of range");
+    }
+  }
+  build_map_.clear();
+  map_dirty_ = false;
+  fn_bits_owned_.clear();
+  fn_refs_owned_.clear();
+  fn_bits_b_ = bits;
+  fn_refs_b_ = refs;
+  fn_count_b_ = count;
+  fn_backing_ = std::move(backing);
+  index_built_ = false;
+  bits_by_param_.clear();
+  return Status();
+}
+
 void PConf::set_constant(std::size_t bit, bool value) {
   FPGADBG_REQUIRE(bit < total_bits(), "bit address out of range");
-  FPGADBG_REQUIRE(!functions_.contains(bit),
-                  "bit is already parameterized");
+  FPGADBG_REQUIRE(!is_parameterized(bit), "bit is already parameterized");
   constant_.set(bit, value);
 }
 
@@ -51,16 +142,21 @@ void PConf::set_function(std::size_t bit, logic::BddRef f) {
   FPGADBG_REQUIRE(bit < total_bits(), "bit address out of range");
   if (bdd_.is_const(f)) {
     constant_.set(bit, bdd_.const_value(f));
-    functions_.erase(bit);
+    if (is_parameterized(bit)) {
+      thaw_functions();
+      build_map_.erase(bit);
+    }
     return;
   }
-  functions_[bit] = f;
+  thaw_functions();
+  build_map_[bit] = f;
 }
 
 std::vector<std::size_t> PConf::parameterized_frames() const {
   std::vector<bool> touched(constant_.num_frames(), false);
-  for (const auto& [bit, f] : functions_) {
-    touched[bit / arch::FrameGeometry::kFrameBits] = true;
+  const FunctionView view = functions();
+  for (std::size_t i = 0; i < view.count; ++i) {
+    touched[view.bits[i] / arch::FrameGeometry::kFrameBits] = true;
   }
   std::vector<std::size_t> frames;
   for (std::size_t i = 0; i < touched.size(); ++i) {
@@ -88,8 +184,9 @@ PConf::Specialization PConf::specialize(
   const BitVec values = values_from(assignment);
   result.memory = constant_;
   std::size_t visited = 0;
-  for (const auto& [bit, f] : functions_) {
-    result.memory.set(bit, bdd_.evaluate(f, values, &visited));
+  const FunctionView view = functions();
+  for (std::size_t i = 0; i < view.count; ++i) {
+    result.memory.set(view.bits[i], bdd_.evaluate(view.refs[i], values, &visited));
     ++result.bits_evaluated;
   }
   result.eval_seconds = timer.elapsed_seconds();
@@ -124,10 +221,11 @@ std::vector<PConf::Specialization> PConf::specialize_batch(
   // One memo across every parameterized bit: the SCG's functions share BDD
   // structure heavily, so most walks hit the cache.
   std::unordered_map<logic::BddRef, std::uint64_t> memo;
-  for (const auto& [bit, f] : functions_) {
-    const std::uint64_t word = bdd_.evaluate_word(f, var_words, memo);
+  const FunctionView view = functions();
+  for (std::size_t i = 0; i < view.count; ++i) {
+    const std::uint64_t word = bdd_.evaluate_word(view.refs[i], var_words, memo);
     for (std::size_t k = 0; k < batch; ++k) {
-      results[k].memory.set(bit, (word >> k) & 1);
+      results[k].memory.set(view.bits[i], (word >> k) & 1);
       ++results[k].bits_evaluated;
     }
   }
@@ -135,7 +233,7 @@ std::vector<PConf::Specialization> PConf::specialize_batch(
       batch == 0 ? 0.0 : timer.elapsed_seconds() / static_cast<double>(batch);
   for (auto& r : results) r.eval_seconds = per_spec;
   if (batch != 0) {
-    record_scg("scg.batch_specializations", functions_.size() * batch,
+    record_scg("scg.batch_specializations", view.count * batch,
                /*bdd_nodes_visited=*/0, timer.elapsed_seconds());
   }
   return results;
@@ -144,9 +242,10 @@ std::vector<PConf::Specialization> PConf::specialize_batch(
 const std::vector<std::vector<std::size_t>>& PConf::bits_by_param() const {
   if (!index_built_) {
     bits_by_param_.assign(param_names_.size(), {});
-    for (const auto& [bit, f] : functions_) {
-      for (int v : bdd_.support(f)) {
-        bits_by_param_[static_cast<std::size_t>(v)].push_back(bit);
+    const FunctionView view = functions();
+    for (std::size_t i = 0; i < view.count; ++i) {
+      for (int v : bdd_.support(view.refs[i])) {
+        bits_by_param_[static_cast<std::size_t>(v)].push_back(view.bits[i]);
       }
     }
     index_built_ = true;
@@ -181,8 +280,7 @@ PConf::Specialization PConf::specialize_incremental(
   dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
   std::size_t visited = 0;
   for (std::size_t bit : dirty) {
-    result.memory.set(bit,
-                      bdd_.evaluate(functions_.at(bit), new_values, &visited));
+    result.memory.set(bit, bdd_.evaluate(ref_of(bit), new_values, &visited));
     ++result.bits_evaluated;
   }
   result.eval_seconds = timer.elapsed_seconds();

@@ -12,14 +12,27 @@
 // bit for a concrete parameter assignment.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bitstream/config_memory.h"
 #include "logic/bdd.h"
+#include "support/status.h"
 
 namespace fpgadbg::bitstream {
+
+/// Read view over the parameterized-bit table: parallel arrays sorted by
+/// ascending bit address.  `bits[i]` is a configuration bit address and
+/// `refs[i]` the BDD of its Boolean function.  The view stays valid until
+/// the next mutating PConf call.
+struct FunctionView {
+  const std::uint64_t* bits = nullptr;
+  const std::uint32_t* refs = nullptr;
+  std::size_t count = 0;
+};
 
 class PConf {
  public:
@@ -45,10 +58,29 @@ class PConf {
   const ConfigMemory& constants() const { return constant_; }
   ConfigMemory& constants() { return constant_; }
 
-  std::size_t num_parameterized_bits() const { return functions_.size(); }
-  const std::unordered_map<std::size_t, logic::BddRef>& functions() const {
-    return functions_;
+  std::size_t num_parameterized_bits() const {
+    return map_dirty_ ? build_map_.size() : flat_count();
   }
+  /// Flat sorted view of the parameterized bits.  Folds any pending
+  /// build-side mutations into the flat arrays first (cheap and idempotent
+  /// once built).
+  FunctionView functions() const;
+  /// True when `bit` currently has a Boolean function attached.
+  bool is_parameterized(std::size_t bit) const;
+
+  // --- zero-copy function-table adoption -----------------------------------
+  /// Replaces the function table with arrays that BORROW from `backing`
+  /// (typically the same mmap'd blob whose arena bdd().adopt_arena took).
+  /// Validates that bit addresses are strictly ascending and in range and
+  /// that every ref names a decision node of the current BDD manager;
+  /// violations are rejected as kCorruptArtifact.  Reads afterwards walk
+  /// the mapping directly; the first mutation copies out (copy-on-write).
+  support::Status adopt_functions(const std::uint64_t* bits,
+                                  const std::uint32_t* refs, std::size_t count,
+                                  std::shared_ptr<const void> backing);
+
+  /// True when the function table borrows from a mapped artifact.
+  bool functions_borrowed() const { return fn_backing_ != nullptr; }
 
   /// Frames containing at least one parameterized bit — the only frames a
   /// specialization can ever touch.
@@ -98,11 +130,35 @@ class PConf {
   /// depends on it.
   const std::vector<std::vector<std::size_t>>& bits_by_param() const;
 
+  std::size_t flat_count() const {
+    return fn_backing_ ? fn_count_b_ : fn_bits_owned_.size();
+  }
+  /// Folds build_map_ into the sorted flat arrays (no-op when clean).
+  void sync_functions() const;
+  /// Copy-on-write: moves the flat table (owned or borrowed) back into
+  /// build_map_ so mutation can proceed.
+  void thaw_functions();
+  /// BDD of the function attached to `bit`; REQUIREs the bit is
+  /// parameterized.
+  logic::BddRef ref_of(std::size_t bit) const;
+
   ConfigMemory constant_;
   std::vector<std::string> param_names_;
   std::unordered_map<std::string, int> param_index_;
   logic::BddManager bdd_;
-  std::unordered_map<std::size_t, logic::BddRef> functions_;
+  // Function table, dual-store.  Build-time mutation goes through
+  // build_map_ (map_dirty_ = true); the first read folds it into the
+  // sorted flat arrays below and clears it.  Warm loads skip the map
+  // entirely: the flat arrays borrow from fn_backing_ (an mmap'd blob)
+  // until the first mutation thaws them back into the map.
+  mutable std::unordered_map<std::size_t, logic::BddRef> build_map_;
+  mutable bool map_dirty_ = false;
+  mutable std::vector<std::uint64_t> fn_bits_owned_;
+  mutable std::vector<std::uint32_t> fn_refs_owned_;
+  const std::uint64_t* fn_bits_b_ = nullptr;
+  const std::uint32_t* fn_refs_b_ = nullptr;
+  std::size_t fn_count_b_ = 0;
+  std::shared_ptr<const void> fn_backing_;
   mutable std::vector<std::vector<std::size_t>> bits_by_param_;
   mutable bool index_built_ = false;
 };

@@ -438,13 +438,11 @@ void serialize_pconf(const PconfArtifact& artifact, ByteWriter& w) {
     w.u32(bdd.node_high(ref));
   }
 
-  std::vector<std::pair<std::size_t, logic::BddRef>> functions(
-      pconf.functions().begin(), pconf.functions().end());
-  std::sort(functions.begin(), functions.end());
-  w.u64(functions.size());
-  for (const auto& [bit, ref] : functions) {
-    w.u64(bit);
-    w.u32(ref);
+  const bitstream::FunctionView functions = pconf.functions();
+  w.u64(functions.count);
+  for (std::size_t i = 0; i < functions.count; ++i) {
+    w.u64(functions.bits[i]);
+    w.u32(functions.refs[i]);
   }
 
   w.u64(artifact.stats.lut_cells);

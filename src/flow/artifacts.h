@@ -14,10 +14,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 
+#include "arch/rr_graph.h"
 #include "bitstream/builder.h"
 #include "bitstream/pconf.h"
 #include "debug/signal_param.h"
+#include "flow/cache.h"
 #include "flow/serialize.h"
 #include "map/cover.h"
 #include "netlist/netlist.h"
@@ -63,6 +69,39 @@ struct PconfArtifact {
 };
 void serialize_pconf(const PconfArtifact& artifact, ByteWriter& w);
 support::Result<PconfArtifact> deserialize_pconf(ByteReader& r);
+
+// --- zero-copy blob encodings (artifacts_blob.cpp) --------------------------
+// The three heavyweight artifacts — the CSR rr-graph, the mapped netlist and
+// the PConf/BDD store — can be encoded as pointer-free blobs (flow/blob.h)
+// that load by mmap + validate + borrow instead of a field-by-field parse.
+// The load_* functions sniff the payload: a blob image of the current format
+// version takes the zero-copy path, a stream image falls back to the
+// ByteReader deserializers above, and a blob of a DIFFERENT format version
+// comes back as nullopt (treat as a cache miss and rebuild — old caches are
+// rebuilt, never misparsed).
+inline constexpr std::uint32_t kBlobKindRRGraph = 1;
+inline constexpr std::uint32_t kBlobKindMapResult = 2;
+inline constexpr std::uint32_t kBlobKindPconf = 3;
+
+/// True when `bytes` begins with the blob magic (any format version).
+bool looks_like_blob(std::string_view bytes);
+
+std::string encode_rr_graph_blob(const arch::RRGraph& rr);
+/// Zero-copy load: the returned graph borrows its arrays from hit.backing.
+/// nullopt = different blob format version (rebuild).
+support::Result<std::optional<std::unique_ptr<arch::RRGraph>>>
+load_rr_graph_blob(const arch::Device& device, const CacheHit& hit);
+
+std::string encode_map_result_blob(const map::MapResult& result);
+/// Blob or stream payload (sniffed); nullopt = unrecognized format version.
+support::Result<std::optional<map::MapResult>> load_map_result(
+    const CacheHit& hit);
+
+std::string encode_pconf_blob(const PconfArtifact& artifact);
+/// Blob or stream payload (sniffed).  On the blob path the PConf's BDD
+/// arena and function table borrow from hit.backing (zero-copy); nullopt =
+/// unrecognized format version.
+support::Result<std::optional<PconfArtifact>> load_pconf(const CacheHit& hit);
 
 // --- options hashing --------------------------------------------------------
 // Stage cache keys are (stage, input-hash, options-hash); these produce the

@@ -1,0 +1,183 @@
+#include "flow/blob.h"
+
+#include <cstdio>
+
+#include "flow/serialize.h"
+
+namespace fpgadbg::flow {
+
+namespace {
+
+using support::Result;
+using support::Status;
+
+constexpr char kBlobMagic[8] = {'F', 'D', 'B', 'G', 'B', 'L', 'B', '1'};
+constexpr std::size_t kHeaderSize = 64;
+constexpr std::size_t kTableEntrySize = 24;
+
+constexpr std::size_t align_up(std::size_t v) {
+  return (v + (kBlobAlign - 1)) & ~(kBlobAlign - 1);
+}
+
+void put_u32(std::string& out, std::size_t at, std::uint32_t v) {
+  std::memcpy(out.data() + at, &v, sizeof v);
+}
+void put_u64(std::string& out, std::size_t at, std::uint64_t v) {
+  std::memcpy(out.data() + at, &v, sizeof v);
+}
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+std::string BlobWriter::finish() const {
+  const std::size_t table_bytes = sections_.size() * kTableEntrySize;
+  const std::size_t payload_start = align_up(kHeaderSize + table_bytes);
+
+  // Lay out payloads first so the table can carry final offsets.
+  std::vector<std::uint64_t> offsets(sections_.size());
+  std::size_t cursor = payload_start;
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    cursor = align_up(cursor);
+    offsets[i] = cursor;
+    cursor += sections_[i].payload.size();
+  }
+  const std::size_t total = cursor;
+
+  std::string out(total, '\0');
+  std::memcpy(out.data(), kBlobMagic, sizeof kBlobMagic);
+  put_u32(out, 8, kBlobFormatVersion);
+  put_u32(out, 12, kind_);
+  put_u64(out, 24, total);
+  put_u32(out, 32, static_cast<std::uint32_t>(sections_.size()));
+
+  std::size_t entry = kHeaderSize;
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    put_u64(out, entry, offsets[i]);
+    put_u64(out, entry + 8, sections_[i].payload.size());
+    put_u32(out, entry + 16, sections_[i].tag);
+    put_u32(out, entry + 20, sections_[i].elem_size);
+    entry += kTableEntrySize;
+  }
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    std::memcpy(out.data() + offsets[i], sections_[i].payload.data(),
+                sections_[i].payload.size());
+  }
+
+  // Digest everything after the size field; written last so it seals the
+  // final image.
+  put_u64(out, 16, fnv1a(out.data() + 32, total - 32));
+  return out;
+}
+
+Result<std::optional<BlobReader>> BlobReader::open(std::string_view bytes,
+                                                   std::uint32_t kind) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::corrupt_artifact(
+        "blob: image smaller than the fixed header (truncated)");
+  }
+  if (reinterpret_cast<std::uintptr_t>(bytes.data()) % kBlobAlign != 0) {
+    return Status::corrupt_artifact(
+        "blob: base address is not 64-byte aligned; refusing to read "
+        "(map the file or copy into an AlignedBlobBuffer)");
+  }
+  const char* base = bytes.data();
+  if (std::memcmp(base, kBlobMagic, sizeof kBlobMagic) != 0) {
+    return Status::corrupt_artifact("blob: bad magic (not a blob image)");
+  }
+  const std::uint32_t version = get_u32(base + 8);
+  if (version != kBlobFormatVersion) {
+    // A well-formed blob from another format revision: the caller rebuilds.
+    return std::optional<BlobReader>();
+  }
+  const std::uint32_t stored_kind = get_u32(base + 12);
+  const std::uint64_t digest = get_u64(base + 16);
+  const std::uint64_t total = get_u64(base + 24);
+  if (total != bytes.size()) {
+    return Status::corrupt_artifact(
+        "blob: header size does not match the mapped size (truncated or "
+        "over-long image)");
+  }
+  if (stored_kind != kind) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "blob: kind mismatch (stored %u, expected %u)",
+                  stored_kind, kind);
+    return Status::corrupt_artifact(buf);
+  }
+  if (fnv1a(base + 32, total - 32) != digest) {
+    return Status::corrupt_artifact(
+        "blob: content digest mismatch (image is damaged)");
+  }
+
+  const std::uint32_t count = get_u32(base + 32);
+  for (std::size_t i = 36; i < kHeaderSize; ++i) {
+    if (base[i] != 0) {
+      return Status::corrupt_artifact("blob: reserved header bytes not zero");
+    }
+  }
+  if (kHeaderSize + static_cast<std::uint64_t>(count) * kTableEntrySize >
+      total) {
+    return Status::corrupt_artifact(
+        "blob: section table extends past the image");
+  }
+
+  BlobReader r;
+  r.base_ = base;
+  r.sections_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const char* e = base + kHeaderSize + i * kTableEntrySize;
+    Section s;
+    s.offset = get_u64(e);
+    s.size_bytes = get_u64(e + 8);
+    s.tag = get_u32(e + 16);
+    s.elem_size = get_u32(e + 20);
+    if (s.offset % kBlobAlign != 0) {
+      return Status::corrupt_artifact("blob: section payload off alignment");
+    }
+    if (s.offset > total || s.size_bytes > total - s.offset) {
+      return Status::corrupt_artifact(
+          "blob: section payload extends past the image");
+    }
+    if (s.elem_size == 0) {
+      return Status::corrupt_artifact("blob: section element size is zero");
+    }
+    if (r.find(s.tag) != nullptr) {
+      return Status::corrupt_artifact("blob: duplicate section tag");
+    }
+    r.sections_.push_back(s);
+  }
+  return std::optional<BlobReader>(std::move(r));
+}
+
+Result<std::string_view> BlobReader::bytes(std::uint32_t tag) const {
+  const Section* s = find(tag);
+  if (s == nullptr) return missing(tag);
+  if (s->elem_size != 1) return type_mismatch(tag, 1, s->elem_size);
+  return std::string_view(base_ + s->offset, s->size_bytes);
+}
+
+Status BlobReader::missing(std::uint32_t tag) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "blob: missing section tag %u", tag);
+  return Status::corrupt_artifact(buf);
+}
+
+Status BlobReader::type_mismatch(std::uint32_t tag, std::size_t want,
+                                 std::uint32_t got) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "blob: section tag %u has element size %u, expected %zu",
+                tag, got, want);
+  return Status::corrupt_artifact(buf);
+}
+
+}  // namespace fpgadbg::flow

@@ -1,0 +1,194 @@
+// Zero-copy blob format for hot pipeline artifacts.
+//
+// A blob is a pointer-free, little-endian byte image designed to be mmap'd
+// and used in place: a fixed 64-byte header, a section table of
+// relative-offset typed spans, then the section payloads, each 64-byte
+// aligned.  The writer emits deterministic bytes (same input -> same bytes,
+// no pointers, no uninitialized padding), so blobs can be content-hashed
+// and deduplicated; the reader validates the whole image (magic, version,
+// kind, size, digest, section bounds and alignment) before handing out
+// typed views directly over the mapping — no copies, no allocation
+// proportional to artifact size.
+//
+// Layout:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     8  magic "FDBGBLB1"
+//        8     4  format_version (u32) — readers of a different version
+//                 treat the blob as a cache miss and rebuild, never parse
+//       12     4  kind (u32) — artifact discriminator (rr-graph, ...)
+//       16     8  payload_digest (u64) — FNV-1a over bytes [32, total)
+//       24     8  total_size (u64) — must equal the mapped size exactly
+//       32     4  section_count (u32)
+//       36    28  reserved, must be zero
+//       64   24n  section table: {offset u64, size_bytes u64, tag u32,
+//                 elem_size u32} per section, then zero padding to the
+//                 next 64-byte boundary
+//        …        section payloads, each starting on a 64-byte boundary,
+//                 gaps zero-filled
+//
+// All offsets are relative to the blob base, so the image is
+// position-independent.  The digest covers everything after the size
+// field, so any bit flip in the table or payloads is caught by one linear
+// FNV pass; flips inside the first 32 bytes are caught by the explicit
+// magic/version/kind/size checks.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "support/status.h"
+
+namespace fpgadbg::flow {
+
+inline constexpr std::uint32_t kBlobFormatVersion = 1;
+inline constexpr std::size_t kBlobAlign = 64;
+
+/// Typed read-only view into a mapped blob section.  Non-owning: the
+/// mapping (or aligned buffer) backing it must outlive the span.
+template <typename T>
+struct BlobSpan {
+  const T* ptr = nullptr;
+  std::size_t count = 0;
+
+  const T* begin() const { return ptr; }
+  const T* end() const { return ptr + count; }
+  const T& operator[](std::size_t i) const { return ptr[i]; }
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+};
+
+/// Deterministic blob assembler.  Append sections in a fixed order, then
+/// finish() to get the full image.  Element types must be trivially
+/// copyable and contain no uninitialized padding (pad fields must be
+/// explicit and zeroed) or the output bytes would not be deterministic.
+class BlobWriter {
+ public:
+  explicit BlobWriter(std::uint32_t kind) : kind_(kind) {}
+
+  template <typename T>
+  void section(std::uint32_t tag, const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    add(tag, static_cast<std::uint32_t>(sizeof(T)), data,
+        count * sizeof(T));
+  }
+  template <typename T>
+  void section(std::uint32_t tag, const std::vector<T>& v) {
+    section(tag, v.data(), v.size());
+  }
+  /// Opaque byte-stream section (elem_size 1), e.g. ByteWriter metadata.
+  void bytes_section(std::uint32_t tag, std::string_view bytes) {
+    add(tag, 1, bytes.data(), bytes.size());
+  }
+
+  /// Assembles header + table + payloads into one deterministic image.
+  std::string finish() const;
+
+ private:
+  struct Pending {
+    std::uint32_t tag;
+    std::uint32_t elem_size;
+    std::string payload;
+  };
+
+  void add(std::uint32_t tag, std::uint32_t elem_size, const void* data,
+           std::size_t bytes) {
+    Pending p;
+    p.tag = tag;
+    p.elem_size = elem_size;
+    p.payload.assign(static_cast<const char*>(data), bytes);
+    sections_.push_back(std::move(p));
+  }
+
+  std::uint32_t kind_;
+  std::vector<Pending> sections_;
+};
+
+/// Validating reader over a mapped (or 64-byte-aligned in-memory) blob.
+class BlobReader {
+ public:
+  /// Validates `bytes` as a blob of `kind`.  Returns:
+  ///   - a reader on success,
+  ///   - nullopt when the image is a well-formed blob of a *different*
+  ///     format version (callers treat this as a miss and rebuild),
+  ///   - kCorruptArtifact for anything else: bad magic, wrong kind, size
+  ///     mismatch, digest mismatch, misaligned base, or a section table
+  ///     that points outside the image or off alignment.
+  static support::Result<std::optional<BlobReader>> open(
+      std::string_view bytes, std::uint32_t kind);
+
+  /// Typed span for `tag`.  Fails when the tag is absent, the stored
+  /// element size is not sizeof(T), or the section size is not a multiple
+  /// of sizeof(T).
+  template <typename T>
+  support::Result<BlobSpan<T>> span(std::uint32_t tag) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Section* s = find(tag);
+    if (s == nullptr) return missing(tag);
+    if (s->elem_size != sizeof(T) || s->size_bytes % sizeof(T) != 0) {
+      return type_mismatch(tag, sizeof(T), s->elem_size);
+    }
+    BlobSpan<T> v;
+    v.ptr = reinterpret_cast<const T*>(base_ + s->offset);
+    v.count = s->size_bytes / sizeof(T);
+    return v;
+  }
+
+  /// Raw byte-stream section (stored with elem_size 1).
+  support::Result<std::string_view> bytes(std::uint32_t tag) const;
+
+  bool has(std::uint32_t tag) const { return find(tag) != nullptr; }
+
+ private:
+  struct Section {
+    std::uint64_t offset;
+    std::uint64_t size_bytes;
+    std::uint32_t tag;
+    std::uint32_t elem_size;
+  };
+
+  const Section* find(std::uint32_t tag) const {
+    for (const Section& s : sections_) {
+      if (s.tag == tag) return &s;
+    }
+    return nullptr;
+  }
+  static support::Status missing(std::uint32_t tag);
+  static support::Status type_mismatch(std::uint32_t tag, std::size_t want,
+                                       std::uint32_t got);
+
+  const char* base_ = nullptr;
+  std::vector<Section> sections_;
+};
+
+/// 64-byte-aligned owning copy of a byte buffer, for feeding BlobReader
+/// from sources that do not guarantee alignment (std::string payloads,
+/// network bytes).  The mmap path never needs this — page alignment
+/// already satisfies the blob requirement.
+class AlignedBlobBuffer {
+ public:
+  explicit AlignedBlobBuffer(std::string_view bytes)
+      : raw_(new char[bytes.size() + kBlobAlign]), size_(bytes.size()) {
+    auto addr = reinterpret_cast<std::uintptr_t>(raw_.get());
+    const std::uintptr_t aligned =
+        (addr + (kBlobAlign - 1)) & ~static_cast<std::uintptr_t>(kBlobAlign - 1);
+    base_ = raw_.get() + (aligned - addr);
+    if (!bytes.empty()) std::memcpy(base_, bytes.data(), bytes.size());
+  }
+
+  std::string_view view() const { return {base_, size_}; }
+
+ private:
+  std::unique_ptr<char[]> raw_;
+  char* base_;
+  std::size_t size_;
+};
+
+}  // namespace fpgadbg::flow

@@ -1,12 +1,19 @@
 #include "flow/cache.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
+#include "flow/cache_internal.h"
 #include "flow/serialize.h"
+#include "support/mmap.h"
 #include "support/telemetry.h"
 
 namespace fpgadbg::flow {
@@ -15,10 +22,14 @@ namespace {
 
 namespace fs = std::filesystem;
 
+using support::MmapRegion;
 using support::Result;
 using support::Status;
+using namespace cache_internal;
 
-constexpr char kMagic[8] = {'F', 'D', 'B', 'G', 'A', 'R', 'T', '1'};
+}  // namespace
+
+namespace cache_internal {
 
 std::string hex64(std::uint64_t v) {
   char buf[17];
@@ -27,102 +38,265 @@ std::string hex64(std::uint64_t v) {
   return std::string(buf, 16);
 }
 
-}  // namespace
-
-ArtifactCache::ArtifactCache(std::string cache_dir)
-    : dir_(std::move(cache_dir)) {}
-
-std::string ArtifactCache::entry_path(const std::string& stage,
-                                      std::uint64_t key) const {
-  return dir_ + "/" + stage + "/" + hex64(key);
+void touch_atime(const std::string& path) {
+  struct timespec times[2];
+  times[0].tv_sec = 0;
+  times[0].tv_nsec = UTIME_NOW;   // atime := now
+  times[1].tv_sec = 0;
+  times[1].tv_nsec = UTIME_OMIT;  // mtime unchanged
+  ::utimensat(AT_FDCWD, path.c_str(), times, 0);
 }
 
-Result<std::optional<std::string>> ArtifactCache::load(
-    const std::string& stage, std::uint64_t key) const {
-  if (!enabled()) return std::optional<std::string>();
+std::int64_t read_atime_ns(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<std::int64_t>(st.st_atim.tv_sec) * 1'000'000'000 +
+         st.st_atim.tv_nsec;
+}
 
-  auto& m = telemetry::metrics();
-  const std::string path = entry_path(stage, key);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    m.counter("flow.cache.misses").add();
-    return std::optional<std::string>();
+bool publish_file(const std::string& path, const char* header,
+                  std::size_t header_size, const void* payload,
+                  std::size_t payload_size) {
+  // Process-unique temp name: concurrent writers of the same entry never
+  // stomp each other's partial file, and rename() makes the publish atomic.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  auto write_all = [&](const char* p, std::size_t n) {
+    while (n > 0) {
+      const ssize_t w = ::write(fd, p, n);
+      if (w <= 0) return false;
+      p += w;
+      n -= static_cast<std::size_t>(w);
+    }
+    return true;
+  };
+  if (header_size > 0) ok = write_all(header, header_size);
+  if (ok && payload_size > 0) {
+    ok = write_all(static_cast<const char*>(payload), payload_size);
+  }
+  if (::close(fd) != 0) ok = false;
+  if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) ::unlink(tmp.c_str());
+  return ok;
+}
+
+}  // namespace cache_internal
+
+// --- shared GC sweep --------------------------------------------------------
+
+GcStats gc_sweep(std::vector<CacheEntryInfo> all, std::uint64_t max_bytes) {
+  GcStats stats;
+  stats.scanned_entries = all.size();
+  std::uint64_t total = 0;
+  for (const CacheEntryInfo& e : all) total += e.bytes;
+  stats.scanned_bytes = total;
+
+  // Least-recently-used first; path tie-break keeps the order deterministic
+  // when atimes collide (coarse filesystem timestamps).
+  std::sort(all.begin(), all.end(),
+            [](const CacheEntryInfo& a, const CacheEntryInfo& b) {
+              if (a.atime_ns != b.atime_ns) return a.atime_ns < b.atime_ns;
+              return a.path < b.path;
+            });
+  for (const CacheEntryInfo& e : all) {
+    if (total <= max_bytes) break;
+    if (::unlink(e.path.c_str()) != 0 && errno != ENOENT) continue;
+    for (const std::string& idx : e.index_paths) ::unlink(idx.c_str());
+    total -= e.bytes;
+    stats.removed_bytes += e.bytes;
+    ++stats.removed_entries;
+  }
+  return stats;
+}
+
+Result<GcStats> CacheStore::gc(std::uint64_t max_bytes) const {
+  FPGADBG_ASSIGN_OR_RETURN(std::vector<CacheEntryInfo> all, entries());
+  return gc_sweep(std::move(all), max_bytes);
+}
+
+// --- directory backend ------------------------------------------------------
+
+namespace {
+
+class DirCacheStore final : public CacheStore {
+ public:
+  explicit DirCacheStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string entry_path(const std::string& stage,
+                         std::uint64_t key) const override {
+    return dir_ + "/" + stage + "/" + hex64(key);
   }
 
-  std::ostringstream contents;
-  contents << in.rdbuf();
-  if (!in.good() && !in.eof()) {
-    return Status::io_error("cannot read cache entry " + path);
-  }
-  const std::string file = contents.str();
+  Result<std::optional<CacheHit>> load(const std::string& stage,
+                                       std::uint64_t key) const override {
+    auto& m = telemetry::metrics();
+    const std::string path = entry_path(stage, key);
 
-  // Header: magic, stage, key, payload hash, payload.
-  if (file.size() < sizeof kMagic ||
-      file.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
-    return Status::corrupt_artifact("cache entry " + path +
-                                    ": bad magic (not an artifact file)");
-  }
-  ByteReader r(std::string_view(file).substr(sizeof kMagic));
-  const std::string stored_stage = r.str();
-  const std::uint64_t stored_key = r.u64();
-  const std::uint64_t stored_hash = r.u64();
-  std::string payload = r.str();
-  if (!r.ok() || stored_stage != stage || stored_key != key) {
-    return Status::corrupt_artifact("cache entry " + path +
-                                    ": truncated or mislabeled header");
-  }
-  if (fnv1a(payload) != stored_hash) {
-    return Status::corrupt_artifact(
-        "cache entry " + path +
-        ": payload hash mismatch (file is damaged); delete it to recompute");
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno != ENOENT) {
+        return Status::io_error("cannot stat cache entry " + path + ": " +
+                                std::strerror(errno));
+      }
+      m.counter("flow.cache.misses").add();
+      return std::optional<CacheHit>();
+    }
+
+    // Fail fast on truncation BEFORE touching any payload byte: the fixed
+    // header carries the payload size, so a short file is detected from
+    // the first 64 bytes, not discovered at the end of a full digest pass.
+    if (static_cast<std::size_t>(st.st_size) < kEntryHeaderSize) {
+      return Status::corrupt_artifact(
+          "cache entry " + path +
+          ": shorter than the fixed header (truncated)");
+    }
+
+    FPGADBG_ASSIGN_OR_RETURN(std::shared_ptr<MmapRegion> region,
+                             MmapRegion::map_file(path));
+    const std::string_view file = region->view();
+    if (std::memcmp(file.data(), kLegacyMagic, 8) == 0) {
+      // Pre-mmap entry format: rebuilt, never misparsed.
+      m.counter("flow.cache.misses").add();
+      return std::optional<CacheHit>();
+    }
+    if (std::memcmp(file.data(), kDirMagic, 8) != 0) {
+      return Status::corrupt_artifact("cache entry " + path +
+                                      ": bad magic (not an artifact file)");
+    }
+    const EntryHeader h = decode_header(file.data());
+    if (h.stage_hash != fnv1a(stage) || h.key != key) {
+      return Status::corrupt_artifact("cache entry " + path +
+                                      ": mislabeled header");
+    }
+    if (h.payload_size != file.size() - kEntryHeaderSize) {
+      return Status::corrupt_artifact(
+          "cache entry " + path +
+          ": payload size does not match the file (truncated)");
+    }
+    const std::string_view payload = file.substr(kEntryHeaderSize);
+    if (fnv1a(payload) != h.payload_hash) {
+      return Status::corrupt_artifact(
+          "cache entry " + path +
+          ": payload hash mismatch (file is damaged); delete it to "
+          "recompute");
+    }
+
+    touch_atime(path);
+    m.counter("flow.cache.hits").add();
+    m.counter("flow.cache.bytes_read").add(payload.size());
+    m.counter("flow.cache.mmap_hits").add();
+    m.counter("flow.cache.bytes_mapped").add(payload.size());
+    CacheHit hit;
+    hit.payload = payload;
+    hit.content_hash = h.payload_hash;
+    hit.mapped = true;
+    hit.backing = std::move(region);
+    return std::optional<CacheHit>(std::move(hit));
   }
 
-  m.counter("flow.cache.hits").add();
-  m.counter("flow.cache.bytes_read").add(payload.size());
-  return std::optional<std::string>(std::move(payload));
+  Status store(const std::string& stage, std::uint64_t key,
+               std::uint64_t content_hash,
+               std::string_view bytes) const override {
+    const std::string path = entry_path(stage, key);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec) {
+      return Status::io_error("cannot create cache directory for " + path +
+                              ": " + ec.message());
+    }
+    char header[kEntryHeaderSize];
+    encode_header(header, kDirMagic,
+                  EntryHeader{fnv1a(stage), key, content_hash, bytes.size()});
+    if (!publish_file(path, header, sizeof header, bytes.data(),
+                      bytes.size())) {
+      return Status::io_error("cannot publish cache entry " + path + ": " +
+                              std::strerror(errno));
+    }
+    auto& m = telemetry::metrics();
+    m.counter("flow.cache.stores").add();
+    m.counter("flow.cache.bytes_written").add(bytes.size());
+    return Status();
+  }
+
+  Result<std::vector<CacheEntryInfo>> entries() const override {
+    std::vector<CacheEntryInfo> all;
+    std::error_code ec;
+    for (fs::directory_iterator stage_it(dir_, ec);
+         !ec && stage_it != fs::directory_iterator(); ++stage_it) {
+      if (!stage_it->is_directory(ec)) continue;
+      std::error_code ec2;
+      for (fs::directory_iterator it(stage_it->path(), ec2);
+           !ec2 && it != fs::directory_iterator(); ++it) {
+        if (!it->is_regular_file(ec2)) continue;
+        CacheEntryInfo e;
+        e.path = it->path().string();
+        e.bytes = it->file_size(ec2);
+        e.atime_ns = read_atime_ns(e.path);
+        all.push_back(std::move(e));
+      }
+    }
+    return all;
+  }
+
+  std::string describe() const override { return "dir:" + dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace
+
+std::unique_ptr<CacheStore> make_dir_cache_store(std::string dir) {
+  return std::make_unique<DirCacheStore>(std::move(dir));
+}
+
+// --- facade -----------------------------------------------------------------
+
+ArtifactCache::ArtifactCache(std::string cache_dir)
+    : location_(std::move(cache_dir)) {
+  if (!location_.empty()) store_ = make_dir_cache_store(location_);
+}
+
+ArtifactCache ArtifactCache::for_options(const std::string& backend,
+                                         const std::string& cache_dir,
+                                         const std::string& shared_root) {
+  const bool cas = backend == "cas" || (backend.empty() && !shared_root.empty());
+  ArtifactCache cache;
+  if (cas) {
+    cache.location_ = shared_root.empty() ? cache_dir : shared_root;
+    if (!cache.location_.empty()) {
+      cache.store_ = make_cas_cache_store(cache.location_);
+    }
+  } else {
+    cache.location_ = cache_dir;
+    if (!cache.location_.empty()) {
+      cache.store_ = make_dir_cache_store(cache.location_);
+    }
+  }
+  return cache;
+}
+
+Result<std::optional<CacheHit>> ArtifactCache::load(const std::string& stage,
+                                                    std::uint64_t key) const {
+  if (!enabled()) return std::optional<CacheHit>();
+  return store_->load(stage, key);
 }
 
 Status ArtifactCache::store(const std::string& stage, std::uint64_t key,
                             std::uint64_t content_hash,
-                            const std::string& bytes) const {
+                            std::string_view bytes) const {
   if (!enabled()) return Status();
+  return store_->store(stage, key, content_hash, bytes);
+}
 
-  const std::string path = entry_path(stage, key);
-  std::error_code ec;
-  fs::create_directories(fs::path(path).parent_path(), ec);
-  if (ec) {
-    return Status::io_error("cannot create cache directory for " + path +
-                            ": " + ec.message());
-  }
-
-  ByteWriter w;
-  w.str(stage);
-  w.u64(key);
-  w.u64(content_hash);
-  w.str(bytes);
-
-  // Write-then-rename keeps concurrent readers away from partial files.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::io_error("cannot open " + tmp + " for writing");
-    out.write(kMagic, sizeof kMagic);
-    out.write(w.bytes().data(),
-              static_cast<std::streamsize>(w.bytes().size()));
-    if (!out.good()) {
-      return Status::io_error("short write to cache entry " + tmp);
-    }
-  }
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return Status::io_error("cannot move cache entry into place at " + path);
-  }
-
-  auto& m = telemetry::metrics();
-  m.counter("flow.cache.stores").add();
-  m.counter("flow.cache.bytes_written").add(bytes.size());
-  return Status();
+std::string ArtifactCache::entry_path(const std::string& stage,
+                                      std::uint64_t key) const {
+  if (!enabled()) return {};
+  return store_->entry_path(stage, key);
 }
 
 }  // namespace fpgadbg::flow

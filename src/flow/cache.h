@@ -1,53 +1,154 @@
-// On-disk artifact cache for the staged compile pipeline.
+// Pluggable on-disk artifact cache for the staged compile pipeline.
 //
-// One file per entry at <cache-dir>/<stage>/<key-hex>, where the key is
-// hash_combine(stage-name-hash, input-hash, options-hash).  Every entry
-// stores the artifact's serialized bytes behind a small header carrying a
-// format magic, the stage name, the key and the payload's FNV-1a content
-// hash; load() re-hashes the payload and rejects mismatches as
-// StatusCode::kCorruptArtifact — a truncated or bit-flipped cache file is a
-// reportable error, never silently wrong pipeline output.
+// The cache is split into a thin facade (ArtifactCache, what the pipeline
+// holds) over a storage interface (CacheStore) with two backends:
+//
+//  - Directory backend ("dir", the PR 3 layout evolved): one file per entry
+//    at <dir>/<stage>/<key-hex>.  Entries carry a fixed 64-byte header
+//    (magic FDBGART2, stage hash, key, payload FNV-1a, payload size), so
+//    the payload starts on a 64-byte boundary and a load is an mmap +
+//    header check + one linear digest pass — never a parse, never a copy.
+//  - Content-addressed backend ("cas"): payloads live at
+//    <root>/cas/<fnv-hex> named by their own content hash (deduplicated,
+//    immutable once published), and small fixed-size index files at
+//    <root>/index/<stage>/<key-hex> map stage keys to content hashes.
+//    Both are published via temp file + atomic rename, so any number of
+//    processes — including over NFS — can share one root: readers never
+//    lock, writers take a shared flock only to fence against a concurrent
+//    GC sweep (which takes it exclusively).
+//
+// Integrity contract (both backends): the fixed header is validated FIRST
+// — magic, identity, and the stored payload size against the actual file
+// size — so a truncated entry fails fast as StatusCode::kCorruptArtifact
+// before any payload byte is hashed; then one FNV-1a pass over the mapped
+// payload catches bit flips.  A corrupt entry is a reportable error, never
+// silently wrong pipeline output.  Legacy FDBGART1 entries (pre-mmap
+// stream headers) are detected and treated as misses, so old caches are
+// rebuilt, not misparsed.
 //
 // A default-constructed (or empty-path) cache is disabled: every load
 // misses, every store is a no-op, so pipeline code needs no branches.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "support/status.h"
 
 namespace fpgadbg::flow {
 
+/// A successful cache load.  `payload` points into `backing` (an mmap
+/// region, 64-byte aligned by construction) and stays valid for as long as
+/// a copy of `backing` is held — zero-copy consumers (blob artifacts) keep
+/// the backing alive inside the deserialized object itself.
+struct CacheHit {
+  std::string_view payload;
+  std::uint64_t content_hash = 0;
+  /// True when the payload is served directly from a memory mapping
+  /// (counted as flow.cache.mmap_hits / flow.cache.bytes_mapped).
+  bool mapped = false;
+  std::shared_ptr<const void> backing;
+};
+
+/// One stored entry, as seen by the GC sweep.
+struct CacheEntryInfo {
+  std::string path;                     ///< payload file to delete
+  std::vector<std::string> index_paths; ///< CAS: index files naming it
+  std::uint64_t bytes = 0;              ///< on-disk size of `path`
+  std::int64_t atime_ns = 0;            ///< last access (LRU order)
+};
+
+struct GcStats {
+  std::size_t scanned_entries = 0;
+  std::size_t removed_entries = 0;
+  std::uint64_t scanned_bytes = 0;
+  std::uint64_t removed_bytes = 0;
+};
+
+/// Storage interface behind the cache facade.  Implementations must make
+/// store() atomic with respect to concurrent load()s (publish via rename)
+/// and must keep load() lock-free.
+class CacheStore {
+ public:
+  virtual ~CacheStore() = default;
+
+  /// nullopt = miss; a hit bumps the entry's atime (LRU bookkeeping).
+  virtual support::Result<std::optional<CacheHit>> load(
+      const std::string& stage, std::uint64_t key) const = 0;
+
+  /// Publishes serialized artifact bytes whose FNV-1a hash is
+  /// `content_hash`.  Idempotent; concurrent stores of the same entry are
+  /// safe (last rename wins, both files are identical).
+  virtual support::Status store(const std::string& stage, std::uint64_t key,
+                                std::uint64_t content_hash,
+                                std::string_view bytes) const = 0;
+
+  /// Path of the keyed entry file (dir: the payload; cas: the index).
+  /// For tests and error messages.
+  virtual std::string entry_path(const std::string& stage,
+                                 std::uint64_t key) const = 0;
+
+  /// Every stored entry, for the GC sweep.  Order is unspecified.
+  virtual support::Result<std::vector<CacheEntryInfo>> entries() const = 0;
+
+  /// LRU-by-atime sweep: removes oldest-accessed entries until the total
+  /// payload size is <= max_bytes.  The CAS backend takes the root lock
+  /// exclusively for the duration so it never races a concurrent store.
+  virtual support::Result<GcStats> gc(std::uint64_t max_bytes) const;
+
+  /// Human-readable backend description ("dir:<path>" / "cas:<root>").
+  virtual std::string describe() const = 0;
+};
+
+std::unique_ptr<CacheStore> make_dir_cache_store(std::string dir);
+std::unique_ptr<CacheStore> make_cas_cache_store(std::string root);
+
+/// Removes the listed entries in LRU order until the remaining total is
+/// <= max_bytes.  Shared sweep used by both backends' gc().
+GcStats gc_sweep(std::vector<CacheEntryInfo> all, std::uint64_t max_bytes);
+
+/// Facade the pipeline holds.  Copyable (backends are stateless and
+/// shared); disabled when no backend is configured.
 class ArtifactCache {
  public:
   /// Disabled cache (all loads miss, stores do nothing).
   ArtifactCache() = default;
-  /// Caches under `cache_dir` (created on first store); empty = disabled.
+  /// Directory backend under `cache_dir`; empty = disabled.
   explicit ArtifactCache(std::string cache_dir);
 
-  bool enabled() const { return !dir_.empty(); }
-  const std::string& dir() const { return dir_; }
+  /// Resolves the CLI-level knobs: backend "dir" (default) or "cas";
+  /// `shared_root` is the CAS root (falls back to `cache_dir` when empty,
+  /// and a non-empty shared root implies "cas" when no backend is named).
+  static ArtifactCache for_options(const std::string& backend,
+                                   const std::string& cache_dir,
+                                   const std::string& shared_root);
 
-  /// Looks up (stage, key).  nullopt = miss (also when disabled); bytes =
-  /// hit; a Status means the entry exists but is corrupt or unreadable.
-  /// Counts flow.cache.hits / flow.cache.misses and flow.cache.bytes_read.
-  support::Result<std::optional<std::string>> load(const std::string& stage,
-                                                   std::uint64_t key) const;
+  bool enabled() const { return store_ != nullptr; }
+  const std::string& dir() const { return location_; }
+  CacheStore* backend() const { return store_.get(); }
+
+  /// Looks up (stage, key).  nullopt = miss (also when disabled); a Status
+  /// means the entry exists but is corrupt or unreadable.  Counts
+  /// flow.cache.{hits,misses,bytes_read,mmap_hits,bytes_mapped}.
+  support::Result<std::optional<CacheHit>> load(const std::string& stage,
+                                                std::uint64_t key) const;
 
   /// Stores serialized artifact bytes whose FNV-1a hash is `content_hash`.
-  /// Writes via a temp file + rename so readers never see partial entries.
   /// Counts flow.cache.stores and flow.cache.bytes_written.
   support::Status store(const std::string& stage, std::uint64_t key,
                         std::uint64_t content_hash,
-                        const std::string& bytes) const;
+                        std::string_view bytes) const;
 
   /// Path of the entry file (for tests and error messages).
   std::string entry_path(const std::string& stage, std::uint64_t key) const;
 
  private:
-  std::string dir_;
+  std::string location_;
+  std::shared_ptr<CacheStore> store_;
 };
 
 }  // namespace fpgadbg::flow

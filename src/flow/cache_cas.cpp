@@ -1,0 +1,261 @@
+// Content-addressed cache backend: payloads named by their own FNV-1a hash
+// under <root>/cas/, keyed index files under <root>/index/<stage>/.  See
+// flow/cache.h for the sharing and locking contract.
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "flow/cache.h"
+#include "flow/cache_internal.h"
+#include "flow/serialize.h"
+#include "support/mmap.h"
+#include "support/telemetry.h"
+
+namespace fpgadbg::flow {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using support::MmapRegion;
+using support::Result;
+using support::Status;
+using namespace cache_internal;
+
+/// RAII flock over <root>/.lock.  Writers take it shared (any number of
+/// processes may publish concurrently — publication is rename-atomic);
+/// the GC sweep takes it exclusively so it never unlinks a payload another
+/// process is between publishing and indexing.  Readers take no lock at
+/// all: an mmap taken before an unlink stays valid, and index/payload
+/// files are immutable once published.
+class RootLock {
+ public:
+  RootLock(const std::string& root, bool exclusive) {
+    fd_ = ::open((root + "/.lock").c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                 0644);
+    if (fd_ >= 0) ::flock(fd_, exclusive ? LOCK_EX : LOCK_SH);
+  }
+  ~RootLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  RootLock(const RootLock&) = delete;
+  RootLock& operator=(const RootLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+class CasCacheStore final : public CacheStore {
+ public:
+  explicit CasCacheStore(std::string root) : root_(std::move(root)) {}
+
+  std::string entry_path(const std::string& stage,
+                         std::uint64_t key) const override {
+    return root_ + "/index/" + stage + "/" + hex64(key);
+  }
+
+  std::string cas_path(std::uint64_t content_hash) const {
+    return root_ + "/cas/" + hex64(content_hash);
+  }
+
+  Result<std::optional<CacheHit>> load(const std::string& stage,
+                                       std::uint64_t key) const override {
+    auto& m = telemetry::metrics();
+    const std::string index = entry_path(stage, key);
+
+    char raw[kEntryHeaderSize];
+    {
+      std::ifstream in(index, std::ios::binary);
+      if (!in) {
+        m.counter("flow.cache.misses").add();
+        return std::optional<CacheHit>();
+      }
+      in.read(raw, sizeof raw);
+      if (in.gcount() != static_cast<std::streamsize>(sizeof raw)) {
+        return Status::corrupt_artifact(
+            "cache index " + index +
+            ": shorter than the fixed header (truncated)");
+      }
+    }
+    if (std::memcmp(raw, kIndexMagic, 8) != 0) {
+      return Status::corrupt_artifact("cache index " + index +
+                                      ": bad magic (not an index file)");
+    }
+    const EntryHeader h = decode_header(raw);
+    if (h.stage_hash != fnv1a(stage) || h.key != key) {
+      return Status::corrupt_artifact("cache index " + index +
+                                      ": mislabeled header");
+    }
+
+    const std::string payload_path = cas_path(h.payload_hash);
+    struct stat st;
+    if (::stat(payload_path.c_str(), &st) != 0) {
+      // Dangling index (payload swept by GC): a miss, so the stage rebuilds
+      // and re-publishes.
+      m.counter("flow.cache.misses").add();
+      return std::optional<CacheHit>();
+    }
+    // Size check before the digest pass: truncation fails fast.
+    if (static_cast<std::uint64_t>(st.st_size) != h.payload_size) {
+      return Status::corrupt_artifact(
+          "cache object " + payload_path +
+          ": size does not match its index (truncated)");
+    }
+
+    FPGADBG_ASSIGN_OR_RETURN(std::shared_ptr<MmapRegion> region,
+                             MmapRegion::map_file(payload_path));
+    const std::string_view payload = region->view();
+    if (fnv1a(payload) != h.payload_hash) {
+      return Status::corrupt_artifact(
+          "cache object " + payload_path +
+          ": content hash mismatch (object is damaged); delete it to "
+          "recompute");
+    }
+
+    touch_atime(payload_path);
+    m.counter("flow.cache.hits").add();
+    m.counter("flow.cache.bytes_read").add(payload.size());
+    m.counter("flow.cache.mmap_hits").add();
+    m.counter("flow.cache.bytes_mapped").add(payload.size());
+    CacheHit hit;
+    hit.payload = payload;
+    hit.content_hash = h.payload_hash;
+    hit.mapped = true;
+    hit.backing = std::move(region);
+    return std::optional<CacheHit>(std::move(hit));
+  }
+
+  Status store(const std::string& stage, std::uint64_t key,
+               std::uint64_t content_hash,
+               std::string_view bytes) const override {
+    const std::string index = entry_path(stage, key);
+    const std::string payload_path = cas_path(content_hash);
+    std::error_code ec;
+    fs::create_directories(root_ + "/cas", ec);
+    if (!ec) fs::create_directories(fs::path(index).parent_path(), ec);
+    if (ec) {
+      return Status::io_error("cannot create cache directories under " +
+                              root_ + ": " + ec.message());
+    }
+
+    RootLock lock(root_, /*exclusive=*/false);
+
+    // Payload first, then the index naming it: a reader can race the pair
+    // and see index-without-payload only for entries GC removed, never for
+    // entries mid-publish.  Content-named files are immutable, so when the
+    // object already exists (same bytes by construction) the write is
+    // skipped entirely — that is the dedup.
+    struct stat st;
+    const bool have_payload =
+        ::stat(payload_path.c_str(), &st) == 0 &&
+        static_cast<std::uint64_t>(st.st_size) == bytes.size();
+    if (!have_payload &&
+        !publish_file(payload_path, nullptr, 0, bytes.data(), bytes.size())) {
+      return Status::io_error("cannot publish cache object " + payload_path +
+                              ": " + std::strerror(errno));
+    }
+    char header[kEntryHeaderSize];
+    encode_header(header, kIndexMagic,
+                  EntryHeader{fnv1a(stage), key, content_hash, bytes.size()});
+    if (!publish_file(index, header, sizeof header, nullptr, 0)) {
+      return Status::io_error("cannot publish cache index " + index + ": " +
+                              std::strerror(errno));
+    }
+    auto& m = telemetry::metrics();
+    m.counter("flow.cache.stores").add();
+    m.counter("flow.cache.bytes_written").add(have_payload ? 0 : bytes.size());
+    return Status();
+  }
+
+  Result<std::vector<CacheEntryInfo>> entries() const override {
+    std::vector<CacheEntryInfo> all;
+    std::error_code ec;
+    for (fs::directory_iterator it(root_ + "/cas", ec);
+         !ec && it != fs::directory_iterator(); ++it) {
+      if (!it->is_regular_file(ec)) continue;
+      CacheEntryInfo e;
+      e.path = it->path().string();
+      e.bytes = it->file_size(ec);
+      e.atime_ns = read_atime_ns(e.path);
+      all.push_back(std::move(e));
+    }
+    // Attach each index file to the object it names, so sweeping an object
+    // also drops the keys that point at it.
+    std::vector<std::pair<std::string, std::size_t>> by_name;
+    by_name.reserve(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      by_name.emplace_back(fs::path(all[i].path).filename().string(), i);
+    }
+    std::sort(by_name.begin(), by_name.end());
+    for_each_index([&](const std::string& path, const EntryHeader& h) {
+      const std::string name = hex64(h.payload_hash);
+      const auto it = std::lower_bound(
+          by_name.begin(), by_name.end(), name,
+          [](const auto& a, const std::string& b) { return a.first < b; });
+      if (it != by_name.end() && it->first == name) {
+        all[it->second].index_paths.push_back(path);
+      }
+    });
+    return all;
+  }
+
+  Result<GcStats> gc(std::uint64_t max_bytes) const override {
+    RootLock lock(root_, /*exclusive=*/true);
+    FPGADBG_ASSIGN_OR_RETURN(std::vector<CacheEntryInfo> all, entries());
+    GcStats stats = gc_sweep(std::move(all), max_bytes);
+    // Dangling indexes (object already swept, or a crashed writer) are
+    // noise for future loads: drop them while we hold the exclusive lock.
+    for_each_index([&](const std::string& path, const EntryHeader& h) {
+      struct stat st;
+      if (::stat(cas_path(h.payload_hash).c_str(), &st) != 0) {
+        ::unlink(path.c_str());
+      }
+    });
+    return stats;
+  }
+
+  std::string describe() const override { return "cas:" + root_; }
+
+ private:
+  template <typename Fn>
+  void for_each_index(Fn&& fn) const {
+    std::error_code ec;
+    for (fs::directory_iterator stage_it(root_ + "/index", ec);
+         !ec && stage_it != fs::directory_iterator(); ++stage_it) {
+      if (!stage_it->is_directory(ec)) continue;
+      std::error_code ec2;
+      for (fs::directory_iterator it(stage_it->path(), ec2);
+           !ec2 && it != fs::directory_iterator(); ++it) {
+        if (!it->is_regular_file(ec2)) continue;
+        char raw[kEntryHeaderSize];
+        std::ifstream in(it->path(), std::ios::binary);
+        if (!in) continue;
+        in.read(raw, sizeof raw);
+        if (in.gcount() != static_cast<std::streamsize>(sizeof raw)) continue;
+        if (std::memcmp(raw, kIndexMagic, 8) != 0) continue;
+        fn(it->path().string(), decode_header(raw));
+      }
+    }
+  }
+
+  std::string root_;
+};
+
+}  // namespace
+
+std::unique_ptr<CacheStore> make_cas_cache_store(std::string root) {
+  return std::make_unique<CasCacheStore>(std::move(root));
+}
+
+}  // namespace fpgadbg::flow

@@ -1,0 +1,66 @@
+// Shared plumbing for the cache backends (dir + cas): the fixed 64-byte
+// entry/index header codec, hex key formatting, atime bookkeeping and the
+// telemetry counter names.  Internal to flow/cache*.cpp.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace fpgadbg::flow::cache_internal {
+
+// Both on-disk header formats are exactly 64 bytes so the payload that
+// follows (dir backend) starts on a 64-byte boundary — the blob format's
+// base-alignment requirement — and so a header read is one fixed-size I/O.
+inline constexpr std::size_t kEntryHeaderSize = 64;
+inline constexpr char kDirMagic[8] = {'F', 'D', 'B', 'G', 'A', 'R', 'T', '2'};
+inline constexpr char kLegacyMagic[8] = {'F', 'D', 'B', 'G',
+                                         'A', 'R', 'T', '1'};
+inline constexpr char kIndexMagic[8] = {'F', 'D', 'B', 'G', 'I', 'D', 'X', '1'};
+
+/// Fixed header: magic[0,8) stage_hash[8,16) key[16,24) payload_hash[24,32)
+/// payload_size[32,40) reserved-zero[40,64).  In the dir backend the
+/// payload follows in the same file; in the CAS index the payload lives in
+/// a separate content-named file and payload_hash doubles as its address.
+struct EntryHeader {
+  std::uint64_t stage_hash = 0;
+  std::uint64_t key = 0;
+  std::uint64_t payload_hash = 0;
+  std::uint64_t payload_size = 0;
+};
+
+inline void encode_header(char out[kEntryHeaderSize], const char magic[8],
+                          const EntryHeader& h) {
+  std::memset(out, 0, kEntryHeaderSize);
+  std::memcpy(out, magic, 8);
+  std::memcpy(out + 8, &h.stage_hash, 8);
+  std::memcpy(out + 16, &h.key, 8);
+  std::memcpy(out + 24, &h.payload_hash, 8);
+  std::memcpy(out + 32, &h.payload_size, 8);
+}
+
+inline EntryHeader decode_header(const char in[kEntryHeaderSize]) {
+  EntryHeader h;
+  std::memcpy(&h.stage_hash, in + 8, 8);
+  std::memcpy(&h.key, in + 16, 8);
+  std::memcpy(&h.payload_hash, in + 24, 8);
+  std::memcpy(&h.payload_size, in + 32, 8);
+  return h;
+}
+
+std::string hex64(std::uint64_t v);
+
+/// Marks `path` as just-used: sets atime to now, leaves mtime alone.  Best
+/// effort (noatime mounts would otherwise starve the LRU sweep of signal).
+void touch_atime(const std::string& path);
+
+/// st_atime of `path` in nanoseconds, or -1 when unreadable.
+std::int64_t read_atime_ns(const std::string& path);
+
+/// Writes `header + payload` (payload may be empty) to `path` via a
+/// process-unique temp file + atomic rename.  Returns false on I/O error.
+bool publish_file(const std::string& path, const char* header,
+                  std::size_t header_size, const void* payload,
+                  std::size_t payload_size);
+
+}  // namespace fpgadbg::flow::cache_internal

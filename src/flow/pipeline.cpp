@@ -44,15 +44,19 @@ struct StageContext {
   std::size_t& from_cache;
 };
 
-/// Runs one cached stage: cache lookup, deserialize on hit, execute +
-/// serialize + store on miss.  `exec` computes the artifact (may throw the
-/// legacy exceptions), `ser(value, writer)` defines the byte format and
-/// `deser(reader)` its inverse.  On success *content_hash_out carries the
-/// artifact's content hash for downstream key chaining.
-template <typename T, typename Exec, typename Ser, typename Deser>
+/// Runs one cached stage: cache lookup, load on hit, execute + encode +
+/// store on miss.  `exec` computes the artifact (may throw the legacy
+/// exceptions), `encode(value)` produces its serialized bytes, and
+/// `load(hit)` is its inverse over a CacheHit — returning nullopt when the
+/// payload is a well-formed artifact of an unrecognized (newer/older blob)
+/// format version, which re-executes the stage instead of misparsing.  The
+/// hit's content hash was already verified against the payload by the
+/// store, so it is reused for downstream key chaining without re-hashing.
+/// On success *content_hash_out carries the artifact's content hash.
+template <typename T, typename Exec, typename Encode, typename Load>
 Result<T> run_stage(StageContext& ctx, const char* name, std::uint64_t key,
-                    std::uint64_t* content_hash_out, Exec exec, Ser ser,
-                    Deser deser) {
+                    std::uint64_t* content_hash_out, Exec exec, Encode encode,
+                    Load load) {
   Stopwatch timer;
   auto finish = [&](bool hit, std::uint64_t hash, std::size_t bytes) {
     ctx.reports.push_back(StageReport{name, hit, key, hash, timer.elapsed_seconds(),
@@ -70,14 +74,16 @@ Result<T> run_stage(StageContext& ctx, const char* name, std::uint64_t key,
     return Status(loaded.status()).with_stage(name);
   }
   if (loaded.value().has_value()) {
-    const std::string& bytes = *loaded.value();
-    ByteReader reader(bytes);
-    Result<T> value = deser(reader);
+    const CacheHit& hit = *loaded.value();
+    Result<std::optional<T>> value = load(hit);
     if (!value.ok()) {
-      return Status(value.status()).with_stage(name, fnv1a(bytes));
+      return Status(value.status()).with_stage(name, hit.content_hash);
     }
-    finish(/*hit=*/true, fnv1a(bytes), bytes.size());
-    return value;
+    if (value.value().has_value()) {
+      finish(/*hit=*/true, hit.content_hash, hit.payload.size());
+      return *std::move(value.value());
+    }
+    // Unrecognized format version: fall through and re-execute.
   }
 
   std::optional<T> value;
@@ -88,13 +94,33 @@ Result<T> run_stage(StageContext& ctx, const char* name, std::uint64_t key,
   }
   ctx.metrics.counter("flow.stage.executions").add();
 
-  ByteWriter writer;
-  ser(*value, writer);
-  const std::uint64_t hash = writer.content_hash();
-  Status stored = ctx.cache.store(name, key, hash, writer.bytes());
+  const std::string bytes = encode(*value);
+  const std::uint64_t hash = fnv1a(bytes);
+  Status stored = ctx.cache.store(name, key, hash, bytes);
   if (!stored.ok()) return stored.with_stage(name, hash);
-  finish(/*hit=*/false, hash, writer.bytes().size());
+  finish(/*hit=*/false, hash, bytes.size());
   return *std::move(value);
+}
+
+/// Adapts a legacy `ser(value, writer)` serializer into an encode callback.
+template <typename Ser>
+auto stream_encode(Ser ser) {
+  return [ser](const auto& value) {
+    ByteWriter w;
+    ser(value, w);
+    return w.take();
+  };
+}
+
+/// Adapts a legacy `deser(reader)` deserializer into a load callback (the
+/// stream format has no version fan-out, so it never returns nullopt).
+template <typename T, typename Deser>
+auto stream_load(Deser deser) {
+  return [deser](const CacheHit& hit) -> Result<std::optional<T>> {
+    ByteReader reader(hit.payload);
+    FPGADBG_ASSIGN_OR_RETURN(T value, deser(reader));
+    return std::optional<T>(std::move(value));
+  };
 }
 
 }  // namespace
@@ -112,7 +138,10 @@ const char* stage_name(StageId id) {
 }
 
 Pipeline::Pipeline(debug::OfflineOptions options)
-    : options_(std::move(options)), cache_(options_.cache_dir) {}
+    : options_(std::move(options)),
+      cache_(ArtifactCache::for_options(options_.cache_backend,
+                                        options_.cache_dir,
+                                        options_.cache_shared)) {}
 
 Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
   telemetry::MetricsRegistry& m = telemetry::metrics();
@@ -159,7 +188,8 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
         run_stage<debug::Instrumented>(
             ctx, "instrument", key, &instrument_hash,
             [&] { return parameterize_signals(user, options_.instrument); },
-            serialize_instrumented, deserialize_instrumented));
+            stream_encode(serialize_instrumented),
+            stream_load<debug::Instrumented>(deserialize_instrumented)));
   }
   end_stage();
   offline.instrument_seconds =
@@ -192,7 +222,11 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
                                    options_.lut_size,
                                    options_.max_param_leaves);
             },
-            serialize_map_result, deserialize_map_result));
+            [&](const map::MapResult& v) {
+              return blob_encoding() ? encode_map_result_blob(v)
+                                     : stream_encode(serialize_map_result)(v);
+            },
+            [](const CacheHit& hit) { return load_map_result(hit); }));
   }
   end_stage();
   offline.map_seconds =
@@ -224,22 +258,47 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
           design->packing,
           run_stage<pnr::Packing>(
               ctx, "pack", key, &pack_hash,
-              [&] { return pnr::pack(net, copt.arch); }, serialize_packing,
-              deserialize_packing));
+              [&] { return pnr::pack(net, copt.arch); },
+              stream_encode(serialize_packing),
+              stream_load<pnr::Packing>(deserialize_packing)));
     }
     end_stage();
     design->report.pack_seconds =
         m.histogram("pnr.pack_seconds").observe(stage.elapsed_seconds());
 
     // Derived physical state: a deterministic, cheap function of the packing
-    // size and the architecture options — rebuilt, never cached.
+    // size and the architecture options.  The rr-graph is the one big piece
+    // — it is cached as a zero-copy blob keyed on (arch params, device
+    // size), OUTSIDE the six counted stages (it is derived state, not a
+    // pipeline stage, and its key ignores the user design entirely so every
+    // same-sized compile shares one entry).
     try {
       const std::size_t min_clbs = std::max<std::size_t>(
           4, static_cast<std::size_t>(std::ceil(
                  static_cast<double>(design->packing.num_clusters()) *
                  copt.device_slack)));
       design->device = std::make_unique<arch::Device>(copt.arch, min_clbs);
-      design->rr = std::make_unique<arch::RRGraph>(*design->device);
+      if (cache_.enabled() && blob_encoding()) {
+        const std::uint64_t rr_key = stage_key(
+            "rr-graph", hash_arch_params(copt.arch),
+            static_cast<std::uint64_t>(min_clbs));
+        auto loaded = cache_.load("rr-graph", rr_key);
+        if (!loaded.ok()) return Status(loaded.status()).with_stage("pack");
+        if (loaded.value().has_value()) {
+          auto rr = load_rr_graph_blob(*design->device, *loaded.value());
+          if (!rr.ok()) return Status(rr.status()).with_stage("pack");
+          if (rr.value().has_value()) design->rr = std::move(*rr.value());
+        }
+        if (!design->rr) {
+          design->rr = std::make_unique<arch::RRGraph>(*design->device);
+          const std::string bytes = encode_rr_graph_blob(*design->rr);
+          Status stored =
+              cache_.store("rr-graph", rr_key, fnv1a(bytes), bytes);
+          if (!stored.ok()) return stored.with_stage("pack");
+        }
+      } else {
+        design->rr = std::make_unique<arch::RRGraph>(*design->device);
+      }
       design->frames =
           std::make_unique<arch::FrameGeometry>(*design->device, *design->rr);
       LOG_INFO << "compile: " << design->device->describe() << ", "
@@ -272,7 +331,8 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
                 return pnr::place(net, design->packing, design->nets,
                                   *design->device, copt.place, copt.timing);
               },
-              serialize_placement, deserialize_placement));
+              stream_encode(serialize_placement),
+              stream_load<pnr::Placement>(deserialize_placement)));
     }
     end_stage();
     design->report.place_seconds =
@@ -296,7 +356,8 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
                                   design->nets, design->placement, copt.route,
                                   copt.timing);
               },
-              serialize_route_result, deserialize_route_result));
+              stream_encode(serialize_route_result),
+              stream_load<pnr::RouteResult>(deserialize_route_result)));
     }
     end_stage();
     design->report.route_seconds =
@@ -349,7 +410,11 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
                     bitstream::build_pconf(*offline.compiled, &stats);
                 return PconfArtifact{std::move(pconf), stats};
               },
-              serialize_pconf, deserialize_pconf));
+              [&](const PconfArtifact& v) {
+                return blob_encoding() ? encode_pconf_blob(v)
+                                       : stream_encode(serialize_pconf)(v);
+              },
+              [](const CacheHit& hit) { return load_pconf(hit); }));
       offline.pconf =
           std::make_unique<bitstream::PConf>(std::move(artifact.pconf));
       offline.pconf_stats = artifact.stats;

@@ -29,7 +29,57 @@ BddRef BddManager::nvar(int v) {
   return make_node(static_cast<std::uint32_t>(v), 1, 0);
 }
 
+support::Status BddManager::adopt_arena(int num_vars, const Node* nodes,
+                                        std::size_t count,
+                                        std::shared_ptr<const void> backing) {
+  using support::Status;
+  if (num_vars < 0) {
+    return Status::corrupt_artifact("BDD arena: negative variable count");
+  }
+  if (count < 2 || count > 0xffffffffu) {
+    return Status::corrupt_artifact("BDD arena: bad node count");
+  }
+  if (nodes[0].var != kConstVar || nodes[0].low != 0 || nodes[0].high != 0 ||
+      nodes[1].var != kConstVar || nodes[1].low != 1 || nodes[1].high != 1) {
+    return Status::corrupt_artifact("BDD arena: malformed constant nodes");
+  }
+  for (std::size_t ref = 2; ref < count; ++ref) {
+    const Node& n = nodes[ref];
+    // Children strictly before parents keeps every walk in bounds and
+    // guarantees termination without per-step checks.
+    if (n.var >= static_cast<std::uint32_t>(num_vars) || n.low == n.high ||
+        n.low >= ref || n.high >= ref) {
+      return Status::corrupt_artifact(
+          "BDD arena: node breaks the ordering invariant");
+    }
+  }
+  num_vars_ = std::max(num_vars_, num_vars);
+  nodes_.clear();
+  unique_.clear();
+  ite_cache_.clear();
+  arena_ = nodes;
+  arena_count_ = count;
+  backing_ = std::move(backing);
+  return Status();
+}
+
+void BddManager::thaw() {
+  nodes_.assign(arena_, arena_ + arena_count_);
+  arena_ = nullptr;
+  arena_count_ = 0;
+  backing_.reset();
+  unique_.clear();
+  unique_.reserve(nodes_.size());
+  for (BddRef ref = 2; ref < nodes_.size(); ++ref) {
+    const Node& n = nodes_[ref];
+    // First occurrence wins; a (digest-verified) canonical arena has no
+    // duplicates anyway.
+    unique_.try_emplace(NodeKey{n.var, n.low, n.high}, ref);
+  }
+}
+
 BddRef BddManager::make_node(std::uint32_t var, BddRef low, BddRef high) {
+  if (borrowed()) thaw();
   if (low == high) return low;
   const NodeKey key{var, low, high};
   auto [it, inserted] = unique_.try_emplace(key, 0);
@@ -42,14 +92,14 @@ BddRef BddManager::make_node(std::uint32_t var, BddRef low, BddRef high) {
 
 std::uint32_t BddManager::top_var(BddRef f, BddRef g, BddRef h) const {
   std::uint32_t top = kConstVar;
-  top = std::min(top, nodes_[f].var);
-  top = std::min(top, nodes_[g].var);
-  top = std::min(top, nodes_[h].var);
+  top = std::min(top, node_at(f).var);
+  top = std::min(top, node_at(g).var);
+  top = std::min(top, node_at(h).var);
   return top;
 }
 
 BddRef BddManager::cofactor(BddRef f, std::uint32_t var, bool value) const {
-  const Node& n = nodes_[f];
+  const Node& n = node_at(f);
   if (n.var != var) return f;
   return value ? n.high : n.low;
 }
@@ -86,7 +136,7 @@ BddRef BddManager::bdd_xor(BddRef f, BddRef g) {
 
 BddRef BddManager::restrict_var(BddRef f, int v, bool value) {
   if (is_const(f)) return f;
-  const Node& n = nodes_[f];
+  const Node& n = node_at(f);
   const std::uint32_t uv = static_cast<std::uint32_t>(v);
   if (n.var > uv) return f;  // ordered: v cannot appear below
   if (n.var == uv) return value ? n.high : n.low;
@@ -99,7 +149,7 @@ bool BddManager::evaluate(BddRef f, const BitVec& assignment,
                           std::size_t* visited) const {
   std::size_t steps = 0;
   while (!is_const(f)) {
-    const Node& n = nodes_[f];
+    const Node& n = node_at(f);
     FPGADBG_ASSERT(n.var < assignment.size(),
                    "BDD evaluation assignment too short");
     f = assignment.get(n.var) ? n.high : n.low;
@@ -115,7 +165,7 @@ std::uint64_t BddManager::evaluate_word(
   if (is_const(f)) return f == 1 ? ~std::uint64_t{0} : 0;
   const auto it = memo.find(f);
   if (it != memo.end()) return it->second;
-  const Node& n = nodes_[f];
+  const Node& n = node_at(f);
   FPGADBG_ASSERT(n.var < var_words.size(),
                  "BDD evaluation assignment too short");
   const std::uint64_t lo = evaluate_word(n.low, var_words, memo);
@@ -133,7 +183,7 @@ std::vector<int> BddManager::support(BddRef f) const {
     const BddRef r = stack.back();
     stack.pop_back();
     if (is_const(r) || !seen.insert(r).second) continue;
-    const Node& n = nodes_[r];
+    const Node& n = node_at(r);
     vars.insert(n.var);
     stack.push_back(n.low);
     stack.push_back(n.high);
@@ -148,8 +198,8 @@ std::size_t BddManager::node_count(BddRef f) const {
     const BddRef r = stack.back();
     stack.pop_back();
     if (is_const(r) || !seen.insert(r).second) continue;
-    stack.push_back(nodes_[r].low);
-    stack.push_back(nodes_[r].high);
+    stack.push_back(node_at(r).low);
+    stack.push_back(node_at(r).high);
   }
   return seen.size();
 }
@@ -163,15 +213,15 @@ std::uint64_t BddManager::sat_count_rec(
   if (f == 0) return 0;
   if (f == 1) return 1;
   if (auto it = memo.find(f); it != memo.end()) return it->second;
-  const Node& n = nodes_[f];
+  const Node& n = node_at(f);
   const std::uint64_t lo = sat_count_rec(n.low, memo, level_of);
   const std::uint64_t hi = sat_count_rec(n.high, memo, level_of);
-  const std::uint32_t lo_var = nodes_[n.low].var == kConstVar
+  const std::uint32_t lo_var = node_at(n.low).var == kConstVar
                                    ? static_cast<std::uint32_t>(num_vars_)
-                                   : nodes_[n.low].var;
-  const std::uint32_t hi_var = nodes_[n.high].var == kConstVar
+                                   : node_at(n.low).var;
+  const std::uint32_t hi_var = node_at(n.high).var == kConstVar
                                    ? static_cast<std::uint32_t>(num_vars_)
-                                   : nodes_[n.high].var;
+                                   : node_at(n.high).var;
   const unsigned lo_gap = lo_var - n.var - 1;
   const unsigned hi_gap = hi_var - n.var - 1;
   const std::uint64_t result = (lo_gap >= 63 ? (lo ? ~0ULL : 0) : lo << lo_gap) +
@@ -188,7 +238,7 @@ std::uint64_t BddManager::sat_count(BddRef f) const {
   }
   std::unordered_map<BddRef, std::uint64_t> memo;
   const std::uint64_t below = sat_count_rec(f, memo, nullptr);
-  const std::uint32_t top = nodes_[f].var;
+  const std::uint32_t top = node_at(f).var;
   return top >= 63 ? (below ? ~0ULL : 0) : below << top;
 }
 

@@ -9,14 +9,20 @@
 //  - no complement edges (simpler invariants; the functions involved are
 //    tiny mux-select expressions, so the 2x node overhead is irrelevant);
 //  - a unique table for hash-consing and an operation cache for ITE;
-//  - nodes are never freed (arena semantics); managers are cheap to discard.
+//  - nodes are never freed (arena semantics); managers are cheap to discard;
+//  - the arena can BORROW node storage from a memory-mapped artifact
+//    (adopt_arena): reads walk the mapping directly with zero copies, and
+//    the first mutation transparently materializes an owned copy and
+//    rebuilds the unique table (copy-on-write).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "support/bitvec.h"
+#include "support/status.h"
 #include "logic/truth_table.h"
 
 namespace fpgadbg::logic {
@@ -26,6 +32,17 @@ using BddRef = std::uint32_t;
 
 class BddManager {
  public:
+  /// Arena node layout.  Public (and layout-pinned) because blob artifacts
+  /// serialize the arena as one contiguous span and borrow it back on
+  /// load; all twelve bytes are explicit, so the raw bytes are
+  /// deterministic.
+  struct Node {
+    std::uint32_t var;  // level; constants use var = 0xffffffff
+    BddRef low;
+    BddRef high;
+  };
+  static_assert(sizeof(Node) == 12, "arena nodes must be packed");
+
   explicit BddManager(int num_vars = 0);
 
   int num_vars() const { return num_vars_; }
@@ -80,28 +97,42 @@ class BddManager {
   BddRef from_truth_table(const TruthTable& tt, const std::vector<int>& var_map);
 
   /// Total nodes allocated in the manager (diagnostics).
-  std::size_t size() const { return nodes_.size(); }
+  std::size_t size() const { return borrowed() ? arena_count_ : nodes_.size(); }
 
   // --- raw node access (artifact serialization) ----------------------------
   // Decision nodes occupy indices [2, size()); children always precede their
   // parents, so replaying insert_node in index order on a fresh manager
   // reproduces identical refs (make_node hash-conses and both managers apply
   // the same reduction rules).
-  std::uint32_t node_var(BddRef f) const { return nodes_[f].var; }
-  BddRef node_low(BddRef f) const { return nodes_[f].low; }
-  BddRef node_high(BddRef f) const { return nodes_[f].high; }
+  std::uint32_t node_var(BddRef f) const { return node_at(f).var; }
+  BddRef node_low(BddRef f) const { return node_at(f).low; }
+  BddRef node_high(BddRef f) const { return node_at(f).high; }
+  /// Contiguous arena [0, size()) for bulk serialization (constants first).
+  const Node* arena_data() const {
+    return borrowed() ? arena_ : nodes_.data();
+  }
   /// Re-inserts a node during deserialization; returns the canonical ref.
   BddRef insert_node(std::uint32_t var, BddRef low, BddRef high) {
     return make_node(var, low, high);
   }
 
- private:
-  struct Node {
-    std::uint32_t var;  // level; constants use var = 0xffffffff
-    BddRef low;
-    BddRef high;
-  };
+  // --- zero-copy arena adoption --------------------------------------------
+  /// Replaces this manager's contents with a borrowed arena of `count`
+  /// nodes living inside `backing` (typically an mmap'd blob).  Validates
+  /// the structural invariants that keep every read in bounds — constants
+  /// at [0,2), children strictly before parents, variables within
+  /// `num_vars`, low != high — and rejects violations as
+  /// kCorruptArtifact.  Canonicity (no duplicate nodes) is trusted from
+  /// the digest-verified producer: a duplicate cannot cause an unsafe read
+  /// and is re-consed away if the arena is ever mutated.  After adoption
+  /// reads are zero-copy; the first make_node materializes an owned copy.
+  support::Status adopt_arena(int num_vars, const Node* nodes,
+                              std::size_t count,
+                              std::shared_ptr<const void> backing);
 
+  bool borrowed() const { return arena_ != nullptr; }
+
+ private:
   struct NodeKey {
     std::uint32_t var;
     BddRef low;
@@ -131,6 +162,13 @@ class BddManager {
 
   static constexpr std::uint32_t kConstVar = 0xffffffffu;
 
+  const Node& node_at(BddRef f) const {
+    return borrowed() ? arena_[f] : nodes_[f];
+  }
+  /// Copy-on-write: copies the borrowed arena into owned storage and
+  /// rebuilds the unique table so mutation can proceed.
+  void thaw();
+
   BddRef make_node(std::uint32_t var, BddRef low, BddRef high);
   std::uint32_t top_var(BddRef f, BddRef g, BddRef h) const;
   BddRef cofactor(BddRef f, std::uint32_t var, bool value) const;
@@ -140,6 +178,12 @@ class BddManager {
 
   int num_vars_;
   std::vector<Node> nodes_;
+  // Borrowed mode: reads go through arena_ (which points into backing_)
+  // and nodes_/unique_ stay empty until thaw().  The raw pointer is safe
+  // to copy between managers because every copy shares the backing.
+  const Node* arena_ = nullptr;
+  std::size_t arena_count_ = 0;
+  std::shared_ptr<const void> backing_;
   std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
   std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
 };

@@ -25,6 +25,10 @@
 //       emit one of the paper's synthetic benchmark circuits
 //   fpgadbg export <design.blif> <out.v> [--par f.par] [--mapper sm|abc|tcon]
 //       technology-map and write structural Verilog
+//   fpgadbg cache gc --max-bytes <N>
+//       LRU sweep of the artifact cache (whichever backend the global cache
+//       options select): evict least-recently-used entries until the total
+//       payload size is at most N bytes
 //   fpgadbg report <session.jsonl> [<metrics.json>] [--top N] [--serve PORT]
 //       analyse a session journal (--journal output): per-turn SCG/DPR
 //       table against the paper's §V-C2 constants (50 us SCG, 176 ms /
@@ -37,6 +41,17 @@
 //   --cache-dir <dir>      artifact cache for the offline pipeline (flow,
 //                          profile): re-runs skip stages whose inputs and
 //                          options are unchanged
+//   --cache-backend <b>    cache storage backend: dir (default, one file
+//                          per entry) or cas (content-addressed store,
+//                          shareable between concurrent processes)
+//   --cache-shared <root>  root of a shared content-addressed cache;
+//                          implies --cache-backend cas.  Point any number
+//                          of fpgadbg processes at one root and they
+//                          share artifacts (atomic publish, lock-free
+//                          reads)
+//   --artifact-encoding <e> blob (zero-copy mmap, default) or stream
+//                          (legacy parse); loads sniff the stored format,
+//                          so flipping the knob never invalidates a cache
 //   --trace <file.json>    collect TraceScope spans and write a Chrome-trace
 //                          JSON timeline (chrome://tracing, Perfetto)
 //   --metrics <file.json>  write the metrics registry snapshot as JSON
@@ -125,7 +140,7 @@ support::Status start_introspect(int port) {
 int usage() {
   std::fprintf(stderr,
                "usage: fpgadbg <stats|instrument|map|flow|profile|gen|export"
-               "|report> ...\n"
+               "|cache|report> ...\n"
                "  stats <design.blif>\n"
                "  instrument <design.blif> <out.blif> <out.par> [--width N]"
                " [--radix R] [--replication R] [--select K]\n"
@@ -139,6 +154,7 @@ int usage() {
                "  gen <benchname|list> [<out.blif>]\n"
                "  export <design.blif> <out.v> [--par f.par]"
                " [--mapper sm|abc|tcon]\n"
+               "  cache gc --max-bytes <N>\n"
                "  report <session.jsonl> [<metrics.json>] [--top N]"
                " [--serve PORT]\n"
                "global options (any command):\n"
@@ -150,6 +166,12 @@ int usage() {
                " command finishes, until the timeout or a GET /quitz\n"
                "  --cache-dir <dir>      artifact cache for the offline"
                " pipeline (flow, profile)\n"
+               "  --cache-backend <b>    dir (default) or cas"
+               " (content-addressed, multi-process shareable)\n"
+               "  --cache-shared <root>  shared CAS root (implies"
+               " --cache-backend cas)\n"
+               "  --artifact-encoding <e> blob (zero-copy mmap, default) or"
+               " stream (legacy parse)\n"
                "  --trace <file.json>    write Chrome-trace/Perfetto span"
                " timeline\n"
                "  --metrics <file.json>  write metrics registry snapshot as"
@@ -201,6 +223,9 @@ struct Args {
   }
   std::vector<std::string> raw;
   std::string cache_dir;     ///< global --cache-dir, empty = caching disabled
+  std::string cache_backend; ///< global --cache-backend: "" | "dir" | "cas"
+  std::string cache_shared;  ///< global --cache-shared CAS root
+  std::string artifact_encoding;  ///< global --artifact-encoding
   std::string journal_path;  ///< global --journal, empty = no JSONL sink
 };
 
@@ -391,16 +416,35 @@ support::Result<int> cmd_map(const Args& args) {
   return 0;
 }
 
+/// Copies the global cache/encoding knobs into the pipeline options.
+void apply_cache_options(const Args& args, debug::OfflineOptions& options) {
+  options.cache_dir = args.cache_dir;
+  options.cache_backend = args.cache_backend;
+  options.cache_shared = args.cache_shared;
+  if (!args.artifact_encoding.empty()) {
+    options.artifact_encoding = args.artifact_encoding;
+  }
+}
+
 /// Shared offline-stage driver for flow/profile: runs the staged pipeline
-/// (honoring --cache-dir) and prints a stage/cache summary.
+/// (honoring the --cache-* options) and prints a stage/cache summary.
 support::Result<debug::OfflineResult> run_pipeline(
     const netlist::Netlist& nl, const debug::OfflineOptions& options) {
   flow::Pipeline pipeline(options);
   FPGADBG_ASSIGN_OR_RETURN(flow::PipelineResult result, pipeline.run(nl));
-  if (!options.cache_dir.empty()) {
-    std::printf("pipeline: %zu stages executed, %zu from cache (%s)\n",
+  if (!options.cache_dir.empty() || !options.cache_shared.empty()) {
+    const std::string& where =
+        !options.cache_shared.empty() ? options.cache_shared
+                                      : options.cache_dir;
+    const telemetry::MetricsSnapshot snap = telemetry::metrics().snapshot();
+    std::printf("pipeline: %zu stages executed, %zu from cache (%s), "
+                "%llu mmap hits / %llu bytes mapped\n",
                 result.stages_executed, result.stages_from_cache,
-                options.cache_dir.c_str());
+                where.c_str(),
+                static_cast<unsigned long long>(
+                    snap.counter("flow.cache.mmap_hits")),
+                static_cast<unsigned long long>(
+                    snap.counter("flow.cache.bytes_mapped")));
   }
   return std::move(result.offline);
 }
@@ -410,7 +454,7 @@ support::Result<int> cmd_flow(const Args& args) {
   FPGADBG_ASSIGN_OR_RETURN(const netlist::Netlist nl,
                            netlist::try_read_blif_file(args.positional[0]));
   debug::OfflineOptions options;
-  options.cache_dir = args.cache_dir;
+  apply_cache_options(args, options);
   if (auto w = args.option("--width")) {
     options.instrument.trace_width = to_count(*w, "--width");
   }
@@ -457,7 +501,7 @@ support::Result<int> cmd_profile(const Args& args) {
   FPGADBG_ASSIGN_OR_RETURN(const netlist::Netlist nl,
                            netlist::try_read_blif_file(args.positional[0]));
   debug::OfflineOptions options;
-  options.cache_dir = args.cache_dir;
+  apply_cache_options(args, options);
   if (auto w = args.option("--width")) {
     options.instrument.trace_width = to_count(*w, "--width");
   }
@@ -548,6 +592,10 @@ support::Result<int> cmd_profile(const Args& args) {
   row_c("flow.stage.executions");
   row_c("flow.cache.hits");
   row_c("flow.cache.misses");
+  row_c("flow.cache.stores");
+  row_c("flow.cache.mmap_hits");
+  row_c("flow.cache.bytes_mapped");
+  row_c("flow.cache.bytes_read");
   row_c("map.cuts_enumerated");
   row_c("map.cells.lut");
   row_c("map.cells.tlut");
@@ -956,6 +1004,36 @@ support::Result<int> cmd_report(const Args& args) {
   return 0;
 }
 
+/// `fpgadbg cache gc --max-bytes N`: LRU-by-atime sweep over whichever
+/// backend the global cache options select (dir or cas).
+support::Result<int> cmd_cache(const Args& args) {
+  if (args.positional.empty() || args.positional[0] != "gc") return usage();
+  const flow::ArtifactCache cache = flow::ArtifactCache::for_options(
+      args.cache_backend, args.cache_dir, args.cache_shared);
+  if (!cache.enabled()) {
+    return support::Status::invalid_argument(
+        "cache gc: no cache configured (use --cache-dir or --cache-shared)");
+  }
+  const auto max = args.option("--max-bytes");
+  if (!max) {
+    return support::Status::invalid_argument(
+        "cache gc: --max-bytes <N> is required");
+  }
+  const std::uint64_t max_bytes = to_count(*max, "--max-bytes");
+  FPGADBG_ASSIGN_OR_RETURN(const flow::GcStats stats,
+                           cache.backend()->gc(max_bytes));
+  std::printf("cache gc (%s): kept %zu entries / %llu bytes, evicted %zu "
+              "entries / %llu bytes (budget %llu)\n",
+              cache.backend()->describe().c_str(),
+              stats.scanned_entries - stats.removed_entries,
+              static_cast<unsigned long long>(stats.scanned_bytes -
+                                              stats.removed_bytes),
+              stats.removed_entries,
+              static_cast<unsigned long long>(stats.removed_bytes),
+              static_cast<unsigned long long>(max_bytes));
+  return 0;
+}
+
 support::Result<int> cmd_export(const Args& args) {
   if (args.positional.size() < 2) return usage();
   FPGADBG_ASSIGN_OR_RETURN(const netlist::Netlist nl, load_design(args));
@@ -1023,6 +1101,7 @@ int main(int argc, char** argv) {
 
   // Peel global options off the token stream; the rest is command + args.
   std::string trace_path, metrics_path, prom_path, cache_dir, journal_path;
+  std::string cache_backend, cache_shared, artifact_encoding;
   bool introspect = false;
   int introspect_port = 0;
   std::vector<std::string> rest;
@@ -1030,8 +1109,9 @@ int main(int argc, char** argv) {
     const std::string t = tokens[i];
     if (t == "--trace" || t == "--metrics" || t == "--prom" ||
         t == "--journal" || t == "--log-level" || t == "--log-format" ||
-        t == "--cache-dir" || t == "--introspect" ||
-        t == "--introspect-linger") {
+        t == "--cache-dir" || t == "--cache-backend" ||
+        t == "--cache-shared" || t == "--artifact-encoding" ||
+        t == "--introspect" || t == "--introspect-linger") {
       if (i + 1 >= tokens.size()) {
         std::fprintf(stderr, "fpgadbg: %s requires a value\n", t.c_str());
         return kUsageExit;
@@ -1047,6 +1127,22 @@ int main(int argc, char** argv) {
         journal_path = value;
       } else if (t == "--cache-dir") {
         cache_dir = value;
+      } else if (t == "--cache-backend") {
+        if (value != "dir" && value != "cas") {
+          std::fprintf(stderr, "fpgadbg: invalid --cache-backend '%s' (want "
+                       "dir|cas)\n", value.c_str());
+          return kUsageExit;
+        }
+        cache_backend = value;
+      } else if (t == "--cache-shared") {
+        cache_shared = value;
+      } else if (t == "--artifact-encoding") {
+        if (value != "blob" && value != "stream") {
+          std::fprintf(stderr, "fpgadbg: invalid --artifact-encoding '%s' "
+                       "(want blob|stream)\n", value.c_str());
+          return kUsageExit;
+        }
+        artifact_encoding = value;
       } else if (t == "--introspect") {
         char* end = nullptr;
         const long port = std::strtol(value.c_str(), &end, 10);
@@ -1110,6 +1206,9 @@ int main(int argc, char** argv) {
   const std::string command = rest[0];
   Args args = parse(rest, 1);
   args.cache_dir = cache_dir;
+  args.cache_backend = cache_backend;
+  args.cache_shared = cache_shared;
+  args.artifact_encoding = artifact_encoding;
   args.journal_path = journal_path;
 
   // Every subcommand reports failure as a Result; stray exceptions from
@@ -1130,6 +1229,8 @@ int main(int argc, char** argv) {
       result = cmd_gen(args);
     } else if (command == "export") {
       result = cmd_export(args);
+    } else if (command == "cache") {
+      result = cmd_cache(args);
     } else if (command == "report") {
       result = cmd_report(args);
     } else {

@@ -1,0 +1,177 @@
+// Blob format tests: deterministic golden bytes, typed spans over the
+// image, and the full rejection matrix — misaligned base, truncation, bit
+// flips, wrong kind — plus the version-mismatch-is-a-miss contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "flow/blob.h"
+#include "flow/serialize.h"
+#include "support/status.h"
+
+namespace fpgadbg::flow {
+namespace {
+
+constexpr std::uint32_t kKind = 7;
+constexpr std::uint32_t kTagNumbers = 1;
+constexpr std::uint32_t kTagMeta = 2;
+
+std::string sample_blob() {
+  BlobWriter w(kKind);
+  const std::vector<std::uint32_t> numbers = {10, 20, 30, 40, 50};
+  w.section(kTagNumbers, numbers);
+  w.bytes_section(kTagMeta, "metadata bytes");
+  return w.finish();
+}
+
+/// Opens `bytes` through an aligned copy (string payloads carry no
+/// alignment guarantee; the mmap path is aligned by the page size).
+support::Result<std::optional<BlobReader>> open_aligned(
+    const AlignedBlobBuffer& buf, std::uint32_t kind = kKind) {
+  return BlobReader::open(buf.view(), kind);
+}
+
+TEST(Blob, WriterEmitsDeterministicGoldenBytes) {
+  const std::string a = sample_blob();
+  const std::string b = sample_blob();
+  EXPECT_EQ(a, b);
+
+  // Golden structure: magic, version, kind, exact total size, 64-byte
+  // aligned payloads, zeroed reserved bytes — pinned so the on-disk format can
+  // only change together with kBlobFormatVersion.
+  ASSERT_GE(a.size(), 64u);
+  EXPECT_EQ(a.substr(0, 8), "FDBGBLB1");
+  std::uint32_t version = 0, kind = 0, section_count = 0;
+  std::uint64_t total = 0;
+  std::memcpy(&version, a.data() + 8, 4);
+  std::memcpy(&kind, a.data() + 12, 4);
+  std::memcpy(&total, a.data() + 24, 8);
+  std::memcpy(&section_count, a.data() + 32, 4);
+  EXPECT_EQ(version, kBlobFormatVersion);
+  EXPECT_EQ(kind, kKind);
+  EXPECT_EQ(total, a.size());
+  EXPECT_EQ(section_count, 2u);
+  for (std::size_t i = 36; i < 64; ++i) EXPECT_EQ(a[i], 0) << "reserved " << i;
+  // Section table entries carry 64-byte aligned offsets.
+  for (std::size_t s = 0; s < 2; ++s) {
+    std::uint64_t offset = 0;
+    std::memcpy(&offset, a.data() + 64 + 24 * s, 8);
+    EXPECT_EQ(offset % kBlobAlign, 0u) << "section " << s;
+  }
+}
+
+TEST(Blob, ReaderReturnsTypedViewsOverTheImage) {
+  const AlignedBlobBuffer buf(sample_blob());
+  auto opened = open_aligned(buf);
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+  ASSERT_TRUE(opened.value().has_value());
+  const BlobReader& r = *opened.value();
+
+  auto numbers = r.span<std::uint32_t>(kTagNumbers);
+  ASSERT_TRUE(numbers.ok()) << numbers.status().to_string();
+  ASSERT_EQ(numbers.value().size(), 5u);
+  EXPECT_EQ(numbers.value()[0], 10u);
+  EXPECT_EQ(numbers.value()[4], 50u);
+  // Zero-copy: the span points INTO the buffer, not at a copy.
+  const char* base = buf.view().data();
+  const char* p = reinterpret_cast<const char*>(numbers.value().ptr);
+  EXPECT_GE(p, base);
+  EXPECT_LT(p, base + buf.view().size());
+
+  auto meta = r.bytes(kTagMeta);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value(), "metadata bytes");
+
+  EXPECT_TRUE(r.has(kTagNumbers));
+  EXPECT_FALSE(r.has(99));
+  EXPECT_FALSE(r.span<std::uint32_t>(99).ok());           // missing tag
+  EXPECT_FALSE(r.span<std::uint64_t>(kTagNumbers).ok());  // elem-size mismatch
+}
+
+TEST(Blob, MisalignedBaseIsRejected) {
+  const std::string blob = sample_blob();
+  // Copy the valid image to an address that is 64-aligned + 1.
+  std::vector<char> raw(blob.size() + 2 * kBlobAlign);
+  auto addr = reinterpret_cast<std::uintptr_t>(raw.data());
+  char* aligned = raw.data() + (kBlobAlign - addr % kBlobAlign) % kBlobAlign;
+  char* misaligned = aligned + 1;
+  std::memcpy(misaligned, blob.data(), blob.size());
+  auto opened =
+      BlobReader::open(std::string_view(misaligned, blob.size()), kKind);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), support::StatusCode::kCorruptArtifact);
+}
+
+TEST(Blob, TruncatedImageIsRejected) {
+  const std::string blob = sample_blob();
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{8}, std::size_t{63}, blob.size() - 1}) {
+    const AlignedBlobBuffer buf(std::string_view(blob).substr(0, keep));
+    auto opened = open_aligned(buf);
+    ASSERT_FALSE(opened.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(opened.status().code(), support::StatusCode::kCorruptArtifact);
+  }
+}
+
+TEST(Blob, EveryBitFlipIsRejectedOrDetectedAsVersionSkew) {
+  const std::string golden = sample_blob();
+  // Flip one byte at a time across header, table and payloads: no corrupted
+  // image may open as a valid current-version blob.
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    std::string bad = golden;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    if (bad == golden) continue;  // zero-padding xor could be a no-op (not
+                                  // with 0x40, but keep the guard honest)
+    const AlignedBlobBuffer buf(bad);
+    auto opened = open_aligned(buf);
+    if (opened.ok()) {
+      // Flips inside the version field look like a future format: that MUST
+      // surface as nullopt (rebuild), never as a parsed reader.
+      EXPECT_FALSE(opened.value().has_value()) << "byte " << i;
+      EXPECT_GE(i, 8u);
+      EXPECT_LT(i, 12u);
+    } else {
+      EXPECT_EQ(opened.status().code(), support::StatusCode::kCorruptArtifact)
+          << "byte " << i;
+    }
+  }
+}
+
+TEST(Blob, VersionMismatchIsAMissNotAnError) {
+  std::string blob = sample_blob();
+  const std::uint32_t future = kBlobFormatVersion + 1;
+  std::memcpy(blob.data() + 8, &future, 4);
+  const AlignedBlobBuffer buf(blob);
+  auto opened = open_aligned(buf);
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+  EXPECT_FALSE(opened.value().has_value());
+}
+
+TEST(Blob, WrongKindIsRejected) {
+  const AlignedBlobBuffer buf(sample_blob());
+  auto opened = open_aligned(buf, kKind + 1);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), support::StatusCode::kCorruptArtifact);
+}
+
+TEST(Blob, EmptySectionsRoundTrip) {
+  BlobWriter w(kKind);
+  w.section<std::uint64_t>(kTagNumbers, nullptr, 0);
+  w.bytes_section(kTagMeta, "");
+  const AlignedBlobBuffer buf(w.finish());
+  auto opened = open_aligned(buf);
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+  ASSERT_TRUE(opened.value().has_value());
+  auto span = opened.value()->span<std::uint64_t>(kTagNumbers);
+  ASSERT_TRUE(span.ok());
+  EXPECT_TRUE(span.value().empty());
+  auto meta = opened.value()->bytes(kTagMeta);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta.value().empty());
+}
+
+}  // namespace
+}  // namespace fpgadbg::flow

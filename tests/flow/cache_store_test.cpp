@@ -1,0 +1,303 @@
+// Cache backend tests: dir/cas round trips, the fail-fast integrity
+// contract (truncation detected from the fixed header, bit flips from the
+// digest), legacy-entry migration, CAS dedup/dangling-index behavior, and
+// the LRU-by-atime GC sweep shared by both backends.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/cache.h"
+#include "flow/serialize.h"
+#include "support/status.h"
+
+namespace fpgadbg::flow {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempRoot {
+  explicit TempRoot(const std::string& stem)
+      : path("/tmp/fpgadbg_cachestore_" + std::to_string(::getpid()) + "_" +
+             stem) {
+    fs::remove_all(path);
+  }
+  ~TempRoot() { fs::remove_all(path); }
+  std::string path;
+};
+
+/// Pins a file's atime (nanosecond precision) so LRU order is exact.
+void set_atime(const std::string& path, std::int64_t seconds) {
+  struct timespec times[2];
+  times[0].tv_sec = seconds;
+  times[0].tv_nsec = 0;
+  times[1].tv_sec = 0;
+  times[1].tv_nsec = UTIME_OMIT;
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+}
+
+std::size_t count_files(const std::string& dir) {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec);
+       !ec && it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file()) ++n;
+  }
+  return n;
+}
+
+// --- integrity contract (dir backend) --------------------------------------
+
+TEST(DirCacheStore, TruncatedBelowHeaderFailsFast) {
+  TempRoot root("trunc_hdr");
+  auto store = make_dir_cache_store(root.path);
+  const std::string bytes(1024, 'x');
+  ASSERT_TRUE(store->store("place", 1, fnv1a(bytes), bytes).ok());
+  ASSERT_EQ(::truncate(store->entry_path("place", 1).c_str(), 17), 0);
+  auto load = store->load("place", 1);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), support::StatusCode::kCorruptArtifact);
+  EXPECT_NE(load.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(DirCacheStore, TruncatedPayloadFailsBeforeDigest) {
+  TempRoot root("trunc_pay");
+  auto store = make_dir_cache_store(root.path);
+  const std::string bytes(4096, 'y');
+  ASSERT_TRUE(store->store("route", 2, fnv1a(bytes), bytes).ok());
+  // Cut the payload in half: the header's payload_size no longer matches
+  // the file, so the load must fail from the size check alone.
+  ASSERT_EQ(::truncate(store->entry_path("route", 2).c_str(), 64 + 2048), 0);
+  auto load = store->load("route", 2);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), support::StatusCode::kCorruptArtifact);
+  EXPECT_NE(load.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(DirCacheStore, PayloadBitFlipFailsTheDigest) {
+  TempRoot root("flip");
+  auto store = make_dir_cache_store(root.path);
+  const std::string bytes(512, 'z');
+  ASSERT_TRUE(store->store("pack", 3, fnv1a(bytes), bytes).ok());
+  const std::string path = store->entry_path("pack", 3);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(64 + 100);
+  f.put('Z');
+  f.close();
+  auto load = store->load("pack", 3);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), support::StatusCode::kCorruptArtifact);
+}
+
+TEST(DirCacheStore, LegacyStreamEntryIsAMissNotAParse) {
+  TempRoot root("legacy");
+  auto store = make_dir_cache_store(root.path);
+  // Plant a pre-mmap FDBGART1 entry where the new backend would look.
+  const std::string path = store->entry_path("instrument", 4);
+  fs::create_directories(fs::path(path).parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << "FDBGART1" << std::string(64, '\0') << "old stream payload";
+  out.close();
+  auto load = store->load("instrument", 4);
+  ASSERT_TRUE(load.ok()) << load.status().to_string();
+  EXPECT_FALSE(load.value().has_value());  // rebuilt, never misparsed
+}
+
+// --- CAS backend ------------------------------------------------------------
+
+TEST(CasCacheStore, StoreThenLoadRoundTripsViaMmap) {
+  TempRoot root("cas_rt");
+  auto store = make_cas_cache_store(root.path);
+  const std::string bytes = "content addressed payload";
+  ASSERT_TRUE(store->store("place", 7, fnv1a(bytes), bytes).ok());
+  auto load = store->load("place", 7);
+  ASSERT_TRUE(load.ok()) << load.status().to_string();
+  ASSERT_TRUE(load.value().has_value());
+  EXPECT_EQ(load.value()->payload, bytes);
+  EXPECT_EQ(load.value()->content_hash, fnv1a(bytes));
+  EXPECT_TRUE(load.value()->mapped);
+  EXPECT_FALSE(store->load("place", 8).value().has_value());
+}
+
+TEST(CasCacheStore, IdenticalPayloadsDeduplicate) {
+  TempRoot root("cas_dedup");
+  auto store = make_cas_cache_store(root.path);
+  const std::string bytes(1000, 'd');
+  // Four (stage, key) pairs, one payload: one object, four index files.
+  ASSERT_TRUE(store->store("place", 1, fnv1a(bytes), bytes).ok());
+  ASSERT_TRUE(store->store("place", 2, fnv1a(bytes), bytes).ok());
+  ASSERT_TRUE(store->store("route", 1, fnv1a(bytes), bytes).ok());
+  ASSERT_TRUE(store->store("route", 2, fnv1a(bytes), bytes).ok());
+  EXPECT_EQ(count_files(root.path + "/cas"), 1u);
+  EXPECT_EQ(count_files(root.path + "/index"), 4u);
+  auto entries = store->entries();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0].bytes, bytes.size());
+  EXPECT_EQ(entries.value()[0].index_paths.size(), 4u);
+}
+
+TEST(CasCacheStore, DanglingIndexIsAMiss) {
+  TempRoot root("cas_dangle");
+  auto store = make_cas_cache_store(root.path);
+  const std::string bytes = "swept payload";
+  ASSERT_TRUE(store->store("route", 9, fnv1a(bytes), bytes).ok());
+  // Simulate a GC that removed the object but (crash) not the index.
+  ASSERT_EQ(count_files(root.path + "/cas"), 1u);
+  for (const auto& e : fs::directory_iterator(root.path + "/cas")) {
+    fs::remove(e.path());
+  }
+  auto load = store->load("route", 9);
+  ASSERT_TRUE(load.ok()) << load.status().to_string();
+  EXPECT_FALSE(load.value().has_value());
+  // A follow-up store + load works again (rebuild-and-republish path).
+  ASSERT_TRUE(store->store("route", 9, fnv1a(bytes), bytes).ok());
+  EXPECT_TRUE(store->load("route", 9).value().has_value());
+}
+
+TEST(CasCacheStore, TruncatedObjectFailsFast) {
+  TempRoot root("cas_trunc");
+  auto store = make_cas_cache_store(root.path);
+  const std::string bytes(2048, 'q');
+  ASSERT_TRUE(store->store("pconf-build", 5, fnv1a(bytes), bytes).ok());
+  const std::string object =
+      root.path + "/cas/" +
+      fs::directory_iterator(root.path + "/cas")->path().filename().string();
+  ASSERT_EQ(::truncate(object.c_str(), 100), 0);
+  auto load = store->load("pconf-build", 5);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), support::StatusCode::kCorruptArtifact);
+  EXPECT_NE(load.status().message().find("truncated"), std::string::npos);
+}
+
+// --- GC ---------------------------------------------------------------------
+
+TEST(GcSweep, EvictsLeastRecentlyUsedFirst) {
+  TempRoot root("sweep");
+  fs::create_directories(root.path);
+  // Four 100-byte files with strictly increasing atimes.
+  std::vector<CacheEntryInfo> all;
+  for (int i = 0; i < 4; ++i) {
+    CacheEntryInfo e;
+    e.path = root.path + "/entry" + std::to_string(i);
+    std::ofstream(e.path) << std::string(100, 'a');
+    set_atime(e.path, 1000 + i);
+    e.bytes = 100;
+    e.atime_ns = (1000 + i) * 1'000'000'000LL;
+    all.push_back(e);
+  }
+  // Budget for two entries: the two OLDEST must go, newest two stay.
+  const GcStats stats = gc_sweep(all, 200);
+  EXPECT_EQ(stats.scanned_entries, 4u);
+  EXPECT_EQ(stats.scanned_bytes, 400u);
+  EXPECT_EQ(stats.removed_entries, 2u);
+  EXPECT_EQ(stats.removed_bytes, 200u);
+  EXPECT_FALSE(fs::exists(all[0].path));
+  EXPECT_FALSE(fs::exists(all[1].path));
+  EXPECT_TRUE(fs::exists(all[2].path));
+  EXPECT_TRUE(fs::exists(all[3].path));
+}
+
+TEST(DirCacheStore, GcEvictsInAtimeOrder) {
+  TempRoot root("dir_gc");
+  auto store = make_dir_cache_store(root.path);
+  const std::string bytes(100, 'g');
+  for (std::uint64_t key = 0; key < 4; ++key) {
+    ASSERT_TRUE(store->store("place", key, fnv1a(bytes), bytes).ok());
+  }
+  // Pin atimes so key 2 is the coldest and key 1 the hottest.
+  const std::uint64_t by_age[] = {2, 0, 3, 1};  // oldest -> newest
+  for (int i = 0; i < 4; ++i) {
+    set_atime(store->entry_path("place", by_age[i]), 1000 + i);
+  }
+  auto stats = store->gc((64 + 100) * 2);  // keep two entries
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_EQ(stats.value().removed_entries, 2u);
+  EXPECT_FALSE(store->load("place", 2).value().has_value());  // evicted
+  EXPECT_FALSE(store->load("place", 0).value().has_value());  // evicted
+  EXPECT_TRUE(store->load("place", 3).value().has_value());   // kept
+  EXPECT_TRUE(store->load("place", 1).value().has_value());   // kept
+}
+
+TEST(CasCacheStore, GcRemovesObjectsAndTheirIndexes) {
+  TempRoot root("cas_gc");
+  auto store = make_cas_cache_store(root.path);
+  const std::string cold(300, 'c');
+  const std::string hot(300, 'h');
+  ASSERT_TRUE(store->store("place", 1, fnv1a(cold), cold).ok());
+  ASSERT_TRUE(store->store("route", 1, fnv1a(cold), cold).ok());  // same object
+  ASSERT_TRUE(store->store("place", 2, fnv1a(hot), hot).ok());
+  auto entries = store->entries();
+  ASSERT_TRUE(entries.ok());
+  // Pin the cold object older than the hot one (the first payload byte
+  // identifies which object a content-named file holds).
+  for (const CacheEntryInfo& e : entries.value()) {
+    std::ifstream in(e.path, std::ios::binary);
+    std::string first(1, '\0');
+    in.read(first.data(), 1);
+    set_atime(e.path, first[0] == 'c' ? 1000 : 2000);
+  }
+  auto stats = store->gc(300);  // room for exactly one object
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_EQ(stats.value().removed_entries, 1u);
+  // The cold object and BOTH index files naming it are gone; the hot entry
+  // still loads.
+  EXPECT_FALSE(store->load("place", 1).value().has_value());
+  EXPECT_FALSE(store->load("route", 1).value().has_value());
+  EXPECT_FALSE(fs::exists(store->entry_path("place", 1)));
+  EXPECT_FALSE(fs::exists(store->entry_path("route", 1)));
+  EXPECT_TRUE(store->load("place", 2).value().has_value());
+}
+
+TEST(CacheStore, DescribeNamesTheBackend) {
+  TempRoot root("describe");
+  EXPECT_EQ(make_dir_cache_store(root.path)->describe(), "dir:" + root.path);
+  EXPECT_EQ(make_cas_cache_store(root.path)->describe(), "cas:" + root.path);
+}
+
+// --- facade backend selection ----------------------------------------------
+
+TEST(ArtifactCache, ForOptionsSelectsBackend) {
+  TempRoot root("facade");
+  const ArtifactCache none = ArtifactCache::for_options("", "", "");
+  EXPECT_FALSE(none.enabled());
+
+  const ArtifactCache dir = ArtifactCache::for_options("", root.path, "");
+  ASSERT_TRUE(dir.enabled());
+  EXPECT_EQ(dir.backend()->describe(), "dir:" + root.path);
+
+  // A shared root implies the CAS backend even with no explicit backend.
+  const ArtifactCache shared = ArtifactCache::for_options("", "", root.path);
+  ASSERT_TRUE(shared.enabled());
+  EXPECT_EQ(shared.backend()->describe(), "cas:" + root.path);
+
+  // Explicit "cas" with only a cache_dir uses that directory as the root.
+  const ArtifactCache cas = ArtifactCache::for_options("cas", root.path, "");
+  ASSERT_TRUE(cas.enabled());
+  EXPECT_EQ(cas.backend()->describe(), "cas:" + root.path);
+}
+
+TEST(ArtifactCache, TwoHandlesShareOneCasRoot) {
+  TempRoot root("shared");
+  // Two independent facades over one root: what one stores the other loads
+  // (the in-process analogue of the two-process CLI smoke test).
+  const ArtifactCache a = ArtifactCache::for_options("cas", "", root.path);
+  const ArtifactCache b = ArtifactCache::for_options("cas", "", root.path);
+  const std::string bytes = "published by a";
+  ASSERT_TRUE(a.store("place", 11, fnv1a(bytes), bytes).ok());
+  auto load = b.load("place", 11);
+  ASSERT_TRUE(load.ok()) << load.status().to_string();
+  ASSERT_TRUE(load.value().has_value());
+  EXPECT_EQ(load.value()->payload, bytes);
+}
+
+}  // namespace
+}  // namespace fpgadbg::flow

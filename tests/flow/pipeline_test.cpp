@@ -198,6 +198,70 @@ TEST(Pipeline, MappingOnlyFlowCachesTwoStages) {
   EXPECT_FALSE(warm.value().offline.compiled);
 }
 
+TEST(Pipeline, StreamAndBlobEncodingsAreBitIdentical) {
+  // The zero-copy blob path must be an encoding detail, invisible in the
+  // results: cold and warm runs under "stream" and "blob" all agree bit for
+  // bit on the downstream artifacts.
+  TempCacheDir cache_s("enc_stream");
+  TempCacheDir cache_b("enc_blob");
+  auto opt_s = small_options();
+  opt_s.cache_dir = cache_s.path;
+  opt_s.artifact_encoding = "stream";
+  auto opt_b = small_options();
+  opt_b.cache_dir = cache_b.path;  // default: blob
+
+  auto cold_s = Pipeline(opt_s).run(small_user(9));
+  auto cold_b = Pipeline(opt_b).run(small_user(9));
+  auto warm_s = Pipeline(opt_s).run(small_user(9));
+  auto warm_b = Pipeline(opt_b).run(small_user(9));
+  for (auto* r : {&cold_s, &cold_b, &warm_s, &warm_b}) {
+    ASSERT_TRUE(r->ok()) << r->status().to_string();
+  }
+  EXPECT_EQ(warm_s.value().stages_from_cache, 6u);
+  EXPECT_EQ(warm_b.value().stages_from_cache, 6u);
+
+  // The warm blob run serves the PConf function table zero-copy from the
+  // mapped cache entry; the stream run owns a parsed copy.
+  EXPECT_TRUE(warm_b.value().offline.pconf->functions_borrowed());
+  EXPECT_FALSE(warm_s.value().offline.pconf->functions_borrowed());
+
+  const auto& base = cold_s.value().offline;
+  for (auto* r : {&cold_b, &warm_s, &warm_b}) {
+    const auto& o = r->value().offline;
+    EXPECT_EQ(o.compiled->placement.cluster_pos,
+              base.compiled->placement.cluster_pos);
+    EXPECT_EQ(o.compiled->report.critical_path_ns,
+              base.compiled->report.critical_path_ns);
+    EXPECT_EQ(o.pconf->total_bits(), base.pconf->total_bits());
+    ASSERT_EQ(o.pconf->num_parameterized_bits(),
+              base.pconf->num_parameterized_bits());
+    const bitstream::FunctionView got = o.pconf->functions();
+    const bitstream::FunctionView want = base.pconf->functions();
+    ASSERT_EQ(got.count, want.count);
+    for (std::size_t i = 0; i < got.count; ++i) {
+      EXPECT_EQ(got.bits[i], want.bits[i]) << i;
+      EXPECT_EQ(got.refs[i], want.refs[i]) << i;
+    }
+  }
+}
+
+TEST(Pipeline, CasBackendWarmRunExecutesZeroStages) {
+  TempCacheDir root("cas_pipe");
+  auto options = small_options();
+  options.cache_shared = root.path;  // implies the cas backend
+  Pipeline pipeline(options);
+  auto cold = pipeline.run(small_user(10));
+  ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+  EXPECT_EQ(cold.value().stages_executed, 6u);
+  ASSERT_TRUE(std::filesystem::exists(root.path + "/cas"));
+  auto warm = pipeline.run(small_user(10));
+  ASSERT_TRUE(warm.ok()) << warm.status().to_string();
+  EXPECT_EQ(warm.value().stages_executed, 0u);
+  EXPECT_EQ(warm.value().stages_from_cache, 6u);
+  EXPECT_EQ(warm.value().offline.compiled->placement.cluster_pos,
+            cold.value().offline.compiled->placement.cluster_pos);
+}
+
 TEST(ArtifactCache, DisabledCacheAlwaysMisses) {
   ArtifactCache cache;
   EXPECT_FALSE(cache.enabled());
@@ -216,7 +280,9 @@ TEST(ArtifactCache, StoreThenLoadRoundTrips) {
   auto load = cache.load("place", 7);
   ASSERT_TRUE(load.ok()) << load.status().to_string();
   ASSERT_TRUE(load.value().has_value());
-  EXPECT_EQ(*load.value(), bytes);
+  EXPECT_EQ(load.value()->payload, bytes);
+  EXPECT_EQ(load.value()->content_hash, fnv1a(bytes));
+  EXPECT_TRUE(load.value()->mapped);
   // A different key misses; a wrong-hash store is caught on load.
   EXPECT_FALSE(cache.load("place", 8).value().has_value());
   ASSERT_TRUE(cache.store("place", 9, 0xdeadbeef, bytes).ok());

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Builds and runs the AddressSanitizer smoke for the zero-copy blob reader.
+# Compiles only blob.cpp and its direct deps (not the whole tree) with
+# -fsanitize=address, then drives the reader over a hostile-image corpus
+# (truncations, bit flips, misaligned base, random header stomps): a forged
+# size/offset that survives validation becomes an ASan crash here instead
+# of a silent over-read in production.  Usage: run_blob_asan_smoke.sh
+# <source-dir> <work-dir>
+set -eu
+
+SRC="$1"
+WORK="$2"
+CXX="${CXX:-c++}"
+
+mkdir -p "$WORK"
+BIN="$WORK/blob_asan_smoke"
+
+"$CXX" -std=c++20 -O1 -g -fsanitize=address -fno-omit-frame-pointer \
+  -I "$SRC/src" \
+  "$SRC/tests/flow/blob_asan_smoke.cpp" \
+  "$SRC/src/flow/blob.cpp" \
+  "$SRC/src/support/error.cpp" \
+  "$SRC/src/support/status.cpp" \
+  -o "$BIN"
+
+exec "$BIN"

@@ -20,6 +20,7 @@ BIN="$WORK/route_tsan_smoke"
   "$SRC/src/support/error.cpp" \
   "$SRC/src/support/log.cpp" \
   "$SRC/src/support/rng.cpp" \
+  "$SRC/src/support/status.cpp" \
   "$SRC/src/support/strings.cpp" \
   "$SRC/src/support/telemetry.cpp" \
   "$SRC/src/support/thread_pool.cpp" \

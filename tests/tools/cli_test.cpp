@@ -192,6 +192,75 @@ TEST(Cli, CacheDirMakesRerunSkipStages) {
             std::string::npos);
 }
 
+TEST(Cli, SharedCasRootIsSharedAcrossProcesses) {
+  const std::string blif = write_profile_blif("cas_in.blif");
+  const std::string root = tmp_path("cas_root");
+  std::system(("rm -rf " + root).c_str());
+  // Two separate CLI processes against one CAS root: the first publishes,
+  // the second replays every stage from the shared store via mmap.
+  const auto first = run("flow " + blif + " --width 2 --cache-shared " + root);
+  ASSERT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_NE(first.output.find("6 stages executed, 0 from cache"),
+            std::string::npos);
+  const auto second = run("flow " + blif + " --width 2 --cache-shared " + root);
+  ASSERT_EQ(second.exit_code, 0) << second.output;
+  EXPECT_NE(second.output.find("0 stages executed, 6 from cache"),
+            std::string::npos);
+  // The summary reports the zero-copy path: mmap hits, bytes mapped.
+  const auto pos = second.output.find("mmap hits");
+  ASSERT_NE(pos, std::string::npos) << second.output;
+  EXPECT_EQ(second.output.find("0 mmap hits"), std::string::npos)
+      << second.output;
+  // CAS layout on disk: content-named objects + per-stage indexes.
+  EXPECT_TRUE(std::ifstream(root + "/.lock").good());
+  const auto gc_all = run("cache gc --max-bytes 0 --cache-shared " + root);
+  ASSERT_EQ(gc_all.exit_code, 0) << gc_all.output;
+  EXPECT_NE(gc_all.output.find("cache gc (cas:"), std::string::npos);
+  // After the full sweep a third run is cold again.
+  const auto third = run("flow " + blif + " --width 2 --cache-shared " + root);
+  ASSERT_EQ(third.exit_code, 0) << third.output;
+  EXPECT_NE(third.output.find("6 stages executed, 0 from cache"),
+            std::string::npos);
+}
+
+TEST(Cli, CacheGcEnforcesByteBudget) {
+  const std::string blif = write_profile_blif("gc_in.blif");
+  const std::string cache = tmp_path("gc_cache");
+  std::system(("rm -rf " + cache).c_str());
+  ASSERT_EQ(run("flow " + blif + " --width 2 --cache-dir " + cache).exit_code,
+            0);
+  const auto gc = run("cache gc --max-bytes 1 --cache-dir " + cache);
+  ASSERT_EQ(gc.exit_code, 0) << gc.output;
+  EXPECT_NE(gc.output.find("cache gc (dir:"), std::string::npos);
+  EXPECT_NE(gc.output.find("kept 0 entries / 0 bytes"), std::string::npos);
+  // Missing cache location and missing budget are usage errors.
+  EXPECT_EQ(run("cache gc --max-bytes 1").exit_code, 2);
+  EXPECT_EQ(run("cache gc --cache-dir " + cache).exit_code, 2);
+}
+
+TEST(Cli, StreamEncodingStillWarmLoads) {
+  const std::string blif = write_profile_blif("stream_in.blif");
+  const std::string cache = tmp_path("stream_cache");
+  std::system(("rm -rf " + cache).c_str());
+  const std::string base =
+      "flow " + blif + " --width 2 --artifact-encoding stream --cache-dir " +
+      cache;
+  ASSERT_EQ(run(base).exit_code, 0);
+  const auto warm = run(base);
+  ASSERT_EQ(warm.exit_code, 0) << warm.output;
+  EXPECT_NE(warm.output.find("0 stages executed, 6 from cache"),
+            std::string::npos);
+  // Blob readers sniff the payload, so flipping the encoding knob between
+  // runs must still hit (never misparse, never invalidate).
+  const auto crossed =
+      run("flow " + blif + " --width 2 --cache-dir " + cache);
+  ASSERT_EQ(crossed.exit_code, 0) << crossed.output;
+  EXPECT_NE(crossed.output.find("0 stages executed, 6 from cache"),
+            std::string::npos);
+  EXPECT_EQ(run("--cache-backend bogus gen list").exit_code, 2);
+  EXPECT_EQ(run("--artifact-encoding bogus gen list").exit_code, 2);
+}
+
 TEST(Cli, UnknownMapperRejected) {
   ASSERT_EQ(run("gen stereov /tmp/fpgadbg_cli_m.blif").exit_code, 0);
   EXPECT_EQ(run("map /tmp/fpgadbg_cli_m.blif --mapper bogus").exit_code, 2);
