@@ -133,6 +133,32 @@ EOF
   fi
 fi
 
+# Publish the artifacts where the regression gate (and a reviewer) expects
+# them: the aggregated summary plus every per-harness BENCH_*.json at the
+# repo root, next to bench/baselines/.
+cp "$SUMMARY" ./BENCH_summary.json
+for f in "$RESULTS_DIR"/BENCH_*.json; do
+  [ "$f" = "$SUMMARY" ] && continue
+  cp "$f" "./$(basename "$f")"
+done
+echo "bench_all: copied BENCH_summary.json + per-harness artifacts to $(pwd)"
+
+# Regression gate against the committed baseline.  Advisory by default (a
+# fresh checkout on slower hardware should not fail the whole bench run);
+# BENCH_GATE=strict makes a regression fatal for CI.
+if [ -f bench/baselines/BENCH_summary.json ] \
+    && command -v python3 > /dev/null 2>&1; then
+  if python3 scripts/bench_gate.py ./BENCH_summary.json; then
+    :
+  elif [ "${BENCH_GATE:-}" = "strict" ]; then
+    echo "bench_all: regression gate FAILED (BENCH_GATE=strict)" >&2
+    exit 1
+  else
+    echo "bench_all: regression gate reported regressions (advisory;" \
+      "set BENCH_GATE=strict to fail the run)" >&2
+  fi
+fi
+
 echo
 echo "bench_all: ${#ran[@]} harnesses OK, ${#failed[@]} failed"
 echo "bench_all: summary at $SUMMARY (commit $COMMIT)"

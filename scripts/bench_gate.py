@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_summary.json snapshots.
+
+Compares a fresh summary (from scripts/bench_all.sh) against a committed
+baseline, metric by metric, with per-kind noise tolerances, and exits
+nonzero when anything regressed.  The C++ twin is `fpgadbg benchdiff`;
+both implement the same rules so CI can use whichever binary it has.
+
+Rules (shared verbatim with cmd_benchdiff in fpgadbg_cli.cpp):
+  * bench.*_seconds histogram sums   lower better; fails when
+      fresh > base * (1 + tolerance) + 0.05 s
+  * bench.* gauges with "speedup" or "per_sec" in the name
+      higher better; fails when fresh < base * (1 - tolerance)
+  * bench.* gauges with "bit_identical" in the name    exact match
+  * bench.* gauges ending in "overhead_pct"
+      absolute budget: fails when fresh > base + 2 percentage points
+  * other bench.* gauges             informational, never gate
+A metric present in the baseline but absent from the fresh summary is a
+silent coverage loss and fails the gate; new metrics are reported but pass.
+
+Usage: bench_gate.py <fresh-summary.json>
+         [--baseline bench/baselines/BENCH_summary.json] [--tolerance 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def bench_metrics(doc):
+    """{"<harness> <metric>": (value, is_hist_sum)} for gate-relevant
+    numbers: the bench.* namespace is the harnesses' contract for
+    dashboard-tracked metrics; the rest of the registry dump is noise."""
+    out = {}
+    for harness, result in (doc.get("results") or {}).items():
+        metrics = result.get("metrics") or {}
+        for name, value in (metrics.get("gauges") or {}).items():
+            if name.startswith("bench.") and isinstance(value, (int, float)):
+                out[f"{harness} {name}"] = (float(value), False)
+        for name, hist in (metrics.get("histograms") or {}).items():
+            if not (name.startswith("bench.") and name.endswith("_seconds")):
+                continue
+            if isinstance(hist, dict) and isinstance(
+                hist.get("sum"), (int, float)
+            ):
+                out[f"{harness} {name}"] = (float(hist["sum"]), True)
+    return out
+
+
+def verdict(key, base, fresh, is_hist_sum, tolerance):
+    """(failed, label) for one metric pair."""
+    if "bit_identical" in key:
+        return (fresh != base, "ok" if fresh == base else "FAIL")
+    if key.endswith("overhead_pct"):
+        return (fresh > base + 2.0, "ok" if fresh <= base + 2.0 else "FAIL")
+    if is_hist_sum:
+        bad = fresh > base * (1.0 + tolerance) + 0.05
+        return (bad, "FAIL" if bad else "ok")
+    if "speedup" in key or "per_sec" in key:
+        bad = fresh < base * (1.0 - tolerance)
+        return (bad, "FAIL" if bad else "ok")
+    return (False, "info")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="fresh BENCH_summary.json to check")
+    ap.add_argument(
+        "--baseline",
+        default="bench/baselines/BENCH_summary.json",
+        help="committed baseline summary (default %(default)s)",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="relative noise budget for timings/throughput "
+        "(default %(default)s = 50%%)",
+    )
+    args = ap.parse_args()
+    if args.tolerance < 0:
+        ap.error("--tolerance must be non-negative")
+
+    try:
+        with open(args.baseline) as f:
+            base_doc = json.load(f)
+        with open(args.fresh) as f:
+            fresh_doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_gate: {e}")
+
+    base = bench_metrics(base_doc)
+    fresh = bench_metrics(fresh_doc)
+    if not base:
+        sys.exit(f"bench_gate: {args.baseline} carries no bench.* metrics")
+
+    print(
+        f"bench_gate: baseline {args.baseline}"
+        f" ({base_doc.get('commit', 'unknown')})"
+    )
+    print(
+        f"bench_gate: fresh    {args.fresh}"
+        f" ({fresh_doc.get('commit', 'unknown')})"
+    )
+    print(
+        f"  {'metric':<52} {'baseline':>14} {'fresh':>14}"
+        f" {'delta%':>8}  verdict"
+    )
+
+    regressions = 0
+    for key in sorted(base):
+        b, is_hist_sum = base[key]
+        if key not in fresh:
+            print(f"  {key:<52} {b:>14.6g} {'-':>14} {'-':>8}  MISSING")
+            regressions += 1
+            continue
+        f, _ = fresh[key]
+        delta = (f - b) / abs(b) * 100.0 if b else (0.0 if f == 0 else 100.0)
+        failed, label = verdict(key, b, f, is_hist_sum, args.tolerance)
+        regressions += failed
+        print(f"  {key:<52} {b:>14.6g} {f:>14.6g} {delta:>+7.1f}%  {label}")
+    for key in sorted(set(fresh) - set(base)):
+        print(f"  {key:<52} {'-':>14} {fresh[key][0]:>14.6g} {'-':>8}  new")
+
+    if regressions:
+        print(
+            f"bench_gate: {regressions} regression"
+            f"{'' if regressions == 1 else 's'}"
+            f" (tolerance {args.tolerance:.0%})"
+        )
+        sys.exit(1)
+    print(
+        f"bench_gate: no regressions across {len(base)} metrics"
+        f" (tolerance {args.tolerance:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

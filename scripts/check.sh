@@ -34,6 +34,9 @@ if [ "$SANITIZE" = "thread" ]; then
   # Same for the introspection server: HTTP scrapers against live telemetry
   # writers is exactly the cross-thread pattern TSan exists to check.
   tests/support/run_introspect_tsan_smoke.sh . "$BUILD_DIR/tsan_smoke"
+  # And the sampling profiler: an async-signal handler writing the sample
+  # ring on every thread while a reader resolves stacks from it.
+  tests/support/run_profiler_tsan_smoke.sh . "$BUILD_DIR/tsan_smoke"
 fi
 
 # Schema smoke: run a real debug session with the flight recorder and the
@@ -165,3 +168,73 @@ wait "$INTRO_PID" || {
   exit 1
 }
 echo "introspect smoke: OK (port $PORT)"
+
+# Profiler smoke: run a profile with the SIGPROF sampler and the live
+# server, assert the collapsed-stack export is non-empty (symbolized frames,
+# positive counts), and scrape /flamez + /profilez while the process
+# lingers.  Pins the whole sampling chain — timer thread, signal fan-out,
+# ring capture, symbolization, both report surfaces — end to end.
+PROF_ERR="$SMOKE_DIR/profiler.err"
+FLAME="$SMOKE_DIR/flame.txt"
+"$FPGADBG" profile "$SMOKE_DIR/design.blif" --turns 2 --cycles 256 \
+           --scenarios 128 --flame "$FLAME" --sample-hz 997 \
+           --introspect 0 --introspect-linger 60 \
+           > "$SMOKE_DIR/profiler.out" 2> "$PROF_ERR" &
+PROF_PID=$!
+PORT=""
+for _ in $(seq 1 200); do
+  PORT=$(sed -n 's/^fpgadbg: introspect: serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+         "$PROF_ERR" | head -n 1)
+  [ -n "$PORT" ] && break
+  sleep 0.05
+done
+if [ -z "$PORT" ]; then
+  echo "profiler smoke: no port announcement on stderr" >&2
+  kill "$PROF_PID" 2> /dev/null || true
+  exit 1
+fi
+# Wait for the workload to finish (flame file written) before scraping, so
+# /flamez serves real samples rather than an in-flight ring.
+for _ in $(seq 1 400); do
+  grep -q "^  flame " "$SMOKE_DIR/profiler.out" 2> /dev/null && break
+  sleep 0.05
+done
+for endpoint in flamez profilez; do
+  if ! curl -sf --max-time 5 "http://127.0.0.1:$PORT/$endpoint" \
+       > "$SMOKE_DIR/profiler.$endpoint"; then
+    echo "profiler smoke: GET /$endpoint failed" >&2
+    kill "$PROF_PID" 2> /dev/null || true
+    exit 1
+  fi
+done
+curl -sf --max-time 5 "http://127.0.0.1:$PORT/quitz" > /dev/null || {
+  echo "profiler smoke: GET /quitz failed" >&2
+  kill "$PROF_PID" 2> /dev/null || true
+  exit 1
+}
+wait "$PROF_PID" || {
+  echo "profiler smoke: fpgadbg exited non-zero" >&2
+  exit 1
+}
+if ! [ -s "$FLAME" ]; then
+  echo "profiler smoke: flame output is empty" >&2
+  exit 1
+fi
+# Collapsed format: "frame;frame;... count" with a positive trailing count.
+grep -Eq ';.* [0-9]+$' "$FLAME" || {
+  echo "profiler smoke: no multi-frame collapsed stack in $FLAME" >&2
+  exit 1
+}
+grep -q ';' "$SMOKE_DIR/profiler.flamez" || {
+  echo "profiler smoke: /flamez served no collapsed stacks" >&2
+  exit 1
+}
+grep -q '^samples: ' "$SMOKE_DIR/profiler.profilez" || {
+  echo "profiler smoke: /profilez has no samples field" >&2
+  exit 1
+}
+grep -q "dropped samples" "$SMOKE_DIR/profiler.out" || {
+  echo "profiler smoke: CLI output is missing the dropped-samples row" >&2
+  exit 1
+}
+echo "profiler smoke: OK ($(wc -l < "$FLAME") collapsed stacks, port $PORT)"

@@ -104,6 +104,9 @@ void write_strings(std::ostream& os, const char* key,
 void SessionJournal::write_event(std::ostream& os, const SessionEvent& e) {
   os << "{\"ev\":\"" << to_string(e.kind) << "\",\"seq\":" << e.seq
      << ",\"turn\":" << e.turn << ",\"cycle\":" << e.cycle;
+  if (e.trace_id != 0) {
+    os << ",\"trace_id\":" << e.trace_id << ",\"span_id\":" << e.span_id;
+  }
   switch (e.kind) {
     case SessionEventKind::kSessionStart:
       os << ",\"lanes\":" << e.count;
@@ -267,6 +270,8 @@ support::Result<SessionJournal> SessionJournal::load(std::istream& in) {
     e.seq = get_u64(obj, "seq");
     e.turn = get_u64(obj, "turn");
     e.cycle = get_u64(obj, "cycle");
+    e.trace_id = get_u64(obj, "trace_id");
+    e.span_id = get_u64(obj, "span_id");
     e.bits_changed = get_u64(obj, "bits_changed");
     e.bits_evaluated = get_u64(obj, "bits_evaluated");
     e.incremental = get_bool(obj, "incremental");

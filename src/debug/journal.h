@@ -55,6 +55,13 @@ struct SessionEvent {
   std::uint64_t turn = 0;   ///< owning turn index (turn-scoped events)
   std::uint64_t cycle = 0;  ///< session cycles emulated when emitted
 
+  /// Causal join keys: the telemetry::TraceContext active when the event was
+  /// emitted (0/0 when tracing was off).  Lets a recorded turn be joined
+  /// against its Chrome-trace spans and JSON log lines; omitted from the
+  /// JSONL form when zero and never compared by replay().
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
   // kScgEval / kTurnEnd
   std::uint64_t bits_changed = 0;
   std::uint64_t bits_evaluated = 0;

@@ -57,6 +57,11 @@ DebugSession::~DebugSession() {
 void DebugSession::journal_event(SessionEvent event) const {
   event.turn = summary_.turns;
   event.cycle = summary_.cycles_emulated;
+  // Stamp the active causal context (the observe() turn span, in practice)
+  // so the recorded event joins against its trace spans and log lines.
+  const telemetry::TraceContext ctx = telemetry::current_trace_context();
+  event.trace_id = ctx.trace_id;
+  event.span_id = ctx.span_id;
   journal_.append(std::move(event));
 }
 

@@ -158,6 +158,11 @@ Result<PipelineResult> Pipeline::run(const netlist::Netlist& user) const {
   // telemetry so a scrape shows whether the run is recomputing or replaying.
   telemetry::ProgressReporter progress("flow.pipeline");
   progress.set_total(options_.run_pnr ? 6 : 2);
+  // Join key against the trace/journal/logs: the offline span's trace id
+  // (0 when neither --trace nor the span ring is active).
+  if (const auto tctx = telemetry::current_trace_context(); tctx.active()) {
+    progress.field("trace_id", static_cast<double>(tctx.trace_id));
+  }
   std::uint64_t stages_done = 0;
   auto begin_stage = [&](const char* name) {
     telemetry::set_current_stage(name);

@@ -776,6 +776,11 @@ RouteResult route(const RRGraph& rr, const MappedNetlist& mn,
 
     std::atomic<std::size_t> pops_total{0};
     auto route_task = [&](Task& task) {
+      // One span per spatial bin.  Runs on whichever pool worker drains the
+      // task; parallel_for's context capture parents it under the
+      // pnr.route.iteration span, so the fan-out renders causally linked
+      // across thread lanes instead of as disconnected islands.
+      telemetry::TraceScope bin_span("pnr.route.bin");
       auto ctx = contexts.acquire();
       std::size_t pops = 0;
       for (const std::size_t n : task.nets) {

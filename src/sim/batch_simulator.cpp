@@ -179,6 +179,10 @@ void BatchSimulator::for_block_ranges(const Fn& fn) {
   if (tasks < 2) tasks = 2;
   const std::size_t chunk = (blocks_ + tasks - 1) / tasks;
   pool_->parallel_for(tasks, [&](std::size_t t) {
+    // "sim" category: recorded only under a full --trace sink (the span
+    // fires per sweep, which is per emulated cycle).  Parent-links to the
+    // sim.batch.eval/step span through the pool's context capture.
+    telemetry::TraceScope shard_span("sim.batch.shard", "sim");
     const std::size_t b0 = t * chunk;
     const std::size_t b1 = std::min(blocks_, b0 + chunk);
     if (b0 < b1) fn(b0, b1);

@@ -167,6 +167,9 @@ void CompiledSimulator::sweep_level(std::size_t begin, std::size_t end,
     const std::size_t chunks = std::min(width, pool_->size() * 4);
     const std::size_t chunk = (width + chunks - 1) / chunks;
     pool_->parallel_for(chunks, [&](std::size_t c) {
+      // Parent-links to sim.level_sweep via the pool's context capture;
+      // "sim" category keeps it off the hot path outside full tracing.
+      telemetry::TraceScope chunk_span("sim.level_chunk", "sim");
       const std::size_t b = begin + c * chunk;
       run_ops(b, std::min(end, b + chunk), full);
     });

@@ -7,8 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cstdlib>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -20,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/profiler.h"
 #include "support/telemetry.h"
 
 #ifndef FPGADBG_VERSION
@@ -118,6 +121,9 @@ std::string read_request(int fd) {
     if (left.count() <= 0) break;
     pollfd pfd{fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    // EINTR is routine while the sampling profiler signals every thread;
+    // retry against the same deadline instead of truncating the request.
+    if (ready < 0 && errno == EINTR) continue;
     if (ready <= 0) break;
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n <= 0) break;
@@ -199,6 +205,53 @@ bool IntrospectServer::Impl::build_response(const std::string& path,
     *body = tracez();
     return true;
   }
+  if (path == "/profilez") {
+    const prof::ProfilerStats stats = prof::profiler_stats();
+    std::ostringstream os;
+    os << "fpgadbg profilez\n";
+    os << "running: " << (stats.running ? "yes" : "no") << "\n";
+    os << "sample_hz: " << stats.sample_hz << "\n";
+    os << "samples: " << stats.samples << "\n";
+    os << "dropped_samples: " << stats.dropped << "\n";
+    os << "timer_ticks: " << stats.ticks << "\n";
+    // Leaf-weighted hot symbols: enough to spot the hot function from curl
+    // without pulling the whole flame graph.
+    const std::string collapsed = prof::collapsed_stacks();
+    std::map<std::string, std::uint64_t> leaves;
+    std::istringstream lines(collapsed);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::size_t sp = line.rfind(' ');
+      if (sp == std::string::npos) continue;
+      const std::uint64_t count =
+          std::strtoull(line.c_str() + sp + 1, nullptr, 10);
+      const std::size_t semi = line.rfind(';', sp);
+      leaves[line.substr(semi == std::string::npos ? 0 : semi + 1,
+                         sp - (semi == std::string::npos ? 0 : semi + 1))] +=
+          count;
+    }
+    std::vector<std::pair<std::string, std::uint64_t>> hot(leaves.begin(),
+                                                           leaves.end());
+    std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    os << "top_symbols (leaf-weighted):\n";
+    std::size_t shown = 0;
+    for (const auto& [sym, count] : hot) {
+      if (++shown > 10) break;
+      os << "  " << count << "  " << sym << "\n";
+    }
+    *body = os.str();
+    return true;
+  }
+  if (path == "/flamez") {
+    // Collapsed stacks, ready for flamegraph.pl / speedscope paste.
+    std::ostringstream os;
+    prof::write_collapsed(os);
+    *body = os.str();
+    if (body->empty()) *body = "no samples (profiler not started?)\n";
+    return true;
+  }
   if (path == "/progressz") {
     *content_type = "application/json";
     std::ostringstream os;
@@ -254,23 +307,16 @@ std::string IntrospectServer::Impl::statusz() const {
   os << buf;
   os << "span_ring: " << telemetry::recent_spans().size() << " spans / "
      << telemetry::span_ring_capacity() << " capacity\n";
+  os << "dropped_spans: " << telemetry::dropped_span_count() << "\n";
+  const prof::ProfilerStats pstats = prof::profiler_stats();
+  os << "sampler: " << (pstats.running ? "running" : "stopped") << " ("
+     << pstats.samples << " samples, " << pstats.dropped << " dropped)\n";
   return os.str();
 }
 
 std::string IntrospectServer::Impl::tracez() const {
-  const std::vector<telemetry::SpanRecord> spans = telemetry::recent_spans();
   std::ostringstream os;
-  os << "tracez: " << spans.size() << " most recent spans (ring capacity "
-     << telemetry::span_ring_capacity() << ", oldest first)\n";
-  os << "  start_us      dur_us  tid  category  name\n";
-  char buf[256];
-  for (const telemetry::SpanRecord& s : spans) {
-    std::snprintf(buf, sizeof buf, "  %-12.1f %9.1f %4u  %-8s  %s\n",
-                  static_cast<double>(s.start_ns) / 1e3,
-                  static_cast<double>(s.dur_ns) / 1e3, s.tid, s.category,
-                  s.name);
-    os << buf;
-  }
+  telemetry::write_tracez_tree(os);
   return os.str();
 }
 

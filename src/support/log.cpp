@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "support/telemetry.h"
+
 namespace fpgadbg {
 
 namespace {
@@ -114,7 +116,19 @@ void log_emit(LogLevel level, const std::string& msg) {
                   ts, level_name(level), thread_id());
     line = head;
     append_json_escaped(&line, msg);
-    line += "\"}\n";
+    line += '"';
+    // Causal join key: a line emitted under an active TraceScope (or inside
+    // ThreadPool work the scope fanned out) carries the ids its spans and
+    // journal events carry, so slow-turn logs grep straight to their trace.
+    const telemetry::TraceContext ctx = telemetry::current_trace_context();
+    if (ctx.active()) {
+      char ids[64];
+      std::snprintf(ids, sizeof ids, ", \"trace_id\": %llu, \"span_id\": %llu",
+                    static_cast<unsigned long long>(ctx.trace_id),
+                    static_cast<unsigned long long>(ctx.span_id));
+      line += ids;
+    }
+    line += "}\n";
   } else {
     line = "[fpgadbg ";
     line += level_tag(level);

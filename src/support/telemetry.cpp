@@ -580,6 +580,9 @@ struct TraceEvent {
   const char* category;
   std::uint64_t start_ns;
   std::uint64_t dur_ns;
+  std::uint64_t trace_id;
+  std::uint64_t span_id;
+  std::uint64_t parent_id;
 };
 
 /// Per-thread span buffer.  Appends come only from the owning thread; the
@@ -604,7 +607,16 @@ struct TraceState {
   std::mutex ring_mutex;  ///< guards ring + ring_head
   std::vector<SpanRecord> ring;
   std::size_t ring_head = 0;  ///< next overwrite position once full
+  std::atomic<std::uint64_t> ring_dropped{0};  ///< spans overwritten, ever
+  // Causal-id allocators.  Sequential so the ids survive a JSON double
+  // round-trip; 0 is reserved for "none".
+  std::atomic<std::uint64_t> next_trace_id{1};
+  std::atomic<std::uint64_t> next_span_id{1};
 };
+
+/// The thread's current causal context.  Plain thread_local (no registration
+/// needed): only the owning thread reads or writes it.
+thread_local TraceContext t_trace_context;
 
 TraceState& trace_state() {
   static TraceState* state = new TraceState;  // leaked: survives exit races
@@ -631,6 +643,15 @@ std::uint64_t now_ns() {
 }
 
 }  // namespace
+
+TraceContext current_trace_context() { return t_trace_context; }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx)
+    : prev_(t_trace_context) {
+  t_trace_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { t_trace_context = prev_; }
 
 bool tracing_enabled() {
   return trace_state().enabled.load(std::memory_order_relaxed);
@@ -677,6 +698,10 @@ std::size_t span_ring_capacity() {
   return trace_state().ring_capacity.load(std::memory_order_relaxed);
 }
 
+std::uint64_t dropped_span_count() {
+  return trace_state().ring_dropped.load(std::memory_order_relaxed);
+}
+
 std::vector<SpanRecord> recent_spans() {
   TraceState& st = trace_state();
   std::lock_guard<std::mutex> lock(st.ring_mutex);
@@ -703,30 +728,47 @@ TraceScope::TraceScope(const char* name, const char* category)
     if (category[0] == 's' && std::strcmp(category, "sim") == 0) return;
   }
   active_ = true;
+  // Causal identity: become the thread's current span.  A span opened with
+  // no active trace starts a fresh one; nested spans (and, through
+  // ThreadPool's context capture, spans on worker threads) inherit it.
+  prev_ = t_trace_context;
+  span_id_ = st.next_span_id.fetch_add(1, std::memory_order_relaxed);
+  TraceContext ctx;
+  ctx.trace_id = prev_.trace_id != 0
+                     ? prev_.trace_id
+                     : st.next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  ctx.span_id = span_id_;
+  ctx.parent_id = prev_.span_id;
+  t_trace_context = ctx;
   start_ns_ = now_ns();
 }
 
 TraceScope::~TraceScope() {
   if (!active_) return;
   const std::uint64_t end_ns = now_ns();
+  const TraceContext ctx = t_trace_context;
+  t_trace_context = prev_;
   ThreadTraceBuffer& buf = thread_buffer();
   if (tracing_enabled()) {
     std::lock_guard<std::mutex> lock(buf.mutex);
-    buf.events.push_back(
-        TraceEvent{name_, category_, start_ns_, end_ns - start_ns_});
+    buf.events.push_back(TraceEvent{name_, category_, start_ns_,
+                                    end_ns - start_ns_, ctx.trace_id, span_id_,
+                                    ctx.parent_id});
   }
   TraceState& st = trace_state();
   if (st.ring_capacity.load(std::memory_order_relaxed) != 0) {
     std::lock_guard<std::mutex> lock(st.ring_mutex);
     const std::size_t cap = st.ring_capacity.load(std::memory_order_relaxed);
     if (cap != 0) {
-      const SpanRecord rec{name_, category_, start_ns_, end_ns - start_ns_,
-                           buf.tid};
+      const SpanRecord rec{name_,    category_,    start_ns_,
+                           end_ns - start_ns_,     buf.tid,
+                           ctx.trace_id, span_id_, ctx.parent_id};
       if (st.ring.size() < cap) {
         st.ring.push_back(rec);
       } else {
         st.ring[st.ring_head] = rec;
         st.ring_head = (st.ring_head + 1) % cap;
+        st.ring_dropped.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -746,10 +788,19 @@ void write_chrome_trace(std::ostream& os) {
   std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
     return a.second.start_ns < b.second.start_ns;
   });
+  // span id -> (tid, start_ns) of the owning slice, for flow-event anchors.
+  std::map<std::uint64_t, std::pair<std::uint32_t, std::uint64_t>> by_span;
+  for (const auto& [tid, e] : events) {
+    if (e.span_id != 0) by_span[e.span_id] = {tid, e.start_ns};
+  }
   os << "{\"traceEvents\": [";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const auto& [tid, e] = events[i];
-    os << (i ? ",\n  " : "\n  ");
+  bool first = true;
+  const auto sep = [&] {
+    os << (first ? "\n  " : ",\n  ");
+    first = false;
+  };
+  for (const auto& [tid, e] : events) {
+    sep();
     os << "{\"name\": ";
     write_json_string(os, e.name);
     os << ", \"cat\": ";
@@ -758,9 +809,32 @@ void write_chrome_trace(std::ostream& os) {
     write_json_number(os, static_cast<double>(e.start_ns) / 1e3);
     os << ", \"dur\": ";
     write_json_number(os, static_cast<double>(e.dur_ns) / 1e3);
-    os << ", \"pid\": 1, \"tid\": " << tid << "}";
+    os << ", \"pid\": 1, \"tid\": " << tid;
+    if (e.span_id != 0) {
+      os << ", \"args\": {\"trace_id\": " << e.trace_id
+         << ", \"span_id\": " << e.span_id
+         << ", \"parent_id\": " << e.parent_id << "}";
+    }
+    os << "}";
+    // A parent slice on a different thread means the span crossed a
+    // ThreadPool handoff: draw the causal arrow with a flow-event pair
+    // keyed by the child's span id (unique, so arrows never merge).
+    const auto parent = e.parent_id != 0 ? by_span.find(e.parent_id)
+                                         : by_span.end();
+    if (parent != by_span.end() && parent->second.first != tid) {
+      sep();
+      os << "{\"name\": \"spawn\", \"cat\": \"flow\", \"ph\": \"s\", "
+            "\"id\": " << e.span_id << ", \"ts\": ";
+      write_json_number(os, static_cast<double>(parent->second.second) / 1e3);
+      os << ", \"pid\": 1, \"tid\": " << parent->second.first << "}";
+      sep();
+      os << "{\"name\": \"spawn\", \"cat\": \"flow\", \"ph\": \"f\", "
+            "\"bp\": \"e\", \"id\": " << e.span_id << ", \"ts\": ";
+      write_json_number(os, static_cast<double>(e.start_ns) / 1e3);
+      os << ", \"pid\": 1, \"tid\": " << tid << "}";
+    }
   }
-  os << (events.empty() ? "" : "\n") << "]}\n";
+  os << (first ? "" : "\n") << "]}\n";
 }
 
 bool write_chrome_trace_file(const std::string& path) {
@@ -768,6 +842,57 @@ bool write_chrome_trace_file(const std::string& path) {
   if (!out) return false;
   write_chrome_trace(out);
   return static_cast<bool>(out);
+}
+
+void write_tracez_tree(std::ostream& os) {
+  const std::vector<SpanRecord> spans = recent_spans();
+  os << "tracez: " << spans.size() << " most recent spans (ring capacity "
+     << span_ring_capacity() << ", " << dropped_span_count()
+     << " dropped, parent-linked tree)\n";
+  os << "  start_us      dur_us  tid  trace  category  span\n";
+  // Children indexed under their parent span id.  A span whose parent was
+  // already evicted from the ring (or that has none) lists as a root —
+  // the tree degrades to the flat view, never loses spans.
+  std::map<std::uint64_t, std::size_t> by_id;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].span_id != 0) by_id[spans[i].span_id] = i;
+  }
+  std::vector<std::vector<std::size_t>> children(spans.size());
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto p = spans[i].parent_id != 0 ? by_id.find(spans[i].parent_id)
+                                           : by_id.end();
+    if (p != by_id.end() && p->second != i) {
+      children[p->second].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  const auto by_start = [&](std::size_t a, std::size_t b) {
+    return spans[a].start_ns < spans[b].start_ns;
+  };
+  std::sort(roots.begin(), roots.end(), by_start);
+  for (auto& c : children) std::sort(c.begin(), c.end(), by_start);
+  char buf[256];
+  // Iterative DFS; depth capped so a pathological parent chain cannot
+  // produce unbounded indentation.
+  std::vector<std::pair<std::size_t, int>> stack;
+  for (std::size_t r = roots.size(); r-- > 0;) stack.push_back({roots[r], 0});
+  while (!stack.empty()) {
+    const auto [i, depth] = stack.back();
+    stack.pop_back();
+    const SpanRecord& s = spans[i];
+    std::snprintf(buf, sizeof buf, "  %-12.1f %9.1f %4u %6llu  %-8s  ",
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.dur_ns) / 1e3, s.tid,
+                  static_cast<unsigned long long>(s.trace_id), s.category);
+    os << buf;
+    for (int d = 0; d < std::min(depth, 16); ++d) os << "  ";
+    os << (depth > 0 ? "`- " : "") << s.name << "\n";
+    for (std::size_t c = children[i].size(); c-- > 0;) {
+      stack.push_back({children[i][c], depth + 1});
+    }
+  }
 }
 
 }  // namespace fpgadbg::telemetry

@@ -260,6 +260,43 @@ const char* current_stage();  ///< never nullptr; "" when idle
 // Tracing
 // ---------------------------------------------------------------------------
 
+/// Causal identity of the work the calling thread is doing right now.
+///
+/// Every active TraceScope carries a 64-bit span id; spans opened while
+/// another span is active on the same thread record that span as their
+/// parent.  The trace id groups one logical operation (a debug turn, a
+/// pipeline run) across every thread it fans out to: ThreadPool captures the
+/// submitter's context and adopts it inside each worker task, so spans
+/// opened in a router bin or a batched-sim shard parent-link back to the
+/// span that scheduled them.  Ids are small sequential integers (safe to
+/// round-trip through JSON doubles); 0 always means "none".
+struct TraceContext {
+  std::uint64_t trace_id = 0;   ///< logical operation (0 = not in a trace)
+  std::uint64_t span_id = 0;    ///< innermost active span on this thread
+  std::uint64_t parent_id = 0;  ///< that span's parent (0 = root span)
+  bool active() const { return trace_id != 0; }
+};
+
+/// The calling thread's current context.  All-zero outside any active
+/// TraceScope (including when tracing is entirely off, so log/journal
+/// stamping degrades to "no ids" rather than fabricating them).
+TraceContext current_trace_context();
+
+/// RAII cross-thread adopter: installs a context captured on another thread
+/// (via current_trace_context()) for the current scope and restores the
+/// previous one on destruction.  ThreadPool wraps every queued task in one
+/// of these; spans the task opens then parent-link to the submitting span.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
 /// True between start_tracing() and stop_tracing().
 bool tracing_enabled();
 /// Installs the trace sink and discards previously collected events.
@@ -273,6 +310,10 @@ std::size_t trace_event_count();
 
 /// Chrome-trace JSON ({"traceEvents": [...]} with "X" complete events, ts and
 /// dur in microseconds).  Loadable in chrome://tracing and Perfetto.
+/// Every span carries its trace/span/parent ids in "args"; spans whose
+/// parent completed on a DIFFERENT thread additionally emit a flow-event
+/// pair ("ph":"s" at the parent, "ph":"f" at the child, id = child span id)
+/// so the viewer draws causal arrows across thread lanes.
 void write_chrome_trace(std::ostream& os);
 bool write_chrome_trace_file(const std::string& path);
 
@@ -285,6 +326,9 @@ struct SpanRecord {
   std::uint64_t start_ns = 0;  ///< since the process trace epoch
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;
+  std::uint64_t trace_id = 0;   ///< owning logical operation
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root span
 };
 
 /// Enables (capacity > 0) or disables (capacity == 0) the recent-span ring.
@@ -300,11 +344,22 @@ void set_span_ring_capacity(std::size_t capacity);
 std::size_t span_ring_capacity();
 /// Ringed spans, oldest first.
 std::vector<SpanRecord> recent_spans();
+/// Spans evicted from the full ring before they could be scraped (process
+/// lifetime total; /statusz surfaces it so silent truncation is visible).
+std::uint64_t dropped_span_count();
+
+/// /tracez body: the ringed spans rendered as a parent-linked tree (children
+/// indented under the span that caused them, roots ordered by start time;
+/// spans whose parent already left the ring list as roots).
+void write_tracez_tree(std::ostream& os);
 
 /// RAII span.  `name` and `category` MUST be string literals (or otherwise
 /// outlive the trace export) — they are stored by pointer.  Nesting is
 /// expressed naturally: spans on one thread that overlap in time render as a
-/// flame graph in the trace viewer.
+/// flame graph in the trace viewer.  An active span also installs itself as
+/// the thread's current TraceContext (allocating a fresh trace id when none
+/// is active), so nested spans — and, via ThreadPool's context capture,
+/// spans on worker threads — record it as their parent.
 class TraceScope {
  public:
   explicit TraceScope(const char* name, const char* category = "flow");
@@ -317,6 +372,8 @@ class TraceScope {
   const char* category_;
   std::uint64_t start_ns_;
   bool active_;
+  std::uint64_t span_id_ = 0;
+  TraceContext prev_;  ///< context to restore on close
 };
 
 }  // namespace fpgadbg::telemetry

@@ -50,6 +50,7 @@ namespace {
 struct ForState {
   std::size_t count = 0;
   std::function<void(std::size_t)> fn;
+  telemetry::TraceContext ctx;  ///< caller's causal context at submit time
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::exception_ptr first_error;
@@ -58,6 +59,9 @@ struct ForState {
   std::mutex done_mutex;
 
   void drain() {
+    // Adopt the submitter's context for the whole drain: spans opened by
+    // fn on this thread parent-link to the span active at the call site.
+    telemetry::TraceContextScope adopt(ctx);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
@@ -87,6 +91,7 @@ void ThreadPool::parallel_for(std::size_t count,
   auto state = std::make_shared<ForState>();
   state->count = count;
   state->fn = fn;
+  state->ctx = telemetry::current_trace_context();
 
   const std::size_t jobs = std::min(count, workers_.size());
   {
@@ -107,6 +112,31 @@ void ThreadPool::parallel_for(std::size_t count,
   });
 
   if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  if (!job) return;
+  const telemetry::TraceContext ctx = telemetry::current_trace_context();
+  auto wrapped = [ctx, job = std::move(job)] {
+    telemetry::TraceContextScope adopt(ctx);
+    try {
+      job();
+    } catch (...) {
+      // No caller to rethrow to — count it so the loss is observable.
+      static telemetry::Counter& errors =
+          telemetry::metrics().counter("threadpool.submit_errors");
+      errors.add(1);
+    }
+  };
+  if (workers_.empty()) {
+    wrapped();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(wrapped));
+  }
+  cv_.notify_one();
 }
 
 ThreadPool& ThreadPool::global() {

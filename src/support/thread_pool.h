@@ -28,9 +28,20 @@ class ThreadPool {
   std::size_t size() const { return workers_.empty() ? 1 : workers_.size(); }
 
   /// Runs fn(i) for i in [0, count) across the pool and blocks until all
-  /// iterations complete.  Exceptions from fn propagate (first one wins).
+  /// iterations complete.  Exceptions from fn propagate to the caller: the
+  /// first failure (in completion order) is rethrown after the barrier,
+  /// remaining iterations still run.  The caller's telemetry::TraceContext
+  /// is captured and adopted inside every worker task, so spans opened in
+  /// fn parent-link back to the span active at the call site.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
+
+  /// Fire-and-forget: enqueues `job` on the pool (runs inline when the pool
+  /// has no workers).  The caller's TraceContext is captured and adopted
+  /// around the job like parallel_for.  There is no completion barrier and
+  /// no exception channel: a throwing job is swallowed and counted in the
+  /// threadpool.submit_errors counter.
+  void submit(std::function<void()> job);
 
   /// Process-wide pool shared by the CAD stages.
   static ThreadPool& global();

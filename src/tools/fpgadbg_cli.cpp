@@ -105,6 +105,7 @@
 #include "support/introspect.h"
 #include "support/json.h"
 #include "support/log.h"
+#include "support/profiler.h"
 #include "support/rng.h"
 #include "support/status.h"
 #include "support/strings.h"
@@ -140,7 +141,7 @@ support::Status start_introspect(int port) {
 int usage() {
   std::fprintf(stderr,
                "usage: fpgadbg <stats|instrument|map|flow|profile|gen|export"
-               "|cache|report> ...\n"
+               "|cache|report|benchdiff> ...\n"
                "  stats <design.blif>\n"
                "  instrument <design.blif> <out.blif> <out.par> [--width N]"
                " [--radix R] [--replication R] [--select K]\n"
@@ -151,12 +152,21 @@ int usage() {
                "  profile <design.blif> [--width N] [--turns T] [--cycles C]"
                " [--scenarios S] [--scenario-cycles C]"
                " [--route-threads N] [--astar-fac F] [timing options]\n"
+               "          [--flame <out>]    sample wall-clock stacks across"
+               " all threads; write collapsed stacks (or speedscope JSON"
+               " when <out> ends in .json)\n"
+               "          [--sample-hz N]    sampling rate (default 99)\n"
                "  gen <benchname|list> [<out.blif>]\n"
                "  export <design.blif> <out.v> [--par f.par]"
                " [--mapper sm|abc|tcon]\n"
                "  cache gc --max-bytes <N>\n"
                "  report <session.jsonl> [<metrics.json>] [--top N]"
                " [--serve PORT]\n"
+               "  benchdiff <fresh-summary.json> [--baseline <path>]"
+               " [--tolerance F]\n"
+               "          compare a fresh BENCH_summary.json against the"
+               " committed baseline (default bench/baselines/"
+               "BENCH_summary.json); exits 1 on regression\n"
                "global options (any command):\n"
                "  --introspect <port>    live HTTP introspection on"
                " 127.0.0.1 while the command runs: /metrics /healthz"
@@ -520,6 +530,19 @@ support::Result<int> cmd_profile(const Args& args) {
     scenario_cycles = to_count(*s, "--scenario-cycles");
   }
 
+  // --flame: sample wall-clock stacks across every thread for the whole
+  // run and write a flame-graph input when done.  --sample-hz alone also
+  // enables sampling (counters only, no file).
+  const std::optional<std::string> flame_path = args.option("--flame");
+  prof::ProfilerOptions popt;
+  if (auto hz = args.option("--sample-hz")) {
+    popt.sample_hz = static_cast<int>(to_count(*hz, "--sample-hz"));
+  }
+  const bool sampling = flame_path.has_value() || args.option("--sample-hz");
+  if (sampling) {
+    FPGADBG_RETURN_IF_ERROR(prof::start_profiler(popt));
+  }
+
   FPGADBG_ASSIGN_OR_RETURN(const debug::OfflineResult offline,
                            run_pipeline(nl, options));
   std::ofstream journal_out;
@@ -555,6 +578,8 @@ support::Result<int> cmd_profile(const Args& args) {
     sopt.auto_faults = 2;
     batch = session.run_scenario_batch(sopt);
   }
+
+  if (sampling) prof::stop_profiler();
 
   const telemetry::MetricsSnapshot snap = telemetry::metrics().snapshot();
   auto row_s = [](const char* name, double seconds) {
@@ -689,6 +714,25 @@ support::Result<int> cmd_profile(const Args& args) {
     for (const auto& h : hot) {
       std::printf("  frame %-6zu %6llu writes\n", h.frame,
                   static_cast<unsigned long long>(h.writes));
+    }
+  }
+
+  if (sampling) {
+    const prof::ProfilerStats pstats = prof::profiler_stats();
+    std::printf("sampler (%d Hz):\n", pstats.sample_hz);
+    std::printf("  %-28s %12llu\n", "samples",
+                static_cast<unsigned long long>(pstats.samples));
+    std::printf("  %-28s %12llu\n", "dropped samples",
+                static_cast<unsigned long long>(pstats.dropped));
+    std::printf("  %-28s %12llu\n", "dropped ring spans",
+                static_cast<unsigned long long>(
+                    telemetry::dropped_span_count()));
+    if (flame_path) {
+      if (!prof::write_profile_file(*flame_path)) {
+        return support::Status::io_error("profile: cannot write " +
+                                         *flame_path);
+      }
+      std::printf("  %-28s %s\n", "flame output", flame_path->c_str());
     }
   }
   return 0;
@@ -1072,6 +1116,178 @@ support::Result<int> cmd_gen(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// benchdiff: the perf-regression sentinel.  Compares a fresh BENCH_summary
+// against a committed baseline snapshot, metric by metric, with per-kind
+// noise tolerances; exits nonzero when anything regressed.  Mirrors
+// scripts/bench_gate.py so CI can use either entry point.
+// ---------------------------------------------------------------------------
+
+/// One comparable number extracted from a summary: a histogram sum or a
+/// gauge, keyed "harness metric".
+struct BenchMetric {
+  double value = 0.0;
+  bool is_hist_sum = false;
+};
+
+bool str_ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Pulls every gate-relevant metric out of a parsed summary: all `bench.*`
+/// gauges plus all `bench.*_seconds` histogram sums, per harness.  The
+/// bench. namespace is the harnesses' contract for dashboard-tracked
+/// numbers; everything else in the registry dump is diagnostic noise.
+std::map<std::string, BenchMetric> bench_metrics(
+    const support::JsonValue& summary) {
+  std::map<std::string, BenchMetric> out;
+  const support::JsonValue* results = summary.find("results");
+  if (results == nullptr || !results->is_object()) return out;
+  for (const auto& [harness, doc] : results->object) {
+    const support::JsonValue* metrics = doc.find("metrics");
+    if (metrics == nullptr) continue;
+    if (const support::JsonValue* gauges = metrics->find("gauges")) {
+      for (const auto& [name, v] : gauges->object) {
+        if (name.rfind("bench.", 0) != 0 || !v.is_number()) continue;
+        out[harness + " " + name] = {v.number, false};
+      }
+    }
+    if (const support::JsonValue* hists = metrics->find("histograms")) {
+      for (const auto& [name, h] : hists->object) {
+        if (name.rfind("bench.", 0) != 0) continue;
+        if (!str_ends_with(name, "_seconds")) continue;
+        const support::JsonValue* sum = h.find("sum");
+        if (sum == nullptr || !sum->is_number()) continue;
+        out[harness + " " + name] = {sum->number, true};
+      }
+    }
+  }
+  return out;
+}
+
+support::Result<support::JsonValue> load_summary(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return support::Status::io_error("benchdiff: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return support::parse_json(buf.str());
+  } catch (const std::exception& e) {
+    return support::Status::parse_error(path, 0,
+                                        std::string("benchdiff: ") + e.what());
+  }
+}
+
+support::Result<int> cmd_benchdiff(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const std::string fresh_path = args.positional[0];
+  const std::string base_path =
+      args.option("--baseline").value_or("bench/baselines/BENCH_summary.json");
+  // Timings on shared CI hardware are noisy: the default relative budget is
+  // deliberately generous; tighten with --tolerance for dedicated boxes.
+  double tolerance = 0.5;
+  if (auto t = args.option("--tolerance")) {
+    char* end = nullptr;
+    tolerance = std::strtod(t->c_str(), &end);
+    if (end == t->c_str() || *end != '\0' || tolerance < 0.0) {
+      return support::Status::invalid_argument(
+          "benchdiff: --tolerance wants a non-negative number, got '" + *t +
+          "'");
+    }
+  }
+
+  FPGADBG_ASSIGN_OR_RETURN(const support::JsonValue base_doc,
+                           load_summary(base_path));
+  FPGADBG_ASSIGN_OR_RETURN(const support::JsonValue fresh_doc,
+                           load_summary(fresh_path));
+  const std::map<std::string, BenchMetric> base = bench_metrics(base_doc);
+  const std::map<std::string, BenchMetric> fresh = bench_metrics(fresh_doc);
+  if (base.empty()) {
+    return support::Status::parse_error(
+        base_path, 0, "benchdiff: baseline carries no bench.* metrics");
+  }
+
+  auto commit_of = [](const support::JsonValue& doc) {
+    const support::JsonValue* c = doc.find("commit");
+    return c != nullptr && c->is_string() ? c->str : std::string("unknown");
+  };
+  std::printf("benchdiff: baseline %s (%s)\n", base_path.c_str(),
+              commit_of(base_doc).c_str());
+  std::printf("benchdiff: fresh    %s (%s)\n", fresh_path.c_str(),
+              commit_of(fresh_doc).c_str());
+  std::printf("  %-52s %14s %14s %8s  %s\n", "metric", "baseline", "fresh",
+              "delta%", "verdict");
+
+  // Per-metric-kind rules, shared verbatim with scripts/bench_gate.py:
+  //   *_seconds hist sums     lower better, rel tolerance + 50 ms floor
+  //   *speedup*, *per_sec*    higher better, rel tolerance
+  //   *bit_identical*         exact match
+  //   *overhead_pct           absolute budget: baseline + 2 points
+  //   other gauges            informational, never gate
+  int regressions = 0;
+  for (const auto& [key, b] : base) {
+    const auto it = fresh.find(key);
+    const char* verdict;
+    double fresh_value = 0.0;
+    double delta_pct = 0.0;
+    if (it == fresh.end()) {
+      // A metric that vanished is a silent coverage loss — gate on it.
+      verdict = "MISSING";
+      ++regressions;
+    } else {
+      fresh_value = it->second.value;
+      delta_pct = b.value != 0.0
+                      ? (fresh_value - b.value) / std::abs(b.value) * 100.0
+                      : (fresh_value == 0.0 ? 0.0 : 100.0);
+      bool fail;
+      if (key.find("bit_identical") != std::string::npos) {
+        fail = fresh_value != b.value;
+      } else if (str_ends_with(key, "overhead_pct")) {
+        fail = fresh_value > b.value + 2.0;
+      } else if (b.is_hist_sum) {
+        fail = fresh_value > b.value * (1.0 + tolerance) + 0.05;
+      } else if (key.find("speedup") != std::string::npos ||
+                 key.find("per_sec") != std::string::npos) {
+        fail = fresh_value < b.value * (1.0 - tolerance);
+      } else {
+        fail = false;
+      }
+      if (fail) {
+        verdict = "FAIL";
+        ++regressions;
+      } else if (key.find("speedup") == std::string::npos &&
+                 key.find("per_sec") == std::string::npos &&
+                 key.find("bit_identical") == std::string::npos &&
+                 !str_ends_with(key, "overhead_pct") && !b.is_hist_sum) {
+        verdict = "info";
+      } else {
+        verdict = "ok";
+      }
+    }
+    std::printf("  %-52s %14.6g %14.6g %+7.1f%%  %s\n", key.c_str(), b.value,
+                fresh_value, delta_pct, verdict);
+  }
+  // New metrics in fresh are fine (a new harness landed); list them.
+  for (const auto& [key, f] : fresh) {
+    if (base.find(key) == base.end()) {
+      std::printf("  %-52s %14s %14.6g %8s  new\n", key.c_str(), "-", f.value,
+                  "-");
+    }
+  }
+  if (regressions > 0) {
+    std::printf("benchdiff: %d regression%s (tolerance %.0f%%)\n", regressions,
+                regressions == 1 ? "" : "s", tolerance * 100.0);
+    return 1;
+  }
+  std::printf("benchdiff: no regressions across %zu metrics (tolerance "
+              "%.0f%%)\n",
+              base.size(), tolerance * 100.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1233,6 +1449,8 @@ int main(int argc, char** argv) {
       result = cmd_cache(args);
     } else if (command == "report") {
       result = cmd_report(args);
+    } else if (command == "benchdiff") {
+      result = cmd_benchdiff(args);
     } else {
       result = usage();
     }

@@ -14,6 +14,7 @@
 #include "genbench/genbench.h"
 #include "sim/trigger.h"
 #include "support/rng.h"
+#include "support/telemetry.h"
 #include "testutil/json_lite.h"
 
 namespace fpgadbg::debug {
@@ -197,6 +198,74 @@ TEST(Journal, JsonlRoundTripIsExact) {
       default:
         EXPECT_EQ(a.count, b.count);
         break;
+    }
+  }
+}
+
+TEST(Journal, TraceIdsRoundTripAndStampUnderActiveSpan) {
+  // Events journaled while a trace span is active carry its causal ids;
+  // events journaled outside any span omit them (and load back as zero).
+  telemetry::clear_trace();
+  telemetry::start_tracing();
+  SessionJournal j(16);
+  {
+    telemetry::TraceScope span("journal_test.turn");
+    const telemetry::TraceContext ctx = telemetry::current_trace_context();
+    ASSERT_TRUE(ctx.active());
+    SessionEvent e;
+    e.kind = SessionEventKind::kTurnStart;
+    e.trace_id = ctx.trace_id;
+    e.span_id = ctx.span_id;
+    j.append(e);
+  }
+  telemetry::stop_tracing();
+  SessionEvent plain;
+  plain.kind = SessionEventKind::kCycleBatch;
+  plain.count = 3;
+  j.append(plain);
+  telemetry::clear_trace();
+
+  std::ostringstream dump;
+  j.write_all(dump);
+  std::istringstream lines(dump.str());
+  std::string first, second;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  EXPECT_NE(first.find("\"trace_id\":"), std::string::npos) << first;
+  EXPECT_NE(first.find("\"span_id\":"), std::string::npos) << first;
+  EXPECT_EQ(second.find("\"trace_id\""), std::string::npos) << second;
+
+  std::istringstream in(dump.str());
+  const auto loaded = SessionJournal::load(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const auto& events = loaded.value().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, j.events()[0].trace_id);
+  EXPECT_EQ(events[0].span_id, j.events()[0].span_id);
+  EXPECT_NE(events[0].trace_id, 0u);
+  EXPECT_EQ(events[1].trace_id, 0u);
+  EXPECT_EQ(events[1].span_id, 0u);
+}
+
+TEST(Journal, SessionTurnEventsCarryTheTurnSpanIds) {
+  const auto offline = run_offline(small_user(9), small_options());
+  telemetry::clear_trace();
+  telemetry::start_tracing();
+  DebugSession session(offline);
+  drive_session(session, offline, 2, 4);
+  telemetry::stop_tracing();
+  telemetry::clear_trace();
+  // Every turn-scoped event carries the same nonzero trace id within one
+  // turn (observe() opens the debug.turn span before journaling).
+  std::uint64_t turn_trace = 0;
+  for (const SessionEvent& e : session.journal().events()) {
+    if (e.kind == SessionEventKind::kTurnStart) {
+      EXPECT_NE(e.trace_id, 0u);
+      turn_trace = e.trace_id;
+    }
+    if (e.kind == SessionEventKind::kScgEval ||
+        e.kind == SessionEventKind::kTurnEnd) {
+      EXPECT_EQ(e.trace_id, turn_trace);
     }
   }
 }

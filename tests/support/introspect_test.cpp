@@ -164,6 +164,47 @@ TEST(Introspect, TracezShowsRingedSpans) {
   EXPECT_NE(body.find("introspect_test.span"), std::string::npos);
 }
 
+TEST(Introspect, TracezRendersParentLinkedTree) {
+  auto server = start_server();
+  {
+    telemetry::TraceScope outer("introspect_test.tree_outer", "test");
+    telemetry::TraceScope inner("introspect_test.tree_inner", "test");
+  }
+  const std::string body = body_of(http_get(server->port(), "/tracez"));
+  EXPECT_NE(body.find("parent-linked tree"), std::string::npos);
+  const std::size_t outer_at = body.find("introspect_test.tree_outer");
+  const std::size_t inner_at = body.find("`- introspect_test.tree_inner");
+  ASSERT_NE(outer_at, std::string::npos);
+  ASSERT_NE(inner_at, std::string::npos) << body;
+  EXPECT_LT(outer_at, inner_at);
+}
+
+TEST(Introspect, StatuszReportsDroppedCountsAndSamplerState) {
+  auto server = start_server();
+  const std::string body = body_of(http_get(server->port(), "/statusz"));
+  EXPECT_NE(body.find("dropped_spans:"), std::string::npos);
+  EXPECT_NE(body.find("sampler: stopped"), std::string::npos);
+  EXPECT_NE(body.find("dropped)"), std::string::npos);
+}
+
+TEST(Introspect, ProfilezReportsSamplerState) {
+  auto server = start_server();
+  const std::string body = body_of(http_get(server->port(), "/profilez"));
+  EXPECT_NE(body.find("running: no"), std::string::npos);
+  EXPECT_NE(body.find("samples:"), std::string::npos);
+  EXPECT_NE(body.find("dropped_samples:"), std::string::npos);
+  EXPECT_NE(body.find("top_symbols"), std::string::npos);
+}
+
+TEST(Introspect, FlamezServesCollapsedStacks) {
+  auto server = start_server();
+  const std::string response = http_get(server->port(), "/flamez");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  // Without a profiler run the endpoint still answers with a hint rather
+  // than an empty body.
+  EXPECT_FALSE(body_of(response).empty());
+}
+
 TEST(Introspect, MountServesCustomPage) {
   auto server = start_server();
   server->mount("/report", "the report body\n");

@@ -19,8 +19,9 @@ BIN="$WORK/introspect_tsan_smoke"
   "$SRC/src/support/error.cpp" \
   "$SRC/src/support/introspect.cpp" \
   "$SRC/src/support/log.cpp" \
+  "$SRC/src/support/profiler.cpp" \
   "$SRC/src/support/status.cpp" \
   "$SRC/src/support/telemetry.cpp" \
-  -lpthread -o "$BIN"
+  -lpthread -ldl -o "$BIN"
 
 exec "$BIN"

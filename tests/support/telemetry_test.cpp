@@ -514,5 +514,175 @@ TEST(Trace, ManySpansFromPoolThreads) {
   EXPECT_EQ(doc.find("traceEvents")->array.size(), 64u);
 }
 
+TEST(TraceContext, InactiveOutsideAnySpan) {
+  const telemetry::TraceContext ctx = telemetry::current_trace_context();
+  EXPECT_FALSE(ctx.active());
+  EXPECT_EQ(ctx.trace_id, 0u);
+  EXPECT_EQ(ctx.span_id, 0u);
+}
+
+TEST(TraceContext, SpansNestAndRestore) {
+  telemetry::clear_trace();
+  telemetry::start_tracing();
+  telemetry::TraceContext outer_ctx, inner_ctx;
+  {
+    TraceScope outer("ctx_test.outer", "test");
+    outer_ctx = telemetry::current_trace_context();
+    EXPECT_TRUE(outer_ctx.active());
+    EXPECT_EQ(outer_ctx.parent_id, 0u);
+    {
+      TraceScope inner("ctx_test.inner", "test");
+      inner_ctx = telemetry::current_trace_context();
+      // Same trace, new span, parented under the outer span.
+      EXPECT_EQ(inner_ctx.trace_id, outer_ctx.trace_id);
+      EXPECT_NE(inner_ctx.span_id, outer_ctx.span_id);
+      EXPECT_EQ(inner_ctx.parent_id, outer_ctx.span_id);
+    }
+    // Popping the inner scope restores the outer context exactly.
+    const telemetry::TraceContext restored =
+        telemetry::current_trace_context();
+    EXPECT_EQ(restored.trace_id, outer_ctx.trace_id);
+    EXPECT_EQ(restored.span_id, outer_ctx.span_id);
+  }
+  telemetry::stop_tracing();
+  EXPECT_FALSE(telemetry::current_trace_context().active());
+}
+
+TEST(TraceContext, SiblingRootsGetDistinctTraceIds) {
+  telemetry::clear_trace();
+  telemetry::start_tracing();
+  telemetry::TraceContext first, second;
+  {
+    TraceScope a("ctx_test.root_a", "test");
+    first = telemetry::current_trace_context();
+  }
+  {
+    TraceScope b("ctx_test.root_b", "test");
+    second = telemetry::current_trace_context();
+  }
+  telemetry::stop_tracing();
+  EXPECT_NE(first.trace_id, second.trace_id);
+  EXPECT_NE(first.span_id, second.span_id);
+}
+
+TEST(TraceContext, AdoptedContextParentsCrossThreadSpans) {
+  telemetry::clear_trace();
+  telemetry::start_tracing();
+  telemetry::TraceContext parent;
+  {
+    TraceScope outer("ctx_test.adopt_parent", "test");
+    parent = telemetry::current_trace_context();
+    std::thread t([&] {
+      telemetry::TraceContextScope adopt(parent);
+      TraceScope child("ctx_test.adopted_child", "test");
+      const telemetry::TraceContext ctx = telemetry::current_trace_context();
+      EXPECT_EQ(ctx.trace_id, parent.trace_id);
+      EXPECT_EQ(ctx.parent_id, parent.span_id);
+    });
+    t.join();
+  }
+  telemetry::stop_tracing();
+
+  // The export carries the causal ids and a cross-thread flow pair linking
+  // parent to child.
+  const JsonValue doc = parse_json(exported_trace());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  double child_span_id = -1.0;
+  for (const JsonValue& e : events->array) {
+    if (e.find("ph")->str != "X") continue;
+    const JsonValue* args = e.find("args");
+    ASSERT_NE(args, nullptr) << "X event without causal args";
+    ASSERT_NE(args->find("trace_id"), nullptr);
+    ASSERT_NE(args->find("span_id"), nullptr);
+    ASSERT_NE(args->find("parent_id"), nullptr);
+    EXPECT_EQ(args->find("trace_id")->number,
+              static_cast<double>(parent.trace_id));
+    if (e.find("name")->str == "ctx_test.adopted_child") {
+      child_span_id = args->find("span_id")->number;
+      EXPECT_EQ(args->find("parent_id")->number,
+                static_cast<double>(parent.span_id));
+    }
+  }
+  ASSERT_GE(child_span_id, 0.0);
+  bool flow_start = false, flow_end = false;
+  for (const JsonValue& e : events->array) {
+    const std::string ph = e.find("ph")->str;
+    if (ph != "s" && ph != "f") continue;
+    EXPECT_EQ(e.find("id")->number, child_span_id);
+    if (ph == "s") flow_start = true;
+    if (ph == "f") flow_end = true;
+  }
+  EXPECT_TRUE(flow_start) << "missing flow-start at the parent slice";
+  EXPECT_TRUE(flow_end) << "missing flow-finish at the child slice";
+}
+
+TEST(TraceContext, PoolParallelForLinksWorkerSpans) {
+  telemetry::clear_trace();
+  telemetry::start_tracing();
+  ThreadPool pool(4);
+  telemetry::TraceContext parent;
+  {
+    TraceScope outer("ctx_test.pool_parent", "test");
+    parent = telemetry::current_trace_context();
+    pool.parallel_for(32, [&](std::size_t) {
+      TraceScope task("ctx_test.pool_task", "test");
+    });
+  }
+  telemetry::stop_tracing();
+  const JsonValue doc = parse_json(exported_trace());
+  std::size_t linked = 0;
+  for (const JsonValue& e : doc.find("traceEvents")->array) {
+    if (e.find("ph")->str != "X") continue;
+    if (e.find("name")->str != "ctx_test.pool_task") continue;
+    const JsonValue* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("trace_id")->number,
+              static_cast<double>(parent.trace_id));
+    EXPECT_EQ(args->find("parent_id")->number,
+              static_cast<double>(parent.span_id));
+    ++linked;
+  }
+  EXPECT_EQ(linked, 32u);
+}
+
+TEST(Trace, DroppedSpanCounterAndTracezTree) {
+  telemetry::stop_tracing();
+  const std::uint64_t dropped_before = telemetry::dropped_span_count();
+  telemetry::set_span_ring_capacity(4);
+  telemetry::TraceContext parent;
+  {
+    TraceScope outer("ctx_test.tree_parent", "test");
+    parent = telemetry::current_trace_context();
+    TraceScope inner("ctx_test.tree_child", "test");
+  }
+  for (int i = 0; i < 8; ++i) {
+    TraceScope filler("ctx_test.tree_filler", "test");
+  }
+  // 10 spans through a 4-slot ring: at least 6 overwritten and counted.
+  EXPECT_GE(telemetry::dropped_span_count(), dropped_before + 6);
+  std::ostringstream os;
+  telemetry::write_tracez_tree(os);
+  const std::string tree = os.str();
+  EXPECT_NE(tree.find("dropped"), std::string::npos);
+  EXPECT_NE(tree.find("ctx_test.tree_filler"), std::string::npos);
+
+  // With a roomier ring the parent/child pair renders as an indented tree.
+  telemetry::set_span_ring_capacity(16);
+  {
+    TraceScope outer("ctx_test.tree_parent", "test");
+    TraceScope inner("ctx_test.tree_child", "test");
+  }
+  std::ostringstream os2;
+  telemetry::write_tracez_tree(os2);
+  const std::string tree2 = os2.str();
+  const std::size_t parent_at = tree2.find("ctx_test.tree_parent");
+  const std::size_t child_at = tree2.find("`- ctx_test.tree_child");
+  EXPECT_NE(parent_at, std::string::npos);
+  EXPECT_NE(child_at, std::string::npos) << tree2;
+  EXPECT_LT(parent_at, child_at);
+  telemetry::set_span_ring_capacity(0);
+}
+
 }  // namespace
 }  // namespace fpgadbg

@@ -3,8 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
+
+#include "support/telemetry.h"
 
 namespace fpgadbg {
 namespace {
@@ -41,6 +47,93 @@ TEST(ThreadPool, PropagatesException) {
                           if (i == 37) throw std::runtime_error("boom");
                         }),
       std::runtime_error);
+}
+
+// Regression: a worker-side exception must reach the caller (not vanish
+// into the pool), with its message intact, and the pool must stay usable
+// for the next parallel_for.
+TEST(ThreadPool, ExceptionMessageSurvivesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(256, [&](std::size_t i) {
+      if (i == 200) throw std::runtime_error("task 200 failed");
+    });
+    FAIL() << "parallel_for swallowed the worker exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 200 failed");
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+// The caller's trace context must be visible inside every parallel_for
+// task, including those picked up by worker threads: that is what parents
+// worker-side spans under the submitting span.
+TEST(ThreadPool, ParallelForPropagatesTraceContext) {
+  ThreadPool pool(4);
+  telemetry::start_tracing();  // spans are no-ops without a sink or ring
+  telemetry::TraceScope span("test.parent");
+  const telemetry::TraceContext parent = telemetry::current_trace_context();
+  ASSERT_TRUE(parent.active());
+  std::atomic<int> inherited{0};
+  std::mutex mutex;
+  std::set<std::thread::id> tids;
+  pool.parallel_for(128, [&](std::size_t) {
+    const telemetry::TraceContext ctx = telemetry::current_trace_context();
+    if (ctx.trace_id == parent.trace_id && ctx.span_id == parent.span_id) {
+      inherited.fetch_add(1);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    std::lock_guard<std::mutex> lock(mutex);
+    tids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(inherited.load(), 128);
+  EXPECT_GT(tids.size(), 1u) << "tasks never left the calling thread";
+  telemetry::stop_tracing();
+  telemetry::clear_trace();
+}
+
+TEST(ThreadPool, SubmitRunsJobWithCallerContext) {
+  ThreadPool pool(2);
+  telemetry::start_tracing();
+  telemetry::TraceScope span("test.submit_parent");
+  const telemetry::TraceContext parent = telemetry::current_trace_context();
+  std::atomic<bool> saw_context{false};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    saw_context = telemetry::current_trace_context().trace_id ==
+                  parent.trace_id;
+    done = true;
+  });
+  for (int i = 0; i < 1000 && !done; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(done.load());
+  EXPECT_TRUE(saw_context.load());
+  telemetry::stop_tracing();
+  telemetry::clear_trace();
+}
+
+TEST(ThreadPool, SubmitSwallowsExceptionIntoCounter) {
+  ThreadPool pool(2);
+  const std::uint64_t before =
+      telemetry::metrics().snapshot().counter("threadpool.submit_errors");
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    done = true;
+    throw std::runtime_error("fire-and-forget failure");
+  });
+  for (int i = 0; i < 1000; ++i) {
+    if (done &&
+        telemetry::metrics().snapshot().counter("threadpool.submit_errors") >
+            before) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(telemetry::metrics().snapshot().counter("threadpool.submit_errors"),
+            before);
 }
 
 TEST(ThreadPool, ReusableAcrossCalls) {

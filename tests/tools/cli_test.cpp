@@ -436,6 +436,198 @@ TEST(Cli, JournalFlagStreamsSessionEvents) {
   EXPECT_EQ(turn_starts, 3u);  // constructor turn + 2 profile turns
 }
 
+// Satellite of the causal-tracing work: one debugging turn observed through
+// three different artifacts (Chrome trace, JSONL journal, JSON log lines)
+// must carry the same trace ids, so a reader can join them.
+TEST(Cli, TraceJournalAndJsonLogShareTraceIds) {
+  const std::string blif = write_profile_blif("corr.blif");
+  const std::string trace_path = tmp_path("corr_trace.json");
+  const std::string journal_path = tmp_path("corr.jsonl");
+  const auto r = run("--trace " + trace_path + " --journal " + journal_path +
+                     " --log-format json --log-level info profile " + blif +
+                     " --width 2 --turns 2 --cycles 8 --scenarios 0");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  // Trace ids of every turn-scoped journal event.
+  std::vector<double> journal_ids;
+  std::istringstream lines(read_file(journal_path));
+  std::string line;
+  while (std::getline(lines, line)) {
+    const JsonValue e = parse_json(line);
+    const JsonValue* tid = e.find("trace_id");
+    if (e.find("ev")->str == "turn_start") {
+      ASSERT_NE(tid, nullptr) << "turn_start without trace_id: " << line;
+      journal_ids.push_back(tid->number);
+    }
+  }
+  ASSERT_GE(journal_ids.size(), 2u);
+
+  // Every one of them resolves to spans in the Chrome trace.
+  const JsonValue trace = parse_json(read_file(trace_path));
+  const JsonValue* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const double id : journal_ids) {
+    bool found = false;
+    for (const JsonValue& e : events->array) {
+      const JsonValue* args = e.find("args");
+      if (args != nullptr && args->find("trace_id") != nullptr &&
+          args->find("trace_id")->number == id) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "journal trace_id " << id
+                       << " has no spans in the Chrome trace";
+  }
+
+  // And at least one JSON log line carries one of the journaled trace ids
+  // (observe() logs at info level inside the turn span).
+  bool logged = false;
+  std::istringstream log_lines(r.output);
+  while (std::getline(log_lines, line)) {
+    if (line.empty() || line[0] != '{') continue;
+    JsonValue e;
+    try {
+      e = parse_json(line);
+    } catch (...) {
+      continue;  // table output, not a log record
+    }
+    const JsonValue* tid = e.find("trace_id");
+    if (tid == nullptr) continue;
+    for (const double id : journal_ids) {
+      logged |= tid->number == id;
+    }
+  }
+  EXPECT_TRUE(logged) << "no JSON log line carried a journaled trace id\n"
+                      << r.output;
+}
+
+TEST(Cli, ProfileFlameWritesCollapsedStacks) {
+  // A real generated design so the pipeline runs long enough for a
+  // high-rate sampler to land stacks.
+  const std::string blif = tmp_path("flame_design.blif");
+  ASSERT_EQ(run("gen stereov " + blif).exit_code, 0);
+  const std::string flame_path = tmp_path("flame.txt");
+  const auto r = run("profile " + blif +
+                     " --turns 2 --cycles 64 --scenarios 32 --flame " +
+                     flame_path + " --sample-hz 1993");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("sampler (1993 Hz)"), std::string::npos);
+  EXPECT_NE(r.output.find("dropped samples"), std::string::npos);
+  EXPECT_NE(r.output.find("dropped ring spans"), std::string::npos);
+  EXPECT_NE(r.output.find(flame_path), std::string::npos);
+  const std::string collapsed = read_file(flame_path);
+  ASSERT_FALSE(collapsed.empty()) << "no stacks sampled";
+  // Collapsed format: semicolon-joined frames, trailing count.
+  EXPECT_NE(collapsed.find(';'), std::string::npos);
+  std::istringstream stacks(collapsed);
+  std::string stack_line;
+  ASSERT_TRUE(std::getline(stacks, stack_line));
+  const std::size_t sp = stack_line.rfind(' ');
+  ASSERT_NE(sp, std::string::npos);
+  EXPECT_GT(std::strtol(stack_line.c_str() + sp + 1, nullptr, 10), 0);
+}
+
+TEST(Cli, ProfileFlameJsonIsSpeedscope) {
+  const std::string blif = write_profile_blif("flamejson.blif");
+  const std::string flame_path = tmp_path("flame.json");
+  const auto r = run("profile " + blif +
+                     " --width 2 --turns 2 --cycles 64 --flame " + flame_path +
+                     " --sample-hz 4999");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const JsonValue doc = parse_json(read_file(flame_path));
+  ASSERT_NE(doc.find("shared"), nullptr);
+  ASSERT_NE(doc.find("profiles"), nullptr);
+  EXPECT_NE(doc.find("$schema")->str.find("speedscope"), std::string::npos);
+}
+
+namespace benchdiff_fixtures {
+
+/// Minimal BENCH_summary.json with one harness and tweakable metrics.
+std::string write_summary(const std::string& stem, double warm_seconds,
+                          double speedup, double bit_identical,
+                          double overhead_pct, bool with_overhead = true) {
+  const std::string path = tmp_path(stem);
+  std::ofstream out(path);
+  out << "{\"commit\": \"test\", \"quick\": true, \"results\": {\n"
+         " \"compile_time\": {\"benchmark\": \"compile_time\", \"metrics\": {"
+         "\"counters\": {},\n"
+         "  \"gauges\": {\"bench.mmap.speedup\": "
+      << speedup << ", \"bench.mmap.bit_identical\": " << bit_identical;
+  if (with_overhead) {
+    out << ", \"bench.profiler.overhead_pct\": " << overhead_pct;
+  }
+  out << "},\n"
+         "  \"histograms\": {\"bench.cache.warm_seconds\": {\"count\": 1, "
+         "\"sum\": "
+      << warm_seconds
+      << ", \"min\": 0, \"max\": 0, \"p50\": 0, \"p90\": 0, \"p99\": 0}},\n"
+         "  \"series\": {}}}\n}}\n";
+  return path;
+}
+
+}  // namespace benchdiff_fixtures
+
+TEST(Cli, BenchdiffPassesOnEquivalentSummaries) {
+  using benchdiff_fixtures::write_summary;
+  const std::string base = write_summary("bd_base.json", 1.0, 10.0, 1.0, 1.0);
+  const std::string fresh =
+      write_summary("bd_fresh.json", 1.2, 9.0, 1.0, 1.5);  // within tolerance
+  const auto r = run("benchdiff " + fresh + " --baseline " + base);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("no regressions"), std::string::npos);
+}
+
+TEST(Cli, BenchdiffFailsOnTimingRegression) {
+  using benchdiff_fixtures::write_summary;
+  const std::string base = write_summary("bd_base2.json", 1.0, 10.0, 1.0, 1.0);
+  const std::string slow =
+      write_summary("bd_slow.json", 2.0, 10.0, 1.0, 1.0);  // 2x slower
+  const auto r = run("benchdiff " + slow + " --baseline " + base);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("FAIL"), std::string::npos);
+  EXPECT_NE(r.output.find("bench.cache.warm_seconds"), std::string::npos);
+  // A looser tolerance lets the same pair pass.
+  EXPECT_EQ(
+      run("benchdiff " + slow + " --baseline " + base + " --tolerance 2.0")
+          .exit_code,
+      0);
+}
+
+TEST(Cli, BenchdiffFailsOnBrokenInvariantsAndMissingMetrics) {
+  using benchdiff_fixtures::write_summary;
+  const std::string base = write_summary("bd_base3.json", 1.0, 10.0, 1.0, 1.0);
+  // bit_identical flipped: exact-match rule fails regardless of tolerance.
+  const std::string broken =
+      write_summary("bd_broken.json", 1.0, 10.0, 0.0, 1.0);
+  EXPECT_EQ(run("benchdiff " + broken + " --baseline " + base +
+                " --tolerance 100")
+                .exit_code,
+            1);
+  // Overhead budget: absolute +2 points, not relative.
+  const std::string heavy =
+      write_summary("bd_heavy.json", 1.0, 10.0, 1.0, 3.5);
+  EXPECT_EQ(run("benchdiff " + heavy + " --baseline " + base).exit_code, 1);
+  // A metric that vanished from the fresh summary is a coverage loss.
+  const std::string shrunk =
+      write_summary("bd_shrunk.json", 1.0, 10.0, 1.0, 0.0, false);
+  const auto r = run("benchdiff " + shrunk + " --baseline " + base);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("MISSING"), std::string::npos);
+}
+
+TEST(Cli, BenchdiffRejectsBadInputs) {
+  EXPECT_EQ(run("benchdiff").exit_code, 2);
+  const auto missing = run("benchdiff /nonexistent.json --baseline also.gone");
+  EXPECT_NE(missing.exit_code, 0);
+  using benchdiff_fixtures::write_summary;
+  const std::string base = write_summary("bd_base4.json", 1.0, 10.0, 1.0, 1.0);
+  EXPECT_EQ(run("benchdiff " + base + " --baseline " + base +
+                " --tolerance -1")
+                .exit_code,
+            2);
+}
+
 TEST(Cli, ReportAnalysesAJournal) {
   const std::string blif = write_profile_blif("rpt.blif");
   const std::string journal_path = tmp_path("rpt.jsonl");
